@@ -1,0 +1,84 @@
+"""Ablation — the fast data path vs routing data through the daemons.
+
+Paper §2.2: "we employ a fast data path between the MPI implementation
+and the application module, that does not go through the object bus.  This
+ensures the required low latency for data messages" — and data messages
+never traverse the daemons either, unlike coordination traffic.
+
+This bench measures the latency of delivering one application-level
+message (a) on the fast path (MPI over BIP/Myrinet) and (b) through the
+daemon relay that coordination messages use (group handler -> daemon ->
+lightweight group over Ethernet -> daemon -> group handler).
+"""
+
+import pytest
+
+from repro.calibration import US
+from repro.core import AppSpec, FaultPolicy, StarfishCluster
+from repro.core.program import StarfishProgram
+
+from bench_helpers import print_table, quiet_gcs
+
+
+class PathRacer(StarfishProgram):
+    """Rank 0 sends one message each way; ranks time the delivery."""
+
+    def setup(self, ctx):
+        self.state.update(phase=0, fast_t=None, coord_sent=None,
+                          coord_t=None)
+
+    def step(self, ctx):
+        mpi = ctx.mpi
+        if self.state["phase"] == 0:        # fast path measurement
+            if ctx.rank == 0:
+                yield from mpi.send(ctx.now, dest=1, tag=1, size=64)
+            elif ctx.rank == 1:
+                sent = yield from mpi.recv(source=0, tag=1)
+                self.state["fast_t"] = ctx.now - sent
+            yield from mpi.barrier()
+            self.state["phase"] = 1
+        elif self.state["phase"] == 1:      # daemon-relay measurement
+            if ctx.rank == 0:
+                ctx.coordinate(("stamp", ctx.now))
+            # wait until the coordination message lands everywhere
+            while self.state["coord_t"] is None:
+                yield from ctx.sleep(0.0001)
+            yield from mpi.barrier()
+            self.state["phase"] = 2
+
+    def on_coordination(self, ctx, source, payload):
+        if payload[0] == "stamp" and ctx.rank == 1:
+            self.state["coord_t"] = ctx.now - payload[1]
+        elif ctx.rank != 1:
+            self.state["coord_t"] = 0.0
+
+    def is_done(self, ctx):
+        return self.state["phase"] >= 2
+
+    def finalize(self, ctx):
+        return (self.state["fast_t"], self.state["coord_t"])
+
+
+def run_race():
+    sf = StarfishCluster.build(nodes=2, gcs_config=quiet_gcs())
+    results = sf.run(AppSpec(program=PathRacer, nprocs=2,
+                             ft_policy=FaultPolicy.KILL), timeout=200)
+    fast_t, coord_t = results[1]
+    return fast_t, coord_t
+
+
+def test_ablation_fastpath_vs_daemon_relay(benchmark):
+    fast_t, coord_t = benchmark.pedantic(run_race, rounds=1, iterations=1)
+    print_table(
+        "Fast path vs daemon relay (one 64-byte app-level message)",
+        ["path", "latency us"],
+        [["fast path (MPI/VNI over BIP-Myrinet)", f"{fast_t / US:.1f}"],
+         ["through daemons (group handler + lwg over Ethernet)",
+          f"{coord_t / US:.1f}"]])
+    benchmark.extra_info["fast_us"] = fast_t / US
+    benchmark.extra_info["relay_us"] = coord_t / US
+    # The design claim: the daemon path (local TCP hops + Ethernet +
+    # sequencing) is several times slower — fine for control traffic,
+    # disastrous for data.
+    assert coord_t > 6 * fast_t
+    assert fast_t < 100 * US

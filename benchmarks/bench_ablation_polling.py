@@ -1,0 +1,65 @@
+"""Ablation — the polling thread (paper §2.2.1).
+
+The paper: "A nice feature of the polling thread is that it eliminates
+much of the runtime overhead of issuing a receive operation at the
+application level ... when using the regular TCP/IP stack, receiving a
+message from the network involves a system call and user-level/kernel
+interaction, which is costly."
+
+This bench measures application-level round-trip latency with the polling
+thread enabled (Starfish's design) vs disabled (each receive enters the
+kernel itself), on both transports.
+"""
+
+import pytest
+
+from repro.apps import PingPong
+from repro.calibration import BLOCKING_RECV_SYSCALL, US
+from repro.core import AppSpec, StarfishCluster
+
+from bench_helpers import print_table, quiet_gcs
+
+SIZES = [1, 1024, 16384]
+
+
+def run_ablation():
+    out = {}
+    for transport in ("bip-myrinet", "tcp-ethernet"):
+        for polling in (True, False):
+            sf = StarfishCluster.build(nodes=2, gcs_config=quiet_gcs())
+            results = sf.run(AppSpec(program=PingPong, nprocs=2,
+                                     params={"sizes": SIZES, "reps": 50},
+                                     transport=transport, polling=polling),
+                             timeout=2000)
+            out[(transport, polling)] = results[0]
+    return out
+
+
+def test_ablation_polling_thread(benchmark):
+    out = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+
+    rows = []
+    for transport in ("bip-myrinet", "tcp-ethernet"):
+        for size in SIZES:
+            with_poll = out[(transport, True)][size]
+            without = out[(transport, False)][size]
+            rows.append([transport, size,
+                         f"{with_poll / US:.1f}", f"{without / US:.1f}",
+                         f"{(without - with_poll) / US:+.1f}"])
+    print_table("Polling thread ablation: RTT (us)",
+                ["transport", "bytes", "polling", "blocking recv", "delta"],
+                rows)
+
+    # Each round trip contains two receives; disabling the polling thread
+    # adds the blocking-receive kernel path to each of them.
+    for transport in ("bip-myrinet", "tcp-ethernet"):
+        for size in SIZES:
+            delta = out[(transport, False)][size] - \
+                out[(transport, True)][size]
+            assert delta == pytest.approx(2 * BLOCKING_RECV_SYSCALL,
+                                          rel=0.01), (transport, size)
+    # Relative impact is dramatic on the fast network (the whole point of
+    # pairing a user-level NI with a polling thread).
+    bip_ratio = out[("bip-myrinet", False)][1] / out[("bip-myrinet", True)][1]
+    benchmark.extra_info["bip_slowdown_1B"] = bip_ratio
+    assert bip_ratio > 3.0

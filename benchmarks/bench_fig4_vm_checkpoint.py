@@ -1,0 +1,83 @@
+"""Figure 4 — virtual-machine-level (heterogeneous) checkpointing time.
+
+Paper: same stop-and-sync protocol but checkpoints taken at the VM level:
+260 KB empty image (no VM state saved) in 0.0077 s / 0.0205 s / 0.052 s on
+1/2/4 nodes; the application whose native file is 135 MB produces only a
+96 MB portable file.
+"""
+
+import pytest
+
+from repro.calibration import KB, MB, VM_EMPTY_IMAGE, vm_checkpoint_time
+from repro.core import StarfishCluster
+
+from bench_helpers import (checkpoint_once, fit_line, print_table, quiet_gcs,
+                           start_checkpointed_app)
+
+#: Per-process payloads (numpy bytes); portable file = 260 KB + ~payload.
+PAYLOADS = [0, 4 * MB, 16 * MB, 48 * MB, 96 * MB]
+NODE_COUNTS = [1, 2, 4]
+
+PAPER_ANCHORS = {1: 0.0077, 2: 0.0205, 4: 0.052}
+
+
+def run_fig4():
+    results = {}
+    for nodes in NODE_COUNTS:
+        for payload in PAYLOADS:
+            sf = StarfishCluster.build(nodes=nodes, gcs_config=quiet_gcs())
+            app_id = start_checkpointed_app(
+                sf, nprocs=nodes, state_bytes=payload,
+                protocol="stop-and-sync", level="vm")
+            duration = checkpoint_once(sf, app_id)
+            stored = sf.store.peek(app_id, 0,
+                                   sf.store.latest_committed(app_id))
+            results[(nodes, payload)] = (duration, stored.nbytes)
+    return results
+
+
+def test_fig4_vm_checkpoint(benchmark):
+    results = benchmark.pedantic(run_fig4, rounds=1, iterations=1)
+
+    rows = []
+    for nodes in NODE_COUNTS:
+        for payload in PAYLOADS:
+            duration, file_size = results[(nodes, payload)]
+            rows.append([nodes, f"{file_size / MB:.2f}", f"{duration:.4f}"])
+    print_table("Figure 4: VM-level checkpoint time (stop-and-sync)",
+                ["nodes", "file MB", "measured s"], rows)
+
+    anchor_rows = []
+    for nodes, paper in PAPER_ANCHORS.items():
+        measured = results[(nodes, 0)][0]
+        anchor_rows.append([nodes, f"{paper:.4f}", f"{measured:.4f}",
+                            f"{100 * (measured - paper) / paper:+.1f}%"])
+        benchmark.extra_info[f"anchor_{nodes}n"] = measured
+        # The empty VM image writes in milliseconds; protocol rounds are a
+        # visible fraction at this scale, so the tolerance is wider on the
+        # 1-node anchor (7.7 ms) than on Fig. 3's 104 ms.
+        assert measured == pytest.approx(paper, rel=0.35), nodes
+    print_table("Figure 4 anchors (260 KB empty image)",
+                ["nodes", "paper s", "measured s", "delta"], anchor_rows)
+
+    # Empty image is ~260 KB — the VM image is NOT saved.
+    empty_file = results[(1, 0)][1]
+    assert empty_file == pytest.approx(VM_EMPTY_IMAGE, rel=0.02)
+
+    # Linear growth per node count.
+    for nodes in NODE_COUNTS:
+        xs = [results[(nodes, p)][1] for p in PAYLOADS]
+        ys = [results[(nodes, p)][0] for p in PAYLOADS]
+        slope, _b, r2 = fit_line(xs, ys)
+        assert r2 > 0.999 and slope > 0
+
+    # VM-level is far faster than native at the same payload (Fig 3 vs 4):
+    # the dump bandwidth difference alone is > 5x.
+    vm_big = results[(2, 48 * MB)][0]
+    from repro.calibration import native_checkpoint_time
+    assert vm_big < native_checkpoint_time(48 * MB, 2) / 3
+
+    # The same application checkpoints smaller at VM level than native:
+    # 96 MB portable vs 135 MB native is a ~0.71 ratio.
+    from repro.calibration import VM_PAYLOAD_FACTOR
+    assert 0.65 < VM_PAYLOAD_FACTOR < 0.75

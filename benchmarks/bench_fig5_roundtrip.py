@@ -1,0 +1,70 @@
+"""Figure 5 — application-level round-trip delay vs message size.
+
+Paper: a ping-style application, 100 repetitions per point; 1-byte RTT of
+86 us over BIP/Myrinet and 552 us over TCP/IP, both growing linearly with
+size.  This bench runs the actual PingPong application through the full
+Starfish stack on both transports.
+"""
+
+import pytest
+
+from repro.apps import PingPong
+from repro.calibration import (BIP_BANDWIDTH, RTT_1BYTE_BIP, RTT_1BYTE_TCP,
+                               TCP_BANDWIDTH, US)
+from repro.core import AppSpec, StarfishCluster
+
+from bench_helpers import fit_line, print_table, quiet_gcs
+
+SIZES = [1, 64, 256, 1024, 4096, 16384, 65536, 262144]
+REPS = 100  # as in the paper
+
+
+def run_fig5():
+    series = {}
+    for transport in ("bip-myrinet", "tcp-ethernet"):
+        sf = StarfishCluster.build(nodes=2, gcs_config=quiet_gcs())
+        results = sf.run(AppSpec(program=PingPong, nprocs=2,
+                                 params={"sizes": SIZES, "reps": REPS},
+                                 transport=transport), timeout=4000)
+        series[transport] = results[0]
+    return series
+
+
+def test_fig5_roundtrip(benchmark):
+    series = benchmark.pedantic(run_fig5, rounds=1, iterations=1)
+
+    rows = []
+    for size in SIZES:
+        rows.append([size,
+                     f"{series['bip-myrinet'][size] / US:.1f}",
+                     f"{series['tcp-ethernet'][size] / US:.1f}"])
+    print_table("Figure 5: round-trip delay vs data size (us)",
+                ["bytes", "BIP/Myrinet", "TCP/IP"], rows)
+
+    bip1 = series["bip-myrinet"][1]
+    tcp1 = series["tcp-ethernet"][1]
+    print(f"\n1-byte anchors: BIP {bip1 / US:.1f} us (paper 86), "
+          f"TCP {tcp1 / US:.1f} us (paper 552)")
+    benchmark.extra_info["bip_1B_us"] = bip1 / US
+    benchmark.extra_info["tcp_1B_us"] = tcp1 / US
+    assert bip1 == pytest.approx(RTT_1BYTE_BIP, rel=0.01)
+    assert tcp1 == pytest.approx(RTT_1BYTE_TCP, rel=0.01)
+
+    # Linear growth; slope = 2/bandwidth per transport.
+    for transport, bw in (("bip-myrinet", BIP_BANDWIDTH),
+                          ("tcp-ethernet", TCP_BANDWIDTH)):
+        xs = list(series[transport])
+        ys = [series[transport][s] for s in xs]
+        slope, intercept, r2 = fit_line(xs, ys)
+        assert r2 > 0.9999, transport
+        assert slope == pytest.approx(2.0 / bw, rel=0.01), transport
+
+    # Who wins: BIP beats TCP at every size; the gap narrows relatively as
+    # bandwidth dominates but never closes (BIP also has more bandwidth).
+    for size in SIZES:
+        assert series["bip-myrinet"][size] < series["tcp-ethernet"][size]
+    ratio_small = tcp1 / bip1
+    ratio_big = (series["tcp-ethernet"][SIZES[-1]]
+                 / series["bip-myrinet"][SIZES[-1]])
+    assert ratio_small == pytest.approx(552 / 86, rel=0.05)
+    assert 1.0 < ratio_big < ratio_small

@@ -1,0 +1,107 @@
+"""Figure 6 — time a message spends in each software layer.
+
+Paper: reports the per-layer overhead for sending and receiving a message
+and notes the key property that "the time spent in each layer is
+independent of the message size, since messages are never copied in our
+code".
+
+This bench (a) prints the per-layer budget for both transports, and
+(b) *verifies the decomposition against the running system*: for several
+message sizes it measures the full one-way latency through the stack and
+checks that ``measured - wire_bytes/bandwidth`` — the total software
+overhead — is a size-independent constant equal to the sum of the layer
+costs.
+"""
+
+import pytest
+
+from repro.calibration import (BIP_BANDWIDTH, BIP_LAYERS, DATA_HEADER,
+                               TCP_BANDWIDTH, TCP_LAYERS, US)
+from repro.cluster import Cluster
+from repro.mpi import MpiApi, MpiEndpoint
+
+from bench_helpers import print_table
+
+SIZES = [1, 1024, 65536, 1048576]
+
+LAYER_ROWS = [
+    ("application (send)", "app_send"),
+    ("MPI module (send)", "mpi_send"),
+    ("VNI (send)", "vni_send"),
+    ("network driver (send)", "driver_send"),
+    ("wire / switch", "wire"),
+    ("network driver (recv)", "driver_recv"),
+    ("VNI / polling thread (recv)", "vni_recv"),
+    ("MPI module (recv)", "mpi_recv"),
+    ("application (recv)", "app_recv"),
+]
+
+
+def measure_one_way(transport: str, size: int) -> float:
+    cluster = Cluster.build(nodes=2)
+    book = {}
+    eps = [MpiEndpoint(cluster.engine, cluster.node(f"n{r}"),
+                       app_id="fig6", world_rank=r, addressbook=book,
+                       transport=transport) for r in range(2)]
+    apis = [MpiApi(ep, nprocs=2) for ep in eps]
+    out = {}
+
+    def sender(mpi):
+        yield from mpi.send(b"", dest=1, tag=0, size=size)
+
+    def receiver(mpi):
+        t0 = cluster.engine.now
+        yield from mpi.recv(source=0, tag=0)
+        out["t"] = cluster.engine.now - t0
+
+    cluster.engine.process(sender(apis[0]))
+    p = cluster.engine.process(receiver(apis[1]))
+    cluster.engine.run(p)
+    return out["t"]
+
+
+def run_fig6():
+    measured = {}
+    for transport in ("bip-myrinet", "tcp-ethernet"):
+        for size in SIZES:
+            measured[(transport, size)] = measure_one_way(transport, size)
+    return measured
+
+
+def test_fig6_layer_overheads(benchmark):
+    measured = benchmark.pedantic(run_fig6, rounds=1, iterations=1)
+
+    rows = []
+    for label, attr in LAYER_ROWS:
+        rows.append([label,
+                     f"{getattr(BIP_LAYERS, attr) / US:.2f}",
+                     f"{getattr(TCP_LAYERS, attr) / US:.2f}"])
+    rows.append(["TOTAL software overhead (one way)",
+                 f"{BIP_LAYERS.one_way_fixed / US:.2f}",
+                 f"{TCP_LAYERS.one_way_fixed / US:.2f}"])
+    print_table("Figure 6: per-layer overhead (us, size-independent)",
+                ["layer", "BIP/Myrinet", "TCP/IP"], rows)
+
+    # Verification: software overhead (measured minus pure byte time) is
+    # constant across sizes and equals the layer sum — zero copies.
+    for transport, bw, layers in (
+            ("bip-myrinet", BIP_BANDWIDTH, BIP_LAYERS),
+            ("tcp-ethernet", TCP_BANDWIDTH, TCP_LAYERS)):
+        overheads = []
+        vrows = []
+        for size in SIZES:
+            t = measured[(transport, size)]
+            overhead = t - (size + DATA_HEADER) / bw
+            overheads.append(overhead)
+            vrows.append([size, f"{t / US:.2f}", f"{overhead / US:.3f}"])
+        print_table(f"size-independence check ({transport})",
+                    ["bytes", "one-way us", "software overhead us"], vrows)
+        spread = max(overheads) - min(overheads)
+        assert spread < 1e-9, f"layer overheads vary with size ({transport})"
+        assert overheads[0] == pytest.approx(layers.one_way_fixed,
+                                             rel=1e-6), transport
+        benchmark.extra_info[f"{transport}_overhead_us"] = \
+            overheads[0] / US
+    # The driver layer is where TCP loses: kernel entry dwarfs everything.
+    assert TCP_LAYERS.driver_send + TCP_LAYERS.driver_recv > \
+        10 * (BIP_LAYERS.driver_send + BIP_LAYERS.driver_recv)

@@ -1,0 +1,86 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every benchmark builds the full Starfish stack on a simulated cluster,
+runs the paper's workload, and reports *simulated-time* metrics (what the
+paper measured) while pytest-benchmark records the wall-clock cost of the
+simulation itself.  Each bench prints the regenerated table/series in the
+paper's shape; run with ``pytest benchmarks/ --benchmark-only -s`` to see
+them, or read ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core import AppSpec, CheckpointConfig, FaultPolicy, StarfishCluster
+from repro.gcs import GcsConfig
+
+
+def quiet_gcs(heartbeat: float = 0.5) -> GcsConfig:
+    """GCS timing for long benchmark runs (less failure-detector traffic)."""
+    return GcsConfig(heartbeat_period=heartbeat,
+                     suspect_timeout=8 * heartbeat,
+                     announce_period=16 * heartbeat)
+
+
+def fit_line(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, float, float]:
+    """Least-squares fit ``y = a*x + b``; returns (a, b, R^2)."""
+    n = len(xs)
+    mx = sum(xs) / n
+    my = sum(ys) / n
+    sxx = sum((x - mx) ** 2 for x in xs)
+    sxy = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    a = sxy / sxx if sxx else 0.0
+    b = my - a * mx
+    ss_res = sum((y - (a * x + b)) ** 2 for x, y in zip(xs, ys))
+    ss_tot = sum((y - my) ** 2 for y in ys)
+    r2 = 1.0 - (ss_res / ss_tot if ss_tot else 0.0)
+    return a, b, r2
+
+
+def print_table(title: str, header: Sequence[str],
+                rows: Sequence[Sequence]) -> None:
+    widths = [max(len(str(h)), *(len(str(r[i])) for r in rows))
+              for i, h in enumerate(header)]
+    line = "  ".join(str(h).rjust(w) for h, w in zip(header, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).rjust(w) for c, w in zip(row, widths)))
+
+
+def checkpoint_once(sf: StarfishCluster, app_id: str) -> float:
+    """Trigger one checkpoint on a running app; returns its simulated
+    duration (request -> commit)."""
+    handle = None
+    for daemon in sf.live_daemons():
+        for (aid, rank), h in daemon.handles.items():
+            if aid == app_id and h.protocol is not None:
+                if handle is None or rank < handle[0]:
+                    handle = (rank, h)
+    assert handle is not None, f"no checkpointing process for {app_id}"
+    proto = handle[1].protocol
+    t0 = sf.engine.now
+    ev = proto.request_checkpoint()
+    sf.engine.run(until=ev)
+    return sf.engine.now - t0
+
+
+def start_checkpointed_app(sf: StarfishCluster, *, nprocs: int,
+                           state_bytes: int, protocol: str, level: str,
+                           app_id: Optional[str] = None) -> str:
+    """Submit a long ComputeSleep app with the given checkpoint setup and
+    run until all ranks are stepping."""
+    handle = sf.submit(AppSpec(
+        program=__import__("repro.apps", fromlist=["ComputeSleep"])
+        .ComputeSleep,
+        nprocs=nprocs,
+        params={"steps": 10**9, "step_time": 0.005,
+                "state_bytes": state_bytes},
+        ft_policy=FaultPolicy.RESTART,
+        checkpoint=CheckpointConfig(protocol=protocol, level=level)),
+        app_id=app_id)
+    sf.engine.run(until=sf.engine.now + 1.0)
+    return handle.app_id

@@ -1,0 +1,86 @@
+"""Table 2 — heterogeneous C/R across the six tested machine types.
+
+The paper lists six architecture/OS combinations (mixed endianness, mixed
+32/64-bit word length) that its VM-level checkpointing was tested across.
+This bench checkpoints a representative application state on *each* machine
+and restores it on *every* machine (the full 6x6 matrix), verifying exact
+state equality and reporting when representation conversion occurred and
+what it cost.
+"""
+
+import numpy as np
+import pytest
+
+from repro.calibration import HETERO_CONVERT_BANDWIDTH
+from repro.ckpt import VmCheckpointer
+from repro.cluster import TABLE2_MACHINES
+
+from bench_helpers import print_table
+
+STATE = {
+    "iteration": 912,
+    "residual": 3.0517578125e-05,
+    "grid": np.arange(4096, dtype=np.float64),
+    "flags": [True, False, None],
+    "tag": "jacobi-block-7",
+    "wide_counter": (1 << 40),      # unboxed on 64-bit, boxed on 32-bit
+}
+
+
+def state_equal(a, b):
+    return (a["iteration"] == b["iteration"]
+            and a["residual"] == b["residual"]
+            and np.array_equal(a["grid"], b["grid"])
+            and a["flags"] == b["flags"]
+            and a["tag"] == b["tag"]
+            and a["wide_counter"] == b["wide_counter"])
+
+
+def run_matrix():
+    ck = VmCheckpointer()
+    out = {}
+    for src in TABLE2_MACHINES:
+        image, nbytes = ck.capture(STATE, src)
+        for dst in TABLE2_MACHINES:
+            restored, extra = ck.restore(image, nbytes, dst)
+            out[(src.name, dst.name)] = (state_equal(STATE, restored),
+                                         extra, nbytes)
+    return out
+
+
+def test_table2_heterogeneous_matrix(benchmark):
+    matrix = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+
+    short = {m.name: f"{m.endianness[0].upper()}E/{m.word_bits}"
+             for m in TABLE2_MACHINES}
+    header = ["ckpt on \\ restart on"] + [short[m.name]
+                                          for m in TABLE2_MACHINES]
+    rows = []
+    for src in TABLE2_MACHINES:
+        row = [f"{src.name[:28]} ({short[src.name]})"]
+        for dst in TABLE2_MACHINES:
+            ok, extra, _n = matrix[(src.name, dst.name)]
+            assert ok, (src.name, dst.name)
+            row.append("ok" if extra == 0 else f"conv {extra * 1e3:.1f}ms")
+        rows.append(row)
+    print_table("Table 2: heterogeneous C/R matrix "
+                "(ok = no conversion needed)", header, rows)
+
+    conversions = sum(1 for (ok, extra, _n) in matrix.values() if extra > 0)
+    identical = sum(1 for (ok, extra, _n) in matrix.values() if extra == 0)
+    benchmark.extra_info["pairs"] = len(matrix)
+    benchmark.extra_info["converted"] = conversions
+    assert len(matrix) == 36
+    # Same-representation groups: 3 little-endian 32-bit machines, 1
+    # big-endian... the endianness/word-length classes predict exactly
+    # which pairs convert.
+    expected_identical = sum(
+        1 for a in TABLE2_MACHINES for b in TABLE2_MACHINES
+        if a.same_representation(b))
+    assert identical == expected_identical
+    # Conversion cost follows the blob size over the conversion bandwidth.
+    any_conv = next(v for v in matrix.values() if v[1] > 0)
+    _ok, extra, nbytes = any_conv
+    from repro.calibration import VM_EMPTY_IMAGE
+    blob = nbytes - VM_EMPTY_IMAGE
+    assert extra == pytest.approx(blob / HETERO_CONVERT_BANDWIDTH, rel=0.01)

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Managing a Starfish cluster through the ASCII client protocol (§3.1.1).
+
+The paper's management story: connect to *any* daemon over TCP, log in as
+an administrator or a user, and drive the cluster with a textual protocol
+(the Java GUI speaks the same protocol underneath).  This example runs a
+management session and a user session, exercising node administration,
+configuration, job submission, and result collection — and shows the
+replicated state surviving the death of the daemon originally used.
+
+Run:  python examples/cluster_administration.py
+"""
+
+from repro import StarfishCluster
+
+
+def main():
+    sf = StarfishCluster.build(nodes=4)
+    transcript = []
+
+    def show(cmd, reply):
+        transcript.append((cmd, reply))
+        print(f"  > {cmd}\n  < {reply}")
+
+    def admin_session():
+        client = sf.client(from_node="n3", to_node="n0")
+        c = yield from client.connect()
+        for cmd in ("LOGIN admin adminpw MGMT",
+                    "NODES",
+                    "SET scheduler.policy least-loaded",
+                    "GET scheduler.policy",
+                    "DISABLE n2"):
+            reply = yield from c.command(cmd)
+            show(cmd, reply)
+        yield sf.engine.timeout(1.0)
+        reply = yield from c.command("NODES")
+        show("NODES", reply)
+        yield from c.close()
+
+    def user_session():
+        client = sf.client(from_node="n3", to_node="n1")
+        c = yield from client.connect()
+        for cmd in ("LOGIN alice alicepw USER",
+                    "SUBMIT pi 3 program=montecarlo param.shots=60000",
+                    "STATUS pi"):
+            reply = yield from c.command(cmd)
+            show(cmd, reply)
+        while True:
+            reply = yield from c.command("STATUS pi")
+            if reply.split()[1] in ("done", "failed"):
+                show("STATUS pi", reply)
+                break
+            yield sf.engine.timeout(0.5)
+        reply = yield from c.command("RESULT pi")
+        show("RESULT pi", reply)
+        yield from c.close()
+
+    print("--- management session (to daemon on n0) ---")
+    proc = sf.engine.process(admin_session())
+    sf.engine.run(proc)
+
+    print("\n--- user session (to daemon on n1) ---")
+    proc = sf.engine.process(user_session())
+    sf.engine.run(proc)
+
+    print("\n--- high availability: n1 dies, reconnect to n2... ---")
+    sf.crash_node("n1")
+
+    def recheck():
+        # n2 is disabled for *scheduling* but still serves clients.
+        client = sf.client(from_node="n3", to_node="n2")
+        c = yield from client.connect()
+        for cmd in ("LOGIN alice alicepw USER", "STATUS pi"):
+            reply = yield from c.command(cmd)
+            show(cmd, reply)
+        yield from c.close()
+
+    proc = sf.engine.process(recheck())
+    sf.engine.run(proc)
+    print("\nThe replicated registry answered from a different daemon.")
+
+
+if __name__ == "__main__":
+    main()

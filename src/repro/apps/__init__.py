@@ -1,0 +1,36 @@
+"""Application library (system S14).
+
+Ready-made :class:`~repro.core.program.StarfishProgram` implementations
+covering the paper's motivating workload classes:
+
+* :class:`PingPong` — the §5 round-trip micro-benchmark (Figure 5);
+* :class:`MonteCarloPi` — a trivially parallel computation that adapts to
+  any world size (the §3.2.2 "repartition on view change" class);
+* :class:`Jacobi1D` — a bulk-synchronous stencil with halo exchange (the
+  class that needs coordinated checkpointing and rollback);
+* :class:`BagOfTasks` — master/worker with task re-queueing on failures
+  and optional MPI-2 dynamic spawning;
+* :class:`ComputeSleep` — a do-nothing compute loop used by tests and the
+  checkpoint-overhead benchmarks.
+
+``PROGRAMS`` maps the names accepted by the ASCII ``SUBMIT`` command to
+these classes.
+"""
+
+from repro.apps.pingpong import PingPong
+from repro.apps.montecarlo import MonteCarloPi
+from repro.apps.jacobi import Jacobi1D
+from repro.apps.bagoftasks import BagOfTasks
+from repro.apps.computesleep import ComputeSleep
+
+#: ASCII-protocol program names.
+PROGRAMS = {
+    "pingpong": "PingPong",
+    "montecarlo": "MonteCarloPi",
+    "jacobi": "Jacobi1D",
+    "bagoftasks": "BagOfTasks",
+    "computesleep": "ComputeSleep",
+}
+
+__all__ = ["BagOfTasks", "ComputeSleep", "Jacobi1D", "MonteCarloPi",
+           "PROGRAMS", "PingPong"]

@@ -1,0 +1,45 @@
+"""A plain compute loop (no communication beyond a final reduce).
+
+Used by tests and by the checkpoint-overhead benchmarks: its per-rank
+state can be padded to an arbitrary size (``state_bytes``), which is how
+the Figure 3/4 payload sweeps are generated.
+
+Parameters
+----------
+steps : int
+    Number of steps (default 10).
+step_time : float
+    Simulated computation per step, seconds (default 0.01).
+state_bytes : int
+    Pad ``self.state`` with a float64 array of roughly this many bytes.
+
+Result (all ranks): number of steps executed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.program import ProgramContext, StarfishProgram
+
+
+class ComputeSleep(StarfishProgram):
+    """Sleep-based compute kernel with sizeable checkpoint state."""
+
+    def setup(self, ctx: ProgramContext) -> None:
+        pad = int(ctx.params.get("state_bytes", 0))
+        self.state.update(
+            steps=int(ctx.params.get("steps", 10)),
+            done=0,
+            payload=np.zeros(max(0, pad) // 8, dtype=np.float64),
+        )
+
+    def step(self, ctx: ProgramContext):
+        yield from ctx.sleep(float(ctx.params.get("step_time", 0.01)))
+        self.state["done"] += 1
+
+    def is_done(self, ctx: ProgramContext) -> bool:
+        return self.state["done"] >= self.state["steps"]
+
+    def finalize(self, ctx: ProgramContext):
+        return self.state["done"]

@@ -1,0 +1,96 @@
+"""1-D Jacobi relaxation with halo exchange.
+
+The non-trivially-parallel workload class: ranks own contiguous blocks of
+a 1-D rod and exchange boundary cells every iteration, so losing a rank
+loses part of the domain — this is the class that needs coordinated
+checkpointing and the RESTART policy (rollback of everyone to the last
+recovery line).
+
+u(0)=1, u(n+1)=0; each step does ``iters_per_step`` Jacobi sweeps.
+
+Parameters
+----------
+n : int
+    Global number of interior cells (default 4096; must divide evenly by
+    the world size).
+iterations : int
+    Total sweeps to run (default 200).
+iters_per_step : int
+    Sweeps per step / checkpoint granularity (default 10).
+compute_ns_per_cell : float
+    Simulated per-cell sweep cost (default 10 ns).
+
+Result (rank 0): ``(iterations_done, global_residual)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.program import ProgramContext, StarfishProgram
+from repro.errors import MpiError
+from repro.mpi import PROC_NULL, SUM
+
+
+class Jacobi1D(StarfishProgram):
+    """Bulk-synchronous stencil on a 1-D rod."""
+
+    def setup(self, ctx: ProgramContext) -> None:
+        n = int(ctx.params.get("n", 4096))
+        size = ctx.size
+        if n % size != 0:
+            raise MpiError(f"n={n} not divisible by {size} ranks")
+        local = n // size
+        u = np.zeros(local + 2)       # one halo cell on each side
+        if ctx.rank == 0:
+            u[0] = 1.0                # hot left boundary
+        self.state.update(
+            n=n,
+            u=u,
+            iteration=0,
+            iterations=int(ctx.params.get("iterations", 200)),
+            iters_per_step=int(ctx.params.get("iters_per_step", 10)),
+            residual=float("inf"),
+        )
+
+    def step(self, ctx: ProgramContext):
+        mpi = ctx.mpi
+        state = self.state
+        u = state["u"].copy()          # mutate state only at step end
+        rank, size = mpi.rank, mpi.size
+        left = rank - 1 if rank > 0 else PROC_NULL
+        right = rank + 1 if rank < size - 1 else PROC_NULL
+        sweeps = min(state["iters_per_step"],
+                     state["iterations"] - state["iteration"])
+        ns = float(ctx.params.get("compute_ns_per_cell", 10.0))
+        delta = 0.0
+        for _ in range(sweeps):
+            # Halo exchange: my right edge -> right's left halo, and back.
+            from_left = yield from mpi.sendrecv(
+                float(u[-2]), dest=right, source=left,
+                sendtag=10, recvtag=10, size=8)
+            from_right = yield from mpi.sendrecv(
+                float(u[1]), dest=left, source=right,
+                sendtag=11, recvtag=11, size=8)
+            u[0] = from_left if from_left is not None else \
+                (1.0 if rank == 0 else u[0])
+            u[-1] = from_right if from_right is not None else 0.0
+            new_inner = 0.5 * (u[:-2] + u[2:])
+            delta = float(np.max(np.abs(new_inner - u[1:-1])))
+            u[1:-1] = new_inner
+            yield from ctx.sleep(len(u) * ns * 1e-9)
+        residual = yield from mpi.allreduce(delta, op=SUM)
+        # Commit the step's results to the checkpointable state.
+        state["u"] = u
+        state["iteration"] += sweeps
+        state["residual"] = residual
+
+    def is_done(self, ctx: ProgramContext) -> bool:
+        return self.state["iteration"] >= self.state["iterations"]
+
+    def finalize(self, ctx: ProgramContext):
+        total = yield from ctx.mpi.reduce(
+            float(np.sum(self.state["u"][1:-1])), op=SUM, root=0)
+        if ctx.rank == 0:
+            return (self.state["iteration"], self.state["residual"], total)
+        return None

@@ -1,0 +1,74 @@
+"""Trivially parallel Monte-Carlo estimation of π.
+
+The paper's prime example of an application that benefits from dynamic
+view changes: every rank repeatedly computes a local batch and merges via
+``allreduce``, so the computation is correct for *any* current world size.
+When a node dies under the VIEW_NOTIFY policy (or a new one joins), the
+surviving ranks simply keep going — the work partition is implicit in the
+step structure, "covering the entire compute space with no duplicates".
+
+Parameters
+----------
+shots : int
+    Target number of samples (global, approximate to the last batch).
+chunk : int
+    Samples per rank per step (default 1000).
+compute_ns_per_shot : float
+    Simulated computation cost per sample (default 200 ns).
+
+Result (all ranks): the π estimate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.program import ProgramContext, StarfishProgram
+from repro.mpi import SUM
+
+
+class MonteCarloPi(StarfishProgram):
+    """π by dart-throwing; adapts to any world size."""
+
+    def setup(self, ctx: ProgramContext) -> None:
+        self.state.update(
+            shots=int(ctx.params.get("shots", 100_000)),
+            chunk=int(ctx.params.get("chunk", 1000)),
+            done=0,
+            hits=0,
+            views_seen=0,
+        )
+
+    def step(self, ctx: ProgramContext):
+        state = self.state
+        m = min(state["chunk"], max(1, state["shots"] - state["done"]))
+        # Deterministic but distinct stream per (rank, progress) so replays
+        # after restarts/aborted steps resample the same batch.
+        rng = np.random.default_rng((ctx.rank + 1) * 1_000_003
+                                    + state["done"])
+        xy = rng.random((m, 2))
+        local_hits = int(np.sum(np.sum(xy * xy, axis=1) <= 1.0))
+        ns = float(ctx.params.get("compute_ns_per_shot", 200.0))
+        yield from ctx.sleep(m * ns * 1e-9)
+        hits, count = yield from ctx.mpi.allreduce((local_hits, m), op=SUM)
+        state["hits"] += int(hits)
+        state["done"] += int(count)
+
+    def is_done(self, ctx: ProgramContext) -> bool:
+        return self.state["done"] >= self.state["shots"]
+
+    def finalize(self, ctx: ProgramContext):
+        return 4.0 * self.state["hits"] / max(1, self.state["done"])
+
+    def on_view_change(self, ctx: ProgramContext, info):
+        # The partition is implicit, but survivors may be one (aborted)
+        # step apart: adopt the most advanced (done, hits) pair so the
+        # whole group resumes from one agreed state — the "repartition and
+        # continue without interruption" move of paper §3.2.2.
+        self.state["views_seen"] += 1
+        from repro.mpi import MAXLOC
+        _done, owner = yield from ctx.mpi.allreduce(
+            (self.state["done"], ctx.mpi.rank), op=MAXLOC)
+        done, hits = yield from ctx.mpi.bcast(
+            (self.state["done"], self.state["hits"]), root=owner)
+        self.state["done"], self.state["hits"] = int(done), int(hits)

@@ -1,0 +1,61 @@
+"""The paper's round-trip micro-benchmark (§5, Figure 5).
+
+Rank 0 sends a message of each size to rank 1, which echoes it back; the
+round trip is timed at the application level and averaged over ``reps``
+repetitions — exactly the paper's methodology ("repeatedly a hundred
+times to get the average round-trip latency").
+
+Parameters
+----------
+sizes : list[int]
+    Message sizes in bytes (default: 1 B … 64 KB, ×4 steps).
+reps : int
+    Repetitions per size (default 100, as in the paper).
+
+Result (rank 0): ``{size: average_rtt_seconds}``.
+"""
+
+from __future__ import annotations
+
+from repro.core.program import ProgramContext, StarfishProgram
+
+DEFAULT_SIZES = [1, 4, 16, 64, 256, 1024, 4096, 16384, 65536]
+
+
+class PingPong(StarfishProgram):
+    """Two-rank ping-pong latency measurement."""
+
+    def setup(self, ctx: ProgramContext) -> None:
+        self.state.update(
+            sizes=list(ctx.params.get("sizes", DEFAULT_SIZES)),
+            reps=int(ctx.params.get("reps", 100)),
+            index=0,
+            rtts={},
+        )
+
+    def step(self, ctx: ProgramContext):
+        size = self.state["sizes"][self.state["index"]]
+        reps = self.state["reps"]
+        mpi = ctx.mpi
+        if mpi.rank == 0:
+            total = 0.0
+            payload = b"\0" * min(size, 1)   # payload object; size modelled
+            for _ in range(reps):
+                t0 = ctx.now
+                yield from mpi.send(payload, dest=1, tag=1, size=size)
+                yield from mpi.recv(source=1, tag=2)
+                total += ctx.now - t0
+            self.state["rtts"][size] = total / reps
+        elif mpi.rank == 1:
+            for _ in range(reps):
+                msg = yield from mpi.recv(source=0, tag=1)
+                yield from mpi.send(msg, dest=0, tag=2, size=size)
+        self.state["index"] += 1
+
+    def is_done(self, ctx: ProgramContext) -> bool:
+        return self.state["index"] >= len(self.state["sizes"])
+
+    def finalize(self, ctx: ProgramContext):
+        if ctx.mpi.rank == 0:
+            return dict(self.state["rtts"])
+        return None

@@ -1,0 +1,27 @@
+"""The object bus and module scheduler of an application process (S8).
+
+Paper §2.2: "All modules communicate by posting events on an object bus
+that invokes the corresponding event handlers at each of the listening
+modules.  Using an object bus allows us to completely decouple the modules,
+and also to potentially post the same events to more than one module."
+
+Data messages deliberately do *not* travel on the bus — they use the fast
+path between the application module and the MPI module (see
+:mod:`repro.mpi`); the ablation benchmark ``bench_ablation_fastpath``
+quantifies why.
+"""
+
+from repro.bus.objectbus import ObjectBus
+from repro.bus.events import (BusEvent, CheckpointEvent, ConfigEvent,
+                              CoordinationEvent, MembershipEvent,
+                              ShutdownEvent)
+
+__all__ = [
+    "BusEvent",
+    "CheckpointEvent",
+    "ConfigEvent",
+    "CoordinationEvent",
+    "MembershipEvent",
+    "ObjectBus",
+    "ShutdownEvent",
+]

@@ -1,0 +1,66 @@
+"""Event types posted on an application process's object bus.
+
+These mirror the non-data message classes of Table 1: coordination,
+checkpoint/restart, lightweight membership, and configuration — plus
+process-internal control events (shutdown).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class BusEvent:
+    """Base class; ``priority`` orders dispatch (lower first)."""
+
+    priority: int = field(default=5, kw_only=True)
+
+
+@dataclass(frozen=True)
+class CoordinationEvent(BusEvent):
+    """A coordination message between application processes (Table 1)."""
+
+    source: Any = None
+    payload: Any = None
+
+
+@dataclass(frozen=True)
+class CheckpointEvent(BusEvent):
+    """A checkpoint/restart protocol message or local C/R command."""
+
+    op: str = ""             # e.g. "request", "marker", "commit", "restore"
+    source: Any = None
+    payload: Any = None
+    priority: int = field(default=1, kw_only=True)
+
+
+@dataclass(frozen=True)
+class MembershipEvent(BusEvent):
+    """A lightweight-group view change, delivered to registered listeners.
+
+    Applications that cannot exploit view changes simply do not subscribe
+    (paper §3.2.2) — their programming model stays plain MPI.
+    """
+
+    members: Tuple = ()
+    joined: Tuple = ()
+    left: Tuple = ()
+    priority: int = field(default=2, kw_only=True)
+
+
+@dataclass(frozen=True)
+class ConfigEvent(BusEvent):
+    """Configuration handed down by the local daemon (Table 1)."""
+
+    key: str = ""
+    value: Any = None
+
+
+@dataclass(frozen=True)
+class ShutdownEvent(BusEvent):
+    """The daemon asked this process to terminate."""
+
+    reason: str = ""
+    priority: int = field(default=0, kw_only=True)

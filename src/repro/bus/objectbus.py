@@ -1,0 +1,87 @@
+"""Listener-model object bus with its own dispatch scheduler.
+
+Modules subscribe handlers per event *type* (subclasses do not inherit
+subscriptions — modules subscribe to exactly the event classes they list,
+as in a typed object bus).  Posting is non-blocking; a dedicated dispatcher
+process drains the queue in priority order, charging
+:data:`~repro.calibration.BUS_DISPATCH` per (event, listener) pair —
+this is the cost the fast data path avoids.
+
+Handlers may be plain callables or generator functions (for handlers that
+perform simulated work, e.g. the C/R module writing a checkpoint).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Type
+
+from repro.calibration import BUS_DISPATCH
+from repro.errors import Interrupt, SimulationError
+from repro.bus.events import BusEvent
+from repro.sim.channel import PriorityChannel
+
+
+class ObjectBus:
+    """One application process's internal event bus."""
+
+    def __init__(self, engine, name: str = "bus"):
+        self.engine = engine
+        self.name = name
+        self._listeners: Dict[Type[BusEvent], List[Callable]] = {}
+        self._queue = PriorityChannel(engine, name=f"busq:{name}")
+        self._dispatcher = None
+        self.stats = {"posted": 0, "dispatched": 0, "dropped": 0}
+
+    def subscribe(self, event_type: Type[BusEvent], handler: Callable) -> None:
+        """Register ``handler`` for events of exactly ``event_type``."""
+        if not (isinstance(event_type, type)
+                and issubclass(event_type, BusEvent)):
+            raise SimulationError(f"{event_type!r} is not a BusEvent type")
+        self._listeners.setdefault(event_type, []).append(handler)
+
+    def unsubscribe(self, event_type: Type[BusEvent],
+                    handler: Callable) -> None:
+        handlers = self._listeners.get(event_type, [])
+        if handler in handlers:
+            handlers.remove(handler)
+
+    def listeners(self, event_type: Type[BusEvent]) -> int:
+        return len(self._listeners.get(event_type, []))
+
+    def post(self, event: BusEvent) -> None:
+        """Queue ``event`` for dispatch (non-blocking)."""
+        if self._queue.closed:
+            return
+        self.stats["posted"] += 1
+        self._queue.put(event, priority=event.priority)
+
+    def start(self, node) -> None:
+        """Start the dispatcher as a process hosted on ``node``."""
+        if self._dispatcher is not None and self._dispatcher.is_alive:
+            raise SimulationError(f"bus {self.name!r} already started")
+        self._dispatcher = node.spawn(self._dispatch(),
+                                      name=f"bus:{self.name}")
+
+    def stop(self) -> None:
+        if self._dispatcher is not None and self._dispatcher.is_alive:
+            self._dispatcher.interrupt("bus-stop")
+
+    def _dispatch(self):
+        try:
+            while True:
+                event = yield self._queue.get()
+                handlers = self._listeners.get(type(event), [])
+                if not handlers:
+                    self.stats["dropped"] += 1
+                    continue
+                for handler in list(handlers):
+                    yield self.engine.timeout(BUS_DISPATCH)
+                    self.stats["dispatched"] += 1
+                    result = handler(event)
+                    if result is not None and hasattr(result, "__next__"):
+                        yield from result
+        except Interrupt:
+            return
+
+    def __repr__(self) -> str:
+        return f"<ObjectBus {self.name!r} {self.stats}>"

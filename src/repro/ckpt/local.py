@@ -1,0 +1,97 @@
+"""Local (single-process) checkpointers.
+
+Two levels, as in the paper:
+
+* **native** — dump the process image: the Starfish run-time inside the
+  application process (632 KB — the daemon's state is *never* saved, which
+  is why this constant is small, §5) plus the application heap laid out by
+  :func:`repro.hetero.native_heap_nbytes`.  Fast path on homogeneous
+  clusters; a native image only restores on an identical representation.
+* **vm** — serialize through the portable VM encoding of
+  :mod:`repro.hetero`: no VM image, compact payload (260 KB empty, 96 MB vs
+  135 MB for the paper's large application), restorable on any Table 2
+  machine with conversion charged at restore time.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Tuple
+
+from repro.calibration import (HETERO_CONVERT_BANDWIDTH,
+                               NATIVE_DISK_BANDWIDTH, NATIVE_EMPTY_IMAGE,
+                               VM_DUMP_BANDWIDTH, VM_EMPTY_IMAGE)
+from repro.cluster.arch import Architecture, arch_by_name
+from repro.errors import CheckpointError
+from repro.hetero import decode, encode, native_heap_nbytes
+
+
+class LocalCheckpointer:
+    """Interface: turn program state into a stored image and back."""
+
+    level: str
+    write_bandwidth: float
+
+    def capture(self, state: Any, arch: Architecture) -> Tuple[Any, int]:
+        """Returns ``(image, nbytes)`` — the stored form and its size."""
+        raise NotImplementedError
+
+    def restore(self, image: Any, nbytes: int,
+                target: Architecture) -> Tuple[Any, float]:
+        """Returns ``(state, extra_seconds)`` — extra time is the
+        representation-conversion cost (zero when none is needed)."""
+        raise NotImplementedError
+
+
+class NativeCheckpointer(LocalCheckpointer):
+    """Process-level core dump (homogeneous, Figure 3)."""
+
+    level = "native"
+    write_bandwidth = NATIVE_DISK_BANDWIDTH
+
+    def capture(self, state: Any, arch: Architecture) -> Tuple[Any, int]:
+        nbytes = NATIVE_EMPTY_IMAGE + native_heap_nbytes(state, arch)
+        image = ("native-image", arch.name, copy.deepcopy(state))
+        return image, nbytes
+
+    def restore(self, image: Any, nbytes: int,
+                target: Architecture) -> Tuple[Any, float]:
+        kind, arch_name, state = image
+        if kind != "native-image":
+            raise CheckpointError(f"not a native image: {kind!r}")
+        source = arch_by_name(arch_name)
+        if not source.same_representation(target):
+            raise CheckpointError(
+                f"native checkpoint from {source} cannot restore on "
+                f"{target}: use VM-level (heterogeneous) checkpointing")
+        return copy.deepcopy(state), 0.0
+
+
+class VmCheckpointer(LocalCheckpointer):
+    """Virtual-machine-level portable checkpoint (heterogeneous, Fig. 4)."""
+
+    level = "vm"
+    write_bandwidth = VM_DUMP_BANDWIDTH
+
+    def capture(self, state: Any, arch: Architecture) -> Tuple[Any, int]:
+        blob = encode(state, arch)
+        return blob, VM_EMPTY_IMAGE + len(blob)
+
+    def restore(self, image: Any, nbytes: int,
+                target: Architecture) -> Tuple[Any, float]:
+        decoded = decode(image, target)
+        extra = 0.0
+        if decoded.converted:
+            # Representation conversion touches the whole payload.
+            extra = len(image) / HETERO_CONVERT_BANDWIDTH
+        return decoded.value, extra
+
+
+def make_checkpointer(level: str) -> LocalCheckpointer:
+    """Factory: ``"native"`` or ``"vm"``."""
+    if level == "native":
+        return NativeCheckpointer()
+    if level == "vm":
+        return VmCheckpointer()
+    raise CheckpointError(f"unknown checkpoint level {level!r}; "
+                          "expected 'native' or 'vm'")

@@ -1,0 +1,44 @@
+"""Distributed checkpoint protocols.
+
+All three protocols implement :class:`~repro.ckpt.protocols.base.CrProtocol`
+against the narrow :class:`~repro.ckpt.protocols.base.CrContext` interface,
+which the Starfish runtime (and the test harness) provide — this is what
+the paper means by the architecture making it possible to "implement
+several different distributed C/R protocols, both coordinated and
+uncoordinated, and to run them side by side".
+"""
+
+from repro.ckpt.protocols.base import CrContext, CrProtocol
+from repro.ckpt.protocols.stop_and_sync import StopAndSyncProtocol
+from repro.ckpt.protocols.chandy_lamport import ChandyLamportProtocol
+from repro.ckpt.protocols.uncoordinated import UncoordinatedProtocol
+from repro.ckpt.protocols.diskless import DisklessProtocol
+
+PROTOCOLS = {
+    "stop-and-sync": StopAndSyncProtocol,
+    "chandy-lamport": ChandyLamportProtocol,
+    "uncoordinated": UncoordinatedProtocol,
+    "diskless": DisklessProtocol,
+}
+
+
+def make_protocol(name: str, **kwargs) -> CrProtocol:
+    """Factory: ``stop-and-sync`` | ``chandy-lamport`` | ``uncoordinated``
+    | ``diskless``."""
+    from repro.errors import CheckpointError
+    cls = PROTOCOLS.get(name)
+    if cls is None:
+        raise CheckpointError(f"unknown C/R protocol {name!r}")
+    return cls(**kwargs)
+
+
+__all__ = [
+    "ChandyLamportProtocol",
+    "CrContext",
+    "CrProtocol",
+    "DisklessProtocol",
+    "PROTOCOLS",
+    "StopAndSyncProtocol",
+    "UncoordinatedProtocol",
+    "make_protocol",
+]

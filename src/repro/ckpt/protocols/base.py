@@ -1,0 +1,151 @@
+"""Protocol/runtime interface.
+
+A :class:`CrProtocol` instance lives inside *each* application process (one
+per rank) as the process's checkpoint/restart module.  It talks to its
+peers exclusively through :meth:`CrContext.cast` — checkpoint/restart
+messages ride the application's lightweight group through the daemons
+(Table 1) — and through MPI control tags for in-band channel markers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from repro.errors import CheckpointError, Interrupt
+from repro.sim.channel import Channel
+from repro.sim.events import Event
+
+
+class CrContext:
+    """What the runtime provides to a checkpoint protocol.
+
+    Subclassed by the Starfish runtime (:mod:`repro.core.runtime`) and by
+    the unit-test harness.  All methods that take simulated time are
+    process generators.
+    """
+
+    engine: Any
+    app_id: str
+    rank: int
+    node: Any            # repro.cluster.Node
+    arch: Any            # Architecture
+    endpoint: Any        # MpiEndpoint
+    checkpointer: Any    # LocalCheckpointer
+    store: Any           # CheckpointStore
+
+    def peers(self) -> List[int]:
+        """World ranks of all live processes of the app (incl. self)."""
+        raise NotImplementedError
+
+    def cast(self, payload: Any) -> None:
+        """Totally-ordered C/R multicast to every rank's module (incl. us),
+        relayed through the daemons' lightweight group."""
+        raise NotImplementedError
+
+    def pause(self, target_step: Optional[int] = None):
+        """Process generator: returns once the application is stopped at a
+        safe point (no sends can happen until :meth:`resume`).
+
+        ``target_step``: for coordinated protocols, the common step
+        boundary every rank must reach before it counts as paused, so the
+        checkpointed states are mutually consistent under step-replay
+        recovery (see :mod:`repro.core.program`)."""
+        raise NotImplementedError
+
+    def resume(self) -> None:
+        raise NotImplementedError
+
+    def snapshot_state(self) -> Any:
+        """Serializable application + program-runtime state."""
+        raise NotImplementedError
+
+    def current_step(self) -> int:
+        """The application's completed-step counter (0 if not tracked)."""
+        return 0
+
+    def runtime_meta(self) -> dict:
+        """Extra runtime state to store alongside the MPI state."""
+        return {"steps_completed": self.current_step()}
+
+    def notify_committed(self, version: int) -> None:
+        """Upcall: a new recovery line exists (default: ignore)."""
+
+
+class CrProtocol:
+    """Base: inbox plumbing, lifecycle, and completion events."""
+
+    name = "abstract"
+
+    def __init__(self):
+        self.ctx: Optional[CrContext] = None
+        self.inbox: Optional[Channel] = None
+        self._proc = None
+        self._waiters: List[Tuple[int, Event]] = []
+        self.last_committed: Optional[int] = None
+        self.stats = {"checkpoints": 0, "bytes": 0, "commits": 0}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self, ctx: CrContext) -> None:
+        self.ctx = ctx
+        self.inbox = Channel(ctx.engine, name=f"cr:{ctx.app_id}:{ctx.rank}")
+        self._proc = ctx.node.spawn(self._main(),
+                                    name=f"cr-{self.name}:{ctx.rank}")
+
+    def stop(self) -> None:
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("cr-stop")
+
+    def deliver(self, payload: Any, source_rank: int) -> None:
+        """Runtime feeds incoming C/R messages here (total order)."""
+        if self.inbox is not None and not self.inbox.closed:
+            self.inbox.put((payload, source_rank))
+
+    # -- main loop ------------------------------------------------------------
+
+    def _main(self):
+        try:
+            while True:
+                payload, source = yield self.inbox.get()
+                handler = getattr(self, "on_" + payload[0].replace("-", "_"),
+                                  None)
+                if handler is None:
+                    continue
+                result = handler(payload, source)
+                if result is not None and hasattr(result, "__next__"):
+                    yield from result
+        except Interrupt:
+            return
+        except Exception:
+            # Node crash closes the inbox mid-get; the module dies with it.
+            return
+
+    # -- user-facing ------------------------------------------------------------
+
+    def request_checkpoint(self) -> Event:
+        """Initiate a checkpoint; the event fires with the committed
+        version number."""
+        raise NotImplementedError
+
+    def _completion_event(self, version: int) -> Event:
+        ev = Event(self.ctx.engine, name=f"ckpt-commit:{version}")
+        self._waiters.append((version, ev))
+        return ev
+
+    def _committed(self, version: int) -> None:
+        self.last_committed = version
+        self.stats["commits"] += 1
+        self.ctx.notify_committed(version)
+        for v, ev in self._waiters[:]:
+            if v <= version and not ev.triggered:
+                ev.succeed(version)
+                self._waiters.remove((v, ev))
+
+
+def merge_counters(maps: dict) -> dict:
+    """Union of per-rank ``{dest: count}`` maps → ``{(src, dst): count}``."""
+    out = {}
+    for src, counts in maps.items():
+        for dst, n in counts.items():
+            out[(src, dst)] = n
+    return out

@@ -1,0 +1,188 @@
+"""Chandy–Lamport coordinated (non-blocking) snapshot protocol.
+
+The contrast to stop-and-sync: processes are paused only for the instant of
+the local state capture; the application keeps computing while in-channel
+messages are *recorded* and while the image is written to disk.  Channel
+state (messages in flight at snapshot time) is captured by FIFO **markers**
+sent in-band on every data channel:
+
+1. ``cl-begin v`` (lightweight group, total order) — every rank treats it
+   as the initiator's marker: capture local state, send a marker down every
+   outgoing channel, start recording every incoming channel.  As in the
+   original algorithm, a *marker* arriving before the begin notice also
+   triggers the snapshot (markers ride the Myrinet fast path and can beat
+   the daemons' Ethernet broadcast).
+2. a data message arriving on channel *c* before *c*'s marker belongs to
+   the snapshot: record it.
+3. marker on channel *c* → stop recording *c*.  All markers in → write the
+   record (state + recorded channel messages), cast ``cl-done``.
+4. lowest rank collects ``cl-done`` from everyone, pays the commit barrier,
+   casts ``cl-commit``.
+
+Markers travel as MPI control messages (``CKPT_TAG_BASE - 1``) so they are
+FIFO-ordered with data on the same channel — exactly the property the
+algorithm requires.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.ckpt.protocols.base import CrProtocol
+from repro.ckpt.protocols.stop_and_sync import commit_barrier_cost
+from repro.ckpt.storage import CheckpointRecord
+from repro.mpi.constants import CKPT_TAG_BASE
+from repro.sim.events import Event
+
+MARKER_TAG = CKPT_TAG_BASE - 1
+
+
+class ChandyLamportProtocol(CrProtocol):
+    """One rank's Chandy–Lamport module."""
+
+    name = "chandy-lamport"
+
+    def __init__(self):
+        super().__init__()
+        self._version = 0            # highest snapshot version seen/taken
+        self._active: Optional[int] = None
+        self._recording: Set[int] = set()
+        self._recorded: List[tuple] = []
+        self._early_markers: Set[int] = set()
+        self._done: set = set()
+        self._pending_state = None
+
+    def start(self, ctx) -> None:
+        super().start(ctx)
+        # Continue the (app-wide) version sequence after a restart.
+        self._version = max(self._version, ctx.store.max_version(ctx.app_id))
+        prev_hook = ctx.endpoint.control_hook
+        ctx.endpoint.control_hook = self._make_hook(prev_hook)
+
+    def _make_hook(self, prev):
+        def hook(msg, src_world):
+            if msg.tag == MARKER_TAG:
+                tag, version, target = msg.data
+                if tag == "cl-marker":
+                    self.deliver(("cl-marker-in", version, src_world,
+                                  target), src_world)
+                return None
+            if prev is not None:
+                return prev(msg, src_world)
+            return None
+        return hook
+
+    def request_checkpoint(self) -> Event:
+        version = self._version + 1
+        ev = self._completion_event(version)
+        self.ctx.cast(("cl-begin", version, self.ctx.current_step() + 1))
+        return ev
+
+    # ------------------------------------------------------------------
+    # snapshot initiation (from begin notice OR from an early marker)
+    # ------------------------------------------------------------------
+
+    def _take_snapshot(self, version: int, target: Optional[int] = None):
+        self._version = version
+        self._active = version
+        self._done = set()
+        self._recorded = []
+        ctx = self.ctx
+        peers = [r for r in ctx.peers() if r != ctx.rank]
+
+        # Momentary pause: capture local state at the common step boundary.
+        yield from ctx.pause(target)
+        self._pending_state = (ctx.snapshot_state(),
+                               {**ctx.endpoint.export_state(),
+                                **ctx.runtime_meta()})
+        # Channels whose marker raced ahead of the begin notice are empty.
+        self._recording = set(peers) - self._early_markers
+        self._early_markers = set()
+        ctx.endpoint.data_tap = self._tap
+        # Send markers down every outgoing channel (before any new data).
+        for peer in peers:
+            yield from ctx.endpoint.send(
+                peer, f"cr:{ctx.app_id}", ctx.rank, MARKER_TAG,
+                ("cl-marker", version, target), nbytes=16)
+        ctx.resume()                      # app continues immediately
+        if not self._recording:
+            yield from self._finish(version)
+
+    # ------------------------------------------------------------------
+    # handlers
+    # ------------------------------------------------------------------
+
+    def on_cl_begin(self, payload, source):
+        version = payload[1]
+        target = payload[2] if len(payload) > 2 else None
+        if version <= self._version:
+            return None  # already taken (possibly marker-initiated)
+        return self._take_snapshot(version, target)
+
+    def on_cl_marker_in(self, payload, source):
+        _, version, src_world, target = payload
+        if version < self._version or (version == self._version
+                                       and self._active is None):
+            return None               # stale marker for a finished snapshot
+        if version > self._version:
+            # Marker beat the begin notice: it initiates our snapshot and
+            # its own channel is recorded as empty.
+            self._early_markers = {src_world}
+            return self._take_snapshot(version, target)
+        return self._marker_closes(version, src_world)
+
+    def _marker_closes(self, version: int, src_world: int):
+        if self._active is None or self._pending_state is None:
+            # Snapshot still being initiated (we are inside _take_snapshot):
+            # remember the marker so the channel starts closed.
+            self._early_markers.add(src_world)
+            return
+        self._recording.discard(src_world)
+        if not self._recording:
+            yield from self._finish(version)
+
+    def _tap(self, src_world: int, inbound, _pb) -> None:
+        if self._active is not None and src_world in self._recording:
+            self._recorded.append((src_world, inbound.comm_id,
+                                   inbound.source, inbound.tag, inbound.data,
+                                   inbound.nbytes))
+
+    def _finish(self, version: int):
+        ctx = self.ctx
+        ctx.endpoint.data_tap = None
+        state, mpi_state = self._pending_state
+        self._pending_state = None
+        image, nbytes = ctx.checkpointer.capture(state, ctx.arch)
+        record = CheckpointRecord(
+            app_id=ctx.app_id, rank=ctx.rank, version=version,
+            level=ctx.checkpointer.level, nbytes=nbytes, image=image,
+            arch_name=ctx.arch.name, taken_at=ctx.engine.now,
+            mpi_state=mpi_state, channel_msgs=list(self._recorded))
+        yield from ctx.store.write(ctx.node, record,
+                                   bandwidth=ctx.checkpointer.write_bandwidth)
+        self.stats["checkpoints"] += 1
+        self.stats["bytes"] += nbytes
+        ctx.cast(("cl-done", version, ctx.rank))
+
+    def on_cl_done(self, payload, source):
+        _, version, rank = payload
+        if version != self._active:
+            return
+        self._done.add(rank)
+        peers = self.ctx.peers()
+        if len(self._done) < len(peers):
+            return
+        if self.ctx.rank == min(peers):
+            yield self.ctx.engine.timeout(
+                commit_barrier_cost(self.ctx.checkpointer.level, len(peers)))
+            self.ctx.store.commit(self.ctx.app_id, version)
+            self.ctx.store.gc_committed(self.ctx.app_id, keep=2)
+            self.ctx.cast(("cl-commit", version))
+
+    def on_cl_commit(self, payload, source):
+        _, version = payload
+        if version != self._active:
+            return None
+        self._active = None
+        self._committed(version)
+        return None

@@ -1,0 +1,151 @@
+"""Diskless checkpointing over the fast network — the paper's future work.
+
+§7: "developing newer and faster C/R protocols, in particular ones that
+utilize fast networks, is a natural research direction."  This protocol is
+that direction, after Plank's diskless checkpointing: the stop-and-sync
+structure is kept (stop, drain, dump, commit), but the *dump* streams the
+checkpoint image over BIP/Myrinet into a **buddy node's memory** instead
+of through the ~6.5 MB/s IDE disk — turning checkpoint latency from
+disk-bound into network-bound.
+
+Placement rotates with the version (buddy of rank *i* at version *v* is
+rank ``(i + 1 + (v-1) mod (n-1))`` among the live peers), so consecutive
+recovery lines never share holders: a single node crash wipes at most one
+rank's copy of each version, and since the crash also always leaves the
+*previous* line intact on different holders, single failures remain
+recoverable (the restart coordinator uses
+:meth:`~repro.ckpt.storage.CheckpointStore.latest_restorable`).
+
+Trade-offs measured in ``benchmarks/bench_ablation_diskless.py``:
+checkpoints are ~5x faster, restores skip the disk read, but a crash can
+invalidate the newest line (extra rollback distance) and memory holds the
+images instead of stable storage.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ckpt.protocols.stop_and_sync import (DRAIN_POLL,
+                                                StopAndSyncProtocol)
+from repro.ckpt.storage import CheckpointRecord
+from repro.mpi.constants import CKPT_TAG_BASE
+
+#: In-band tag for checkpoint-image transfers and their acks.
+DL_TAG = CKPT_TAG_BASE - 2
+
+
+class DisklessProtocol(StopAndSyncProtocol):
+    """Stop-and-sync with fast-network buddy storage instead of disks."""
+
+    name = "diskless"
+
+    def __init__(self):
+        super().__init__()
+        self._acks_pending = 0
+
+    def start(self, ctx) -> None:
+        super().start(ctx)
+        prev_hook = ctx.endpoint.control_hook
+        ctx.endpoint.control_hook = self._make_hook(prev_hook)
+
+    def _make_hook(self, prev):
+        def hook(msg, src_world):
+            if msg.tag == DL_TAG:
+                self.deliver(msg.data, src_world)
+                return None
+            if prev is not None:
+                return prev(msg, src_world)
+            return None
+        return hook
+
+    def _buddies(self, version: int):
+        """Up to two distinct mirror targets, rotating with the version.
+
+        Double mirroring is the redundancy that makes diskless lines
+        survive a single node crash (Plank-style diskless checkpointing
+        uses parity; mirroring is the simple variant).
+        """
+        peers = sorted(self.ctx.peers())
+        if len(peers) < 2:
+            return []
+        idx = peers.index(self.ctx.rank)
+        stride = 1 + (version - 1) % (len(peers) - 1)
+        first = peers[(idx + stride) % len(peers)]
+        out = [first]
+        if len(peers) > 2:
+            second = peers[(idx + stride + 1) % len(peers)]
+            if second == self.ctx.rank:
+                second = peers[(idx + stride + 2) % len(peers)]
+            if second != first:
+                out.append(second)
+        return out
+
+    # ------------------------------------------------------------------
+    # the dump phase: stream to the buddy instead of writing locally
+    # ------------------------------------------------------------------
+
+    def _drain_and_dump(self, version: int):
+        ctx = self.ctx
+        me = ctx.rank
+        expected = {r: counts.get(me, 0) for r, counts in
+                    self._counts.items() if r != me}
+        while any(ctx.endpoint.recv_count.get(r, 0) < n
+                  for r, n in expected.items()):
+            yield ctx.engine.timeout(DRAIN_POLL)
+
+        state = ctx.snapshot_state()
+        image, nbytes = ctx.checkpointer.capture(state, ctx.arch)
+        record = CheckpointRecord(
+            app_id=ctx.app_id, rank=me, version=version,
+            level=ctx.checkpointer.level, nbytes=nbytes, image=image,
+            arch_name=ctx.arch.name, taken_at=ctx.engine.now,
+            mpi_state={**ctx.endpoint.export_state(),
+                       **ctx.runtime_meta()})
+        buddies = self._buddies(version)
+        if not buddies:
+            # Singleton application: nowhere to mirror; keep it in our own
+            # memory (it dies with us — an honest diskless limitation).
+            ctx.store.write_memory(record, holder_node=ctx.node.node_id)
+            self._after_dump(version, nbytes)
+            return
+        # Stream the image to each mirror over the fast network.  The wire
+        # cost comes from the message size = the checkpoint size.
+        self._acks_pending = len(buddies)
+        for buddy in buddies:
+            yield from ctx.endpoint.send(
+                buddy, f"cr:{ctx.app_id}", me, DL_TAG,
+                ("dl-store", version, me, record), nbytes=nbytes)
+
+    def _after_dump(self, version: int, nbytes: int) -> None:
+        self.stats["checkpoints"] += 1
+        self.stats["bytes"] += nbytes
+        self.ctx.cast(("ss-done", version, self.ctx.rank))
+
+    # ------------------------------------------------------------------
+    # buddy-side storage + ack
+    # ------------------------------------------------------------------
+
+    def on_dl_store(self, payload, source):
+        _, version, owner, record = payload
+        self.ctx.store.write_memory(record,
+                                    holder_node=self.ctx.node.node_id)
+        yield from self.ctx.endpoint.send(
+            owner, f"cr:{self.ctx.app_id}", self.ctx.rank, DL_TAG,
+            ("dl-ack", version), nbytes=16)
+
+    def on_dl_ack(self, payload, source):
+        _, version = payload
+        if version != self._active:
+            return None
+        self._acks_pending -= 1
+        if self._acks_pending > 0:
+            return None
+        rec = self.ctx.store.peek(self.ctx.app_id, self.ctx.rank, version)
+        self._after_dump(version, rec.nbytes)
+        return None
+
+    def _commit_barrier(self, nodes: int) -> float:
+        # No stable-storage sync: committing a diskless line is just the
+        # (already simulated) message rounds.
+        return 0.0

@@ -1,0 +1,154 @@
+"""Uncoordinated (independent) checkpointing with dependency tracking.
+
+Each rank checkpoints on its own schedule — no synchronization, no drain,
+no commit barrier; the price is paid at *recovery* time, when a consistent
+recovery line must be computed on the rollback-dependency graph and
+surviving processes may be rolled back too (up to the domino effect).
+
+Mechanics:
+
+* every outgoing data message piggybacks ``(rank, interval)`` — the
+  sender's current checkpoint interval;
+* every incoming data message records the dependency *(sender, its
+  interval) → (me, my interval)*;
+* a local checkpoint stores program + MPI state plus the rank's dependency
+  log so the graph can be rebuilt from stable storage alone;
+* optionally (``logging=True``) received messages are also written to a
+  receiver-side message log (charged to the disk), the ingredient that
+  lets "some versions of uncoordinated checkpointing" restart *only* the
+  failed process (paper §3.2.2) — the log turns would-be orphan messages
+  into replayable ones.
+
+Recovery-line computation lives in :mod:`repro.ckpt.recovery_line`; the
+runtime collects the per-checkpoint dependency logs and calls it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from repro.ckpt.protocols.base import CrProtocol
+from repro.ckpt.storage import CheckpointRecord
+from repro.errors import Interrupt
+from repro.sim.events import Event
+
+#: Modelled per-message log-write latency is the disk's op cost + size/bw;
+#: logging batches this many messages per forced write.
+LOG_BATCH = 8
+
+
+class UncoordinatedProtocol(CrProtocol):
+    """One rank's independent checkpointing module."""
+
+    name = "uncoordinated"
+
+    def __init__(self, interval: Optional[float] = None,
+                 logging: bool = False, jitter: float = 0.25):
+        """``interval``: checkpoint period in simulated seconds (``None``
+        = only on explicit request); ``jitter``: fraction of the interval
+        used to de-synchronize ranks (rank-dependent, deterministic)."""
+        super().__init__()
+        self.interval = interval
+        self.logging = logging
+        self.jitter = jitter
+        self._ckpt_index = 0                      # == current interval
+        self._deps: List[Tuple[int, int, int]] = []   # (sender, s_iv, my_iv)
+        self._msg_log: List[tuple] = []
+        self._unflushed = 0
+        self._ticker = None
+
+    # -- wiring ---------------------------------------------------------------
+
+    def start(self, ctx) -> None:
+        super().start(ctx)
+        existing = ctx.store.versions_of(ctx.app_id, ctx.rank)
+        if existing:       # continue interval numbering after a restart
+            self._ckpt_index = max(existing) + 1
+        ctx.endpoint.piggyback_provider = \
+            lambda: (ctx.rank, self._ckpt_index)
+        prev_tap = ctx.endpoint.data_tap
+        ctx.endpoint.data_tap = self._make_tap(prev_tap)
+        if self.interval is not None:
+            self._ticker = ctx.node.spawn(
+                self._periodic(), name=f"cr-uncoord-tick:{ctx.rank}")
+
+    def _make_tap(self, prev):
+        def tap(src_world: int, inbound, pb) -> None:
+            if pb is not None:
+                sender, s_interval = pb
+                self._deps.append((sender, s_interval, self._ckpt_index))
+            if self.logging:
+                self._msg_log.append((src_world, inbound.comm_id,
+                                      inbound.source, inbound.tag,
+                                      inbound.data, inbound.nbytes))
+                self._unflushed += 1
+            if prev is not None:
+                prev(src_world, inbound, pb)
+        return tap
+
+    def _periodic(self):
+        offset = self.interval * self.jitter * self.ctx.rank \
+            / max(1, len(self.ctx.peers()))
+        try:
+            yield self.ctx.engine.timeout(offset)
+            while True:
+                yield self.ctx.engine.timeout(self.interval)
+                self.inbox.put((("uc-take",), self.ctx.rank))
+        except Interrupt:
+            return
+        except Exception:
+            return
+
+    # -- user request ----------------------------------------------------------
+
+    def request_checkpoint(self) -> Event:
+        """Take a *local* checkpoint now (no coordination with peers)."""
+        ev = self._completion_event(self._ckpt_index + 1)
+        self.inbox.put((("uc-take",), self.ctx.rank))
+        return ev
+
+    # -- handlers ----------------------------------------------------------------
+
+    def on_uc_take(self, payload, source):
+        ctx = self.ctx
+        yield from ctx.pause()
+        state = ctx.snapshot_state()
+        mpi_state = ctx.endpoint.export_state()
+        deps = list(self._deps)
+        log = list(self._msg_log) if self.logging else []
+        index = self._ckpt_index          # this checkpoint's version
+        self._ckpt_index += 1             # new interval begins
+        ctx.resume()                      # independent: nobody waits for us
+
+        image, nbytes = ctx.checkpointer.capture(state, ctx.arch)
+        if self.logging and self._unflushed:
+            # Flush the pending message-log tail with the checkpoint.
+            log_bytes = sum(m[5] for m in log[-self._unflushed:])
+            yield from ctx.node.disk.write(log_bytes)
+            self._unflushed = 0
+        record = CheckpointRecord(
+            app_id=ctx.app_id, rank=ctx.rank, version=index,
+            level=ctx.checkpointer.level, nbytes=nbytes, image=image,
+            arch_name=ctx.arch.name, taken_at=ctx.engine.now,
+            mpi_state={**mpi_state, **ctx.runtime_meta()},
+            deps=list(deps), msg_log=log)
+        yield from ctx.store.write(ctx.node, record,
+                                   bandwidth=ctx.checkpointer.write_bandwidth)
+        self.stats["checkpoints"] += 1
+        self.stats["bytes"] += nbytes
+        self._committed(index + 1)
+
+    # -- recovery-side helpers ---------------------------------------------------
+
+    @property
+    def interval_index(self) -> int:
+        return self._ckpt_index
+
+    def live_deps(self) -> List[Tuple[int, int, int]]:
+        """Dependencies recorded so far (incl. the current interval)."""
+        return list(self._deps)
+
+    def stop(self) -> None:
+        if self._ticker is not None and self._ticker.is_alive:
+            self._ticker.interrupt("cr-stop")
+        super().stop()

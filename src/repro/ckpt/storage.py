@@ -1,0 +1,227 @@
+"""Checkpoint stable storage.
+
+Each application process dumps through *its own node's* disk (the paper's
+measurements are of local IDE disks), and records are registered in a
+cluster-wide repository reachable after the writer's node dies — the
+standard stable-storage assumption of rollback-recovery (a restarting
+process reads the image back at the reader's disk speed).
+
+Versioning:
+
+* coordinated protocols store one record per (rank, version) and *commit*
+  a version once every rank's record is stored — the committed version is
+  the recovery line;
+* the uncoordinated protocol stores per-rank indices plus each record's
+  dependency vector; recovery lines are computed on demand
+  (:mod:`repro.ckpt.recovery_line`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import CheckpointError, NoCheckpoint
+
+
+@dataclass
+class CheckpointRecord:
+    """One stored local checkpoint."""
+
+    app_id: str
+    rank: int
+    version: int                 # coordinated: global; uncoordinated: per-rank
+    level: str                   # "native" | "vm"
+    nbytes: int
+    image: Any                   # checkpointer-specific stored form
+    arch_name: str
+    taken_at: float
+    #: MPI runtime state (channel counters, unexpected queue image).
+    mpi_state: dict = field(default_factory=dict)
+    #: Uncoordinated: the rank's dependency log up to this checkpoint —
+    #: ``(sender, sender_interval, my_interval)`` per received message.
+    deps: List[Tuple[int, int, int]] = field(default_factory=list)
+    #: Chandy–Lamport: in-channel messages recorded with this snapshot.
+    channel_msgs: List[Tuple] = field(default_factory=list)
+    #: Message log (logging-enabled uncoordinated protocol).
+    msg_log: List[Tuple] = field(default_factory=list)
+    #: Diskless checkpointing: the record lives in buddy nodes' MEMORY
+    #: (fast to write and read, but a copy dies with its holder; the
+    #: record is lost once every holder has crashed).
+    in_memory: bool = False
+    holder_nodes: List[str] = field(default_factory=list)
+
+    @property
+    def holder_node(self) -> Optional[str]:
+        """First surviving holder (None for disk records)."""
+        return self.holder_nodes[0] if self.holder_nodes else None
+
+
+class CheckpointStore:
+    """Cluster-wide stable storage for checkpoint records."""
+
+    def __init__(self, engine):
+        self.engine = engine
+        # (app_id, rank, version) -> record
+        self._records: Dict[Tuple[str, int, int], CheckpointRecord] = {}
+        #: Committed coordinated versions per app (ascending).
+        self._committed: Dict[str, List[int]] = {}
+        self.stats = {"writes": 0, "reads": 0, "bytes_written": 0}
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+
+    def write(self, node, record: CheckpointRecord,
+              bandwidth: Optional[float] = None):
+        """Process generator: dump ``record`` through ``node``'s disk."""
+        yield from node.disk.write(record.nbytes, bandwidth=bandwidth)
+        self._records[(record.app_id, record.rank, record.version)] = record
+        self.stats["writes"] += 1
+        self.stats["bytes_written"] += record.nbytes
+
+    def write_memory(self, record: CheckpointRecord,
+                     holder_node: str) -> None:
+        """Register a diskless (in-memory) copy held on ``holder_node``.
+
+        A second copy of the same (app, rank, version) adds a holder —
+        diskless redundancy by mirroring.  No IO is charged here: the
+        sender paid the network transfer and a memory store is effectively
+        free at this granularity.
+        """
+        key = (record.app_id, record.rank, record.version)
+        existing = self._records.get(key)
+        if existing is not None and existing.in_memory \
+                and existing.taken_at == record.taken_at:
+            # A mirror copy of the same snapshot: one more holder.
+            if holder_node not in existing.holder_nodes:
+                existing.holder_nodes.append(holder_node)
+            return
+        record.in_memory = True
+        record.holder_nodes = [holder_node]
+        self._records[key] = record
+        self.stats["writes"] += 1
+        self.stats["bytes_written"] += record.nbytes
+
+    def drop_volatile(self, node_id: str) -> int:
+        """A node crashed: the in-memory copies it held are gone.
+
+        Returns the number of records that lost their LAST copy.
+        """
+        lost = 0
+        for key, rec in list(self._records.items()):
+            if rec.in_memory and node_id in rec.holder_nodes:
+                rec.holder_nodes.remove(node_id)
+                if not rec.holder_nodes:
+                    del self._records[key]
+                    lost += 1
+        return lost
+
+    def commit(self, app_id: str, version: int) -> None:
+        """Mark a coordinated version as a recovery line."""
+        self._committed.setdefault(app_id, []).append(version)
+
+    def gc_committed(self, app_id: str, keep: int = 1) -> int:
+        """Garbage-collect checkpoints superseded by committed lines.
+
+        Keeps the last ``keep`` committed versions (and anything newer,
+        e.g. in-flight uncommitted records); drops everything older.
+        Returns the number of records removed.  Only meaningful for
+        coordinated protocols — uncoordinated recovery lines may reach
+        arbitrarily far back, so their stores are never GCed here.
+        """
+        committed = self._committed.get(app_id)
+        if not committed or keep < 1:
+            return 0
+        if len(committed) <= keep:
+            return 0
+        floor = sorted(committed)[-keep]
+        victims = [k for k in self._records
+                   if k[0] == app_id and k[2] < floor]
+        for key in victims:
+            del self._records[key]
+        self._committed[app_id] = [v for v in committed if v >= floor]
+        return len(victims)
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+
+    def read(self, node, app_id: str, rank: int, version: int,
+             bandwidth: Optional[float] = None):
+        """Process generator: load a record at ``node``.
+
+        Disk records charge the reader's disk; in-memory (diskless)
+        records charge a fast-network fetch from the holder instead.
+        """
+        record = self.peek(app_id, rank, version)
+        if record.in_memory:
+            from repro.calibration import BIP_BANDWIDTH, US
+            yield self.engine.timeout(200 * US
+                                      + record.nbytes / BIP_BANDWIDTH)
+        else:
+            yield from node.disk.read(record.nbytes, bandwidth=bandwidth)
+        self.stats["reads"] += 1
+        return record
+
+    def peek(self, app_id: str, rank: int, version: int) -> CheckpointRecord:
+        """Metadata access without IO cost (no image restore)."""
+        record = self._records.get((app_id, rank, version))
+        if record is None:
+            raise NoCheckpoint(f"no checkpoint (app={app_id}, rank={rank}, "
+                               f"version={version})")
+        return record
+
+    def has(self, app_id: str, rank: int, version: int) -> bool:
+        return (app_id, rank, version) in self._records
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def committed_versions(self, app_id: str) -> List[int]:
+        return list(self._committed.get(app_id, []))
+
+    def latest_restorable(self, app_id: str, ranks) -> Optional[int]:
+        """Most recent committed version with every rank's record present.
+
+        For disk records this equals :meth:`latest_committed`; diskless
+        records can have been wiped by the crash itself (their holders'
+        memory), so recovery must fall back to an older intact line.
+        """
+        ranks = list(ranks)
+        for version in sorted(self._committed.get(app_id, []),
+                              reverse=True):
+            if all(self.has(app_id, r, version) for r in ranks):
+                return version
+        return None
+
+    def latest_committed(self, app_id: str) -> Optional[int]:
+        versions = self._committed.get(app_id)
+        return versions[-1] if versions else None
+
+    def versions_of(self, app_id: str, rank: int) -> List[int]:
+        """All stored versions for one rank, ascending."""
+        return sorted(v for (a, r, v) in self._records
+                      if a == app_id and r == rank)
+
+    def max_version(self, app_id: str) -> int:
+        """Highest version stored by ANY rank (0 if none) — restarted
+        coordinated protocols resume numbering above this."""
+        versions = [v for (a, _r, v) in self._records if a == app_id]
+        versions += self._committed.get(app_id, [])
+        return max(versions, default=0)
+
+    def records_of(self, app_id: str) -> List[CheckpointRecord]:
+        return [rec for (a, _r, _v), rec in sorted(self._records.items())
+                if a == app_id]
+
+    def drop_app(self, app_id: str) -> None:
+        """Garbage-collect all of an application's checkpoints."""
+        for key in [k for k in self._records if k[0] == app_id]:
+            del self._records[key]
+        self._committed.pop(app_id, None)
+
+    def __repr__(self) -> str:
+        return (f"<CheckpointStore {len(self._records)} records "
+                f"{self.stats}>")

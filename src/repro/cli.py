@@ -1,0 +1,108 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+A thin operational front end for trying the system without writing code:
+
+* ``demo`` — boot a cluster, run Monte-Carlo π, print the result;
+* ``status`` — boot a cluster with a workload and print the metrics report;
+* ``examples`` — list the bundled example scripts;
+* ``rtt [--transport ...]`` — quick Figure-5-style latency probe.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro._version import __version__
+
+
+def cmd_demo(args) -> int:
+    from repro.apps import MonteCarloPi
+    from repro.core import AppSpec, StarfishCluster
+    sf = StarfishCluster.build(nodes=args.nodes)
+    print(f"booted {args.nodes}-node Starfish cluster "
+          f"(group epoch {sf.any_daemon().gm.view.epoch})")
+    results = sf.run(AppSpec(program=MonteCarloPi, nprocs=args.nodes,
+                             params={"shots": args.shots}))
+    print(f"pi ~ {results[0]:.6f} after {args.shots} samples on "
+          f"{args.nodes} ranks (simulated t={sf.engine.now:.3f}s)")
+    return 0
+
+
+def cmd_status(args) -> int:
+    from repro.apps import ComputeSleep
+    from repro.core import (AppSpec, CheckpointConfig, ClusterMetrics,
+                            FaultPolicy, StarfishCluster)
+    sf = StarfishCluster.build(nodes=args.nodes)
+    sf.submit(AppSpec(program=ComputeSleep, nprocs=args.nodes,
+                      params={"steps": 100, "step_time": 0.05},
+                      ft_policy=FaultPolicy.RESTART,
+                      checkpoint=CheckpointConfig(protocol="stop-and-sync",
+                                                  level="vm", interval=1.0)))
+    sf.engine.run(until=sf.engine.now + args.seconds)
+    print(ClusterMetrics(sf).format_report())
+    return 0
+
+
+def cmd_rtt(args) -> int:
+    from repro.apps import PingPong
+    from repro.core import AppSpec, StarfishCluster
+    sf = StarfishCluster.build(nodes=2)
+    sizes = [1, 64, 1024, 16384, 65536]
+    results = sf.run(AppSpec(program=PingPong, nprocs=2,
+                             params={"sizes": sizes, "reps": args.reps},
+                             transport=args.transport), timeout=2000)
+    print(f"round-trip over {args.transport} ({args.reps} reps):")
+    for size in sizes:
+        print(f"  {size:>7} B  {results[0][size] * 1e6:10.1f} us")
+    return 0
+
+
+def cmd_examples(_args) -> int:
+    here = Path(__file__).resolve().parents[2] / "examples"
+    if not here.is_dir():
+        print("examples/ directory not found (installed without sources?)")
+        return 1
+    for script in sorted(here.glob("*.py")):
+        doc = script.read_text().split('"""')
+        headline = doc[1].strip().splitlines()[0] if len(doc) > 1 else ""
+        print(f"  {script.name:<34} {headline}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Starfish (HPDC 1999) reproduction — fault-tolerant "
+                    "dynamic MPI on a simulated cluster of workstations.")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run Monte-Carlo pi on a cluster")
+    demo.add_argument("--nodes", type=int, default=4)
+    demo.add_argument("--shots", type=int, default=200_000)
+    demo.set_defaults(fn=cmd_demo)
+
+    status = sub.add_parser("status", help="run a workload and print the "
+                                           "cluster metrics report")
+    status.add_argument("--nodes", type=int, default=4)
+    status.add_argument("--seconds", type=float, default=3.0)
+    status.set_defaults(fn=cmd_status)
+
+    rtt = sub.add_parser("rtt", help="quick Figure-5-style latency probe")
+    rtt.add_argument("--transport", default="bip-myrinet",
+                     choices=["bip-myrinet", "tcp-ethernet"])
+    rtt.add_argument("--reps", type=int, default=20)
+    rtt.set_defaults(fn=cmd_rtt)
+
+    examples = sub.add_parser("examples", help="list bundled examples")
+    examples.set_defaults(fn=cmd_examples)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

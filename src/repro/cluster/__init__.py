@@ -1,0 +1,28 @@
+"""Cluster of workstations model (system S2).
+
+A :class:`~repro.cluster.cluster.Cluster` is a set of
+:class:`~repro.cluster.node.Node` objects wired to two fabrics (Ethernet and
+Myrinet, as in the paper's testbed).  Each node has an architecture
+descriptor (Table 2 of the paper), an IDE-class disk used by the checkpoint
+storage model, and can crash, recover, be disabled, or be removed at
+runtime — the dynamics Starfish is built to absorb.
+"""
+
+from repro.cluster.arch import (Architecture, BIG_ENDIAN, LITTLE_ENDIAN,
+                                TABLE2_MACHINES, DEFAULT_ARCH, arch_by_name)
+from repro.cluster.disk import Disk
+from repro.cluster.node import Node, NodeState
+from repro.cluster.cluster import Cluster
+
+__all__ = [
+    "Architecture",
+    "BIG_ENDIAN",
+    "Cluster",
+    "DEFAULT_ARCH",
+    "Disk",
+    "LITTLE_ENDIAN",
+    "Node",
+    "NodeState",
+    "TABLE2_MACHINES",
+    "arch_by_name",
+]

@@ -1,0 +1,86 @@
+"""Machine architecture descriptors — Table 2 of the paper.
+
+Heterogeneous checkpointing must know, per machine, the byte order and the
+VM word length (the paper's OCaml VM uses one bit of every word as a tag, so
+unboxed integers are 31-bit on 32-bit machines and 63-bit on 64-bit ones).
+The six machines the paper tested are reproduced verbatim below and are the
+architectures the Table 2 benchmark sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+LITTLE_ENDIAN = "little"
+BIG_ENDIAN = "big"
+
+
+@dataclass(frozen=True)
+class Architecture:
+    """One machine type (a row of Table 2)."""
+
+    name: str           # e.g. "Intel P-II 350 MHz, i686"
+    os: str             # e.g. "RedHat 6.1 Linux"
+    endianness: str     # "little" | "big"
+    word_bits: int      # 32 | 64
+    #: Relative CPU speed (1.0 = the paper's 300 MHz P-II baseline); scales
+    #: per-message processing costs in sensitivity experiments.
+    cpu_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.endianness not in (LITTLE_ENDIAN, BIG_ENDIAN):
+            raise ValueError(f"bad endianness {self.endianness!r}")
+        if self.word_bits not in (32, 64):
+            raise ValueError(f"bad word length {self.word_bits!r}")
+
+    @property
+    def vm_int_bits(self) -> int:
+        """Width of an unboxed VM integer (one tag bit, like OCaml)."""
+        return self.word_bits - 1
+
+    @property
+    def word_bytes(self) -> int:
+        return self.word_bits // 8
+
+    def same_representation(self, other: "Architecture") -> bool:
+        """True if checkpoints need no conversion between the two machines."""
+        return (self.endianness == other.endianness
+                and self.word_bits == other.word_bits)
+
+    def __str__(self) -> str:
+        return (f"{self.name} / {self.os} "
+                f"({self.endianness}-endian, {self.word_bits}-bit)")
+
+
+#: The six machines of Table 2, in the paper's order.
+TABLE2_MACHINES: Tuple[Architecture, ...] = (
+    Architecture("Intel P-II 350 MHz, i686", "RedHat 6.1 Linux",
+                 LITTLE_ENDIAN, 32, cpu_factor=1.15),
+    Architecture("Sun Ultra Enterprise 3000", "SunOS 5.7",
+                 BIG_ENDIAN, 32, cpu_factor=1.0),
+    Architecture("RS/6000", "AIX 3.2",
+                 BIG_ENDIAN, 32, cpu_factor=0.8),
+    Architecture("Intel P-I, 160 MHz", "FreeBSD 3.2",
+                 LITTLE_ENDIAN, 32, cpu_factor=0.5),
+    Architecture("Intel P-II, 350 MHz", "Win NT",
+                 LITTLE_ENDIAN, 32, cpu_factor=1.15),
+    Architecture("Dual Alpha DS20 500 MHz", "RedHat 6.2 Linux",
+                 LITTLE_ENDIAN, 64, cpu_factor=1.6),
+)
+
+#: The performance-measurement machine of §5 (300 MHz Pentium II).
+DEFAULT_ARCH = Architecture("Intel P-II 300 MHz", "RedHat Linux",
+                            LITTLE_ENDIAN, 32, cpu_factor=1.0)
+
+_BY_NAME: Dict[str, Architecture] = {m.name: m for m in TABLE2_MACHINES}
+_BY_NAME[DEFAULT_ARCH.name] = DEFAULT_ARCH
+
+
+def arch_by_name(name: str) -> Architecture:
+    """Look up a Table 2 machine (or the default) by its exact name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown architecture {name!r}; known: "
+                       f"{sorted(_BY_NAME)}") from None

@@ -1,0 +1,128 @@
+"""The cluster: nodes + the two fabrics + fault-injection campaigns."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.cluster.arch import Architecture, DEFAULT_ARCH
+from repro.cluster.node import Node, NodeState
+from repro.errors import ClusterError
+from repro.net.fabric import BIP_MYRINET, Fabric, TCP_ETHERNET, TransportSpec
+from repro.sim.engine import Engine
+
+
+class Cluster:
+    """A cluster of workstations connected by Ethernet and Myrinet.
+
+    This is the hardware substrate only; the Starfish *system* on top of it
+    lives in :mod:`repro.core.starfish`.
+    """
+
+    def __init__(self, engine: Optional[Engine] = None, seed: int = 0,
+                 loss_prob: float = 0.0, trace: bool = False):
+        self.engine = engine or Engine(seed=seed, trace=trace)
+        self.ethernet = Fabric(self.engine, TCP_ETHERNET, loss_prob=loss_prob)
+        self.myrinet = Fabric(self.engine, BIP_MYRINET, loss_prob=loss_prob)
+        self.nodes: Dict[str, Node] = {}
+        #: Callbacks invoked with (node_id, event) on crash/recover/add/remove;
+        #: the Starfish daemons' failure detector confirms these through
+        #: heartbeats — the callbacks exist for tests and metrics.
+        self.watchers: List[Callable[[str, str], None]] = []
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def build(cls, nodes: int = 4, seed: int = 0,
+              archs: Optional[Sequence[Architecture]] = None,
+              loss_prob: float = 0.0, trace: bool = False) -> "Cluster":
+        """Convenience: a cluster of ``nodes`` homogeneous (or given) nodes."""
+        cluster = cls(seed=seed, loss_prob=loss_prob, trace=trace)
+        for i in range(nodes):
+            arch = archs[i % len(archs)] if archs else DEFAULT_ARCH
+            cluster.add_node(f"n{i}", arch=arch)
+        return cluster
+
+    def add_node(self, node_id: str,
+                 arch: Architecture = DEFAULT_ARCH) -> Node:
+        """Add a workstation and wire it to both fabrics."""
+        if node_id in self.nodes:
+            raise ClusterError(f"duplicate node id {node_id!r}")
+        node = Node(self.engine, node_id, arch=arch)
+        node.attach(self.ethernet)
+        node.attach(self.myrinet)
+        self.nodes[node_id] = node
+        self._notify(node_id, "add")
+        return node
+
+    def remove_node(self, node_id: str) -> None:
+        """Administratively remove a node (it is crashed first if up)."""
+        node = self.node(node_id)
+        if node.is_up or node.state is NodeState.DISABLED:
+            node.crash(cause="removed from cluster")
+        del self.nodes[node_id]
+        self._notify(node_id, "remove")
+
+    # -- access ---------------------------------------------------------------
+
+    def node(self, node_id: str) -> Node:
+        try:
+            return self.nodes[node_id]
+        except KeyError:
+            raise ClusterError(f"unknown node {node_id!r}") from None
+
+    def up_nodes(self) -> List[Node]:
+        return [n for n in self.nodes.values() if n.is_up]
+
+    def schedulable_nodes(self) -> List[Node]:
+        """Nodes eligible for new application processes."""
+        return [n for n in self.nodes.values() if n.state is NodeState.UP]
+
+    # -- fault injection ----------------------------------------------------------
+
+    def crash_node(self, node_id: str, cause: str = "fault-injection") -> None:
+        self.node(node_id).crash(cause=cause)
+        self._notify(node_id, "crash")
+
+    def recover_node(self, node_id: str) -> Node:
+        node = self.node(node_id)
+        node.recover()
+        node.attach(self.ethernet)
+        node.attach(self.myrinet)
+        self._notify(node_id, "recover")
+        return node
+
+    def crash_at(self, time: float, node_id: str,
+                 cause: str = "fault-injection") -> None:
+        """Schedule a crash at an absolute simulated time."""
+        ev = self.engine.timeout(time - self.engine.now)
+        ev.callbacks.append(lambda _e: self.crash_node(node_id, cause=cause))
+
+    def recover_at(self, time: float, node_id: str) -> None:
+        ev = self.engine.timeout(time - self.engine.now)
+        ev.callbacks.append(lambda _e: self.recover_node(node_id))
+
+    def partition_at(self, time: float, *groups: Iterable[str]) -> None:
+        """Schedule a partition of BOTH fabrics (a switch failure)."""
+        groups = tuple(tuple(g) for g in groups)
+        ev = self.engine.timeout(time - self.engine.now)
+
+        def _do(_e):
+            self.ethernet.partition(*groups)
+            self.myrinet.partition(*groups)
+        ev.callbacks.append(_do)
+
+    def heal_at(self, time: float) -> None:
+        ev = self.engine.timeout(time - self.engine.now)
+
+        def _do(_e):
+            self.ethernet.heal()
+            self.myrinet.heal()
+        ev.callbacks.append(_do)
+
+    def _notify(self, node_id: str, event: str) -> None:
+        for cb in self.watchers:
+            cb(node_id, event)
+
+    def __repr__(self) -> str:
+        up = sum(1 for n in self.nodes.values() if n.is_up)
+        return f"<Cluster {up}/{len(self.nodes)} nodes up t={self.engine.now:.6g}>"

@@ -1,0 +1,59 @@
+"""Application submission specs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Type
+
+from repro.core.policies import FaultPolicy
+from repro.errors import DaemonError
+
+
+@dataclass(frozen=True)
+class CheckpointConfig:
+    """How (and whether) an application is checkpointed.
+
+    ``protocol``: ``None`` (no C/R), ``"stop-and-sync"``,
+    ``"chandy-lamport"``, ``"uncoordinated"``, or ``"diskless"``
+    (fast-network buddy checkpointing — the paper's §7 future work).
+    ``level``: ``"native"`` (homogeneous process dump) or ``"vm"``
+    (portable, heterogeneous).
+    ``interval``: periodic checkpointing period in simulated seconds
+    (``None`` = only on explicit request).
+    ``logging``: receiver-side message logging (uncoordinated only).
+    """
+
+    protocol: Optional[str] = None
+    level: str = "vm"
+    interval: Optional[float] = None
+    logging: bool = False
+
+    def __post_init__(self):
+        if self.protocol not in (None, "stop-and-sync", "chandy-lamport",
+                                 "uncoordinated", "diskless"):
+            raise DaemonError(f"unknown C/R protocol {self.protocol!r}")
+        if self.level not in ("native", "vm"):
+            raise DaemonError(f"unknown checkpoint level {self.level!r}")
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """Everything a client supplies to run an application."""
+
+    program: Type                       # a StarfishProgram subclass
+    nprocs: int
+    params: Dict[str, Any] = field(default_factory=dict)
+    ft_policy: FaultPolicy = FaultPolicy.KILL
+    checkpoint: CheckpointConfig = field(default_factory=CheckpointConfig)
+    transport: str = "bip-myrinet"
+    polling: bool = True
+    owner: str = "local"
+    #: Optional explicit placement {rank: node_id}; default is the
+    #: daemons' least-loaded placement.
+    placement: Optional[Dict[int, str]] = None
+
+    def __post_init__(self):
+        if self.nprocs < 1:
+            raise DaemonError("nprocs must be >= 1")
+        if self.transport not in ("bip-myrinet", "tcp-ethernet"):
+            raise DaemonError(f"unknown transport {self.transport!r}")

@@ -1,0 +1,31 @@
+"""Fault-tolerance policies (paper §3.2.2).
+
+Chosen per application at submission time:
+
+* ``KILL`` — compatibility mode: any node failure kills the whole
+  application, "which mimics non fault tolerant systems".  This is also
+  the plain-MPI baseline of the comparison benchmarks.
+* ``VIEW_NOTIFY`` — surviving processes get a view-change upcall (their
+  lightweight group shrank); trivially parallel applications repartition
+  their compute space and keep running without interruption.
+* ``RESTART`` — Starfish restarts the application from its last recovery
+  line: the committed version for coordinated protocols, the computed
+  consistent cut for uncoordinated checkpointing, or from scratch if no
+  checkpoint exists.  Failed ranks are re-placed on surviving nodes.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class FaultPolicy(enum.Enum):
+    KILL = "kill"
+    VIEW_NOTIFY = "view-notify"
+    RESTART = "restart"
+
+    @classmethod
+    def of(cls, value) -> "FaultPolicy":
+        if isinstance(value, cls):
+            return value
+        return cls(value)

@@ -1,0 +1,183 @@
+"""The Starfish programming model.
+
+A :class:`StarfishProgram` is an MPI program structured for application-
+level checkpointing (the repo's substitution for process-image dumps, see
+DESIGN.md §2):
+
+* everything worth saving lives in ``self.state`` — a plain-data dict that
+  the VM-level encoder can serialize for any Table 2 machine;
+* execution is a sequence of *steps* driven by the runtime; step boundaries
+  are the *safe points* where checkpoints, suspension, and view-change
+  upcalls happen;
+* a step interrupted by a view change (a peer died mid-collective) is
+  **aborted and re-executed** on the new world, so programs should mutate
+  ``self.state`` only once the step's communication has succeeded
+  (at-least-once step semantics).
+
+Programs that override none of the optional hooks are conventional MPI
+programs; Starfish runs them unmodified — they just don't get the dynamic
+features (exactly the paper's API compatibility story).
+
+Example::
+
+    class MonteCarloPi(StarfishProgram):
+        def setup(self, ctx):
+            self.state.update(shots=ctx.params["shots"], done=0, hits=0)
+
+        def step(self, ctx):
+            n = min(1000, self.state["shots"] - self.state["done"])
+            hits = ...  # local computation
+            total = yield from ctx.mpi.allreduce(hits)
+            self.state["hits"] += total
+            self.state["done"] += n * ctx.mpi.size
+
+        def is_done(self, ctx):
+            return self.state["done"] >= self.state["shots"]
+
+        def finalize(self, ctx):
+            return 4.0 * self.state["hits"] / self.state["done"]
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+
+class ProgramContext:
+    """What every program hook receives."""
+
+    def __init__(self, runtime):
+        self._rt = runtime
+
+    @property
+    def mpi(self):
+        """The MPI facade (world communicator + Starfish extensions)."""
+        return self._rt.mpi
+
+    @property
+    def rank(self) -> int:
+        return self._rt.mpi.rank
+
+    @property
+    def size(self) -> int:
+        return self._rt.mpi.size
+
+    @property
+    def params(self) -> Dict[str, Any]:
+        """Submission parameters (read-only by convention)."""
+        return self._rt.record.params
+
+    @property
+    def now(self) -> float:
+        return self._rt.engine.now
+
+    @property
+    def node_id(self) -> str:
+        return self._rt.node.node_id
+
+    @property
+    def app_id(self) -> str:
+        return self._rt.record.app_id
+
+    @property
+    def restarted(self) -> bool:
+        """True if this process was restored from a checkpoint."""
+        return self._rt.was_restored
+
+    def sleep(self, seconds: float):
+        """Process generator: simulated computation / idle time."""
+        yield self._rt.engine.timeout(seconds)
+
+    def coordinate(self, payload) -> None:
+        """Starfish coordination message: broadcast ``payload`` to every
+        process of this application *through the daemons* (Table 1's
+        "Coordination" row — reliable, totally ordered, off the fast
+        path).  Delivered via :meth:`StarfishProgram.on_coordination`."""
+        self._rt.daemon.coord_cast(self._rt.record.app_id,
+                                   self._rt.rank, payload)
+
+    def log(self, message: str) -> None:
+        self._rt.app_log.append((self._rt.engine.now, self.rank, message))
+
+    def __repr__(self) -> str:
+        return f"<ProgramContext {self.app_id}#{self.rank}>"
+
+
+class StarfishProgram:
+    """Base class for applications; subclass and override the hooks."""
+
+    def __init__(self):
+        #: The checkpointable state container: plain data only (numbers,
+        #: strings, lists/tuples/dicts, numpy arrays).
+        self.state: Dict[str, Any] = {}
+
+    # -- required hooks ------------------------------------------------------
+
+    def setup(self, ctx: ProgramContext) -> None:
+        """Initialize ``self.state``.  Called once on a fresh start (NOT
+        after a restart — state comes from the checkpoint then)."""
+
+    def step(self, ctx: ProgramContext):
+        """One unit of work; may be a generator using ``ctx.mpi``."""
+        raise NotImplementedError
+
+    def is_done(self, ctx: ProgramContext) -> bool:
+        """Checked at every safe point; True ends the run."""
+        raise NotImplementedError
+
+    def finalize(self, ctx: ProgramContext):
+        """Produce this rank's result (may be a generator)."""
+        return None
+
+    # -- optional Starfish upcalls ------------------------------------------
+
+    def on_view_change(self, ctx: ProgramContext, info: "ViewInfo"):
+        """The application's world changed (ranks died or joined).
+
+        Called at a safe point, *after* the world communicator has been
+        renumbered.  Trivially parallel programs repartition here.  May be
+        a generator.  Programs that don't override this simply keep the
+        conventional MPI model (paper §3.2.2).
+        """
+
+    def on_restart(self, ctx: ProgramContext):
+        """Called after this process was restored from a checkpoint,
+        before stepping resumes.  May be a generator."""
+
+    def on_coordination(self, ctx: ProgramContext, source: int,
+                        payload) -> None:
+        """A coordination message (``ctx.coordinate``) arrived from
+        ``source`` (world rank).  Called immediately on delivery; must not
+        block (no generator) — stash data in ``self.state`` and act on it
+        in the next step."""
+
+
+class ViewInfo:
+    """Argument of :meth:`StarfishProgram.on_view_change`."""
+
+    def __init__(self, old_world: Tuple[int, ...],
+                 new_world: Tuple[int, ...], my_old_rank: Optional[int],
+                 world_version: int):
+        #: Previous world ranks (original numbering).
+        self.old_world = old_world
+        #: Surviving/current world ranks (original numbering).
+        self.new_world = new_world
+        #: This process's rank in the *old* world (None if it is new).
+        self.my_old_rank = my_old_rank
+        self.world_version = world_version
+
+    @property
+    def lost(self) -> Tuple[int, ...]:
+        return tuple(r for r in self.old_world if r not in self.new_world)
+
+    @property
+    def joined(self) -> Tuple[int, ...]:
+        return tuple(r for r in self.new_world if r not in self.old_world)
+
+    @property
+    def grew(self) -> bool:
+        return bool(self.joined) and not self.lost
+
+    def __repr__(self) -> str:
+        return (f"<ViewInfo v{self.world_version} {self.old_world} -> "
+                f"{self.new_world}>")

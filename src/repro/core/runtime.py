@@ -1,0 +1,533 @@
+"""One application process (Figure 1 of the paper).
+
+Assembles the five components inside every Starfish application process —
+group handler (the daemon link), application module (the user's
+:class:`~repro.core.program.StarfishProgram`), checkpoint/restart module
+(a :mod:`repro.ckpt.protocols` instance), MPI module, and VNI — around an
+object bus, plus the runtime's own scheduler driving the program's steps.
+
+Data messages use the fast path (program → MPI module → VNI); everything
+else (C/R, coordination, membership, configuration) goes through the bus
+and the daemon, as in the paper.
+
+Execution model and its guarantees are documented in
+:mod:`repro.core.program`; the key mechanism here is the *safe point*
+between steps, where pauses (checkpoints, suspension) and view-change
+upcalls are honoured, and the *step abort*: a step caught in a view change
+that removed ranks is interrupted and re-executed on the new world.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.bus import (CheckpointEvent, ConfigEvent, CoordinationEvent,
+                       MembershipEvent, ObjectBus, ShutdownEvent)
+from repro.calibration import RESTART_BASE
+from repro.ckpt import make_checkpointer
+from repro.ckpt.protocols import make_protocol
+from repro.ckpt.protocols.base import CrContext
+from repro.core.program import ProgramContext, ViewInfo
+from repro.errors import CheckpointError, Interrupt, MpiError
+from repro.mpi import MpiApi, MpiEndpoint
+from repro.mpi.api import RuntimeServices
+from repro.sim.events import Event
+
+
+class _StepAborted(Exception):
+    """Internal: the current step was cancelled by a view change."""
+
+
+class AppProcess:
+    """One rank of one application, hosted on one node."""
+
+    def __init__(self, daemon, record, rank: int, restore: Optional[dict],
+                 addressbook: Dict[int, Tuple[str, str]]):
+        self.daemon = daemon
+        self.engine = daemon.engine
+        self.node = daemon.node
+        self.record = record
+        self.rank = rank
+        self.restore_info = restore
+        self.was_restored = False
+        self.app_log: List[Tuple[float, int, str]] = []
+
+        # --- Figure 1 components -------------------------------------
+        self.bus = ObjectBus(self.engine,
+                             name=f"{record.app_id}:{rank}")
+        self.endpoint = MpiEndpoint(
+            self.engine, self.node, app_id=record.app_id, world_rank=rank,
+            addressbook=addressbook, transport=record.transport,
+            polling=record.polling)
+        self.services = _Services(self)
+        world = tuple(sorted(record.placement))
+        self.mpi = MpiApi(self.endpoint, nprocs=len(world),
+                          services=self.services, world_group=world,
+                          world_version=record.world_version)
+        self.program = record.program()
+        self.ctx = ProgramContext(self)
+        self.protocol = None
+        if record.ckpt_protocol is not None:
+            kwargs = {}
+            if record.ckpt_protocol == "uncoordinated":
+                kwargs["interval"] = record.ckpt_interval
+                kwargs["logging"] = bool(record.params.get(
+                    "_ckpt_logging", False))
+            self.protocol = make_protocol(record.ckpt_protocol, **kwargs)
+        self.checkpointer = make_checkpointer(record.ckpt_level)
+
+        # --- scheduler state ---------------------------------------------
+        self.done = Event(self.engine, name=f"app:{record.app_id}:{rank}")
+        self._proc = None
+        #: Completed (committed-to-state) steps; snapshots record it and
+        #: coordinated pauses target a common value of it across ranks.
+        self.steps_completed = 0
+        self._pause_req = 0
+        self._pause_target = 0
+        self._pause_waiters: List[Event] = []
+        self._at_safe_point = False
+        #: True while the runtime is suspended waiting for one of the
+        #: step's own events (the step cannot send while we wait).
+        self._step_waiting = False
+        #: >0 while the program itself is blocked awaiting a checkpoint
+        #: commit (mpi.checkpoint()): that wait is itself a safe point.
+        self._ckpt_blocked = 0
+        #: Accumulated simulated time the application was actually frozen
+        #: (pause acknowledged -> resumed); the protocol-comparison bench
+        #: reports this as "blocked time".
+        self.paused_accum = 0.0
+        self._pause_started: Optional[float] = None
+        self._resume_evt: Optional[Event] = None
+        self._pending_view: Optional[ViewInfo] = None
+        self._disturb: Optional[Event] = None
+        self._spawn_waiters: List[Tuple[int, Event]] = []
+        self._tickers: List = []
+        self.stats = {"steps": 0, "aborted_steps": 0, "views": 0}
+
+        self.bus.subscribe(ShutdownEvent, self._on_shutdown_event)
+
+    # ------------------------------------------------------------------
+    # handle protocol (what the daemon drives)
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        self.bus.start(self.node)
+        if self.protocol is not None:
+            self.protocol.start(_CrContextImpl(self))
+            if (self.record.ckpt_interval is not None
+                    and self.record.ckpt_protocol != "uncoordinated"
+                    and self.rank == min(self.record.placement)):
+                self._tickers.append(self.node.spawn(
+                    self._ckpt_ticker(), name=f"ckpt-tick:{self.rank}"))
+        self._proc = self.node.spawn(
+            self._run(), name=f"app:{self.record.app_id}:{self.rank}")
+
+    def kill(self, reason: str) -> None:
+        if not self.done.triggered:
+            self.done.succeed(("killed", reason))
+        for proc in (self._proc, *self._tickers):
+            if proc is not None and proc.is_alive:
+                proc.interrupt(reason)
+        if self.protocol is not None:
+            self.protocol.stop()
+        self.bus.stop()
+        self.endpoint.close()
+
+    def suspend(self) -> None:
+        self._pause_req += 1
+
+    def resume(self) -> None:
+        self._release_pause()
+
+    def request_user_checkpoint(self) -> None:
+        if self.protocol is None:
+            return
+        ev = self.protocol.request_checkpoint()
+        del ev  # fire and forget; commit is observable in the store
+
+    def deliver_cr(self, payload, src_rank: int) -> None:
+        self.bus.post(CheckpointEvent(op="message", source=src_rank,
+                                      payload=payload))
+        if self.protocol is not None:
+            self.protocol.deliver(payload, src_rank)
+
+    def deliver_coordination(self, payload, src_rank: int) -> None:
+        self.bus.post(CoordinationEvent(source=src_rank, payload=payload))
+        self.program.on_coordination(self.ctx, src_rank, payload)
+
+    def deliver_config(self, key: str, value) -> None:
+        self.bus.post(ConfigEvent(key=key, value=value))
+
+    def deliver_membership(self, world_ranks: Tuple[int, ...],
+                           world_version: int,
+                           placement: Dict[int, str]) -> None:
+        if world_version <= self.mpi.world_version:
+            return
+        old = self.mpi.world.group
+        if tuple(world_ranks) == old:
+            return
+        info = ViewInfo(old_world=old, new_world=tuple(world_ranks),
+                        my_old_rank=(old.index(self.rank)
+                                     if self.rank in old else None),
+                        world_version=world_version)
+        self._pending_view = info
+        self.bus.post(MembershipEvent(members=info.new_world,
+                                      joined=info.joined, left=info.lost))
+        # Wake spawn() callers as soon as the grown world is known.
+        for want, ev in self._spawn_waiters[:]:
+            if len(info.new_world) >= want and not ev.triggered:
+                ev.succeed(len(info.new_world))
+                self._spawn_waiters.remove((want, ev))
+        # Any world change invalidates in-flight communication (the old
+        # communicator is retired): abort the step; the redo runs on the
+        # new world.  A rank blocked in an old-world receive would
+        # otherwise never reach the safe point that refreshes its world.
+        if self._disturb is not None and not self._disturb.triggered:
+            self._disturb.succeed("view-change")
+
+    # ------------------------------------------------------------------
+    # the scheduler (main loop)
+    # ------------------------------------------------------------------
+
+    def _run(self):
+        try:
+            yield from self._wait_world_up()
+            if self.restore_info is not None:
+                yield from self._restore()
+            else:
+                self.program.setup(self.ctx)
+            if self.record.world_version > 0:
+                # This process enters a world that has already changed
+                # (spawned into a grown app, or respawned by a restart):
+                # run the view upcall so any program-level resynchron-
+                # ization collectives include this rank too.
+                yield from self._apply_view(ViewInfo(
+                    old_world=(), new_world=self.mpi.world.group,
+                    my_old_rank=None,
+                    world_version=self.record.world_version))
+            while True:
+                yield from self._safe_point()
+                if self.program.is_done(self.ctx):
+                    break
+                yield from self._one_step()
+            result = self.program.finalize(self.ctx)
+            if result is not None and hasattr(result, "__next__"):
+                result = yield from result
+            if not self.done.triggered:
+                self.done.succeed(("ok", result))
+        except Interrupt:
+            if not self.done.triggered:
+                self.done.succeed(("killed", "interrupted"))
+        except Exception as exc:
+            if not self.done.triggered:
+                self.done.succeed(("error", exc))
+        finally:
+            self._cleanup()
+
+    def _wait_world_up(self):
+        """MPI_Init-style synchronization: wait until every rank of the
+        current world has registered its network address (spawning is
+        staggered across daemons).
+
+        An entry must match the rank's *current* placement: after a
+        restart the book still holds the previous incarnation's address
+        (possibly a dead node), and a fast-restoring rank must not race
+        ahead and send into the void.
+        """
+        book = self.endpoint.addressbook
+        placement = self.record.placement
+        while any(r not in book
+                  or (r in placement and book[r][0] != placement[r])
+                  for r in self.mpi.world.group):
+            yield self.engine.timeout(0.002)
+
+    def _cleanup(self) -> None:
+        """Wind down after the program finished (NOT after a kill).
+
+        The C/R module and the endpoint deliberately stay alive: a rank
+        that finished early must keep participating in checkpoints (pause
+        requests auto-ack — final state is trivially a safe point), or
+        slower peers would hang waiting for its protocol messages.  The
+        daemon kills everything for real when the application ends.
+        """
+        self._at_safe_point = True
+        self._ack_pause_waiters()
+        for t in self._tickers:
+            if t.is_alive:
+                t.interrupt("app-done")
+        self.bus.stop()
+
+    def _one_step(self):
+        """Drive one program step, event by event.
+
+        The runtime (not a detached process) advances the step generator so
+        that *between* any two of the step's events it can: abort the step
+        on a view shrink, and freeze the rank for a pause whose step target
+        has been reached (no message can escape while frozen — the step's
+        side effects only happen inside ``gen.send``).
+        """
+        step = self.program.step(self.ctx)
+        if step is None or not hasattr(step, "__next__"):
+            self._commit_step()
+            return
+        self._disturb = Event(self.engine, name=f"disturb:{self.rank}")
+        send_val = None
+        throw_exc: Optional[BaseException] = None
+        aborted = False
+        while True:
+            # Freeze here when a pause targeting our progress is active
+            # (this rank ran ahead of the checkpoint boundary): no step
+            # side effects can happen while we hold the generator.
+            yield from self._mid_step_gate()
+            try:
+                if throw_exc is not None:
+                    ev = step.throw(throw_exc)
+                else:
+                    ev = step.send(send_val)
+            except StopIteration:
+                break
+            except _StepAborted:
+                aborted = True
+                break
+            throw_exc, send_val = None, None
+            self._step_waiting = True
+            try:
+                yield ev | self._disturb
+            except Interrupt:
+                step.close()
+                raise
+            except Exception as exc:     # the awaited event failed
+                throw_exc = exc
+                continue
+            finally:
+                self._step_waiting = False
+            if not ev.processed:
+                # The disturbance won the race.  (``processed``, not
+                # ``triggered``: a Timeout is born triggered but has not
+                # *happened* until the engine processes it — judging by
+                # ``triggered`` would time-warp an interrupted sleep.)
+                throw_exc = _StepAborted()
+                continue
+            if ev.ok:
+                send_val = ev.value
+            else:
+                ev.defuse()
+                throw_exc = ev.value
+                continue
+        self._disturb = None
+        if aborted:
+            self.stats["aborted_steps"] += 1
+            self.endpoint.matching.fail_all_posted(
+                MpiError("step aborted by view change"))
+            return
+        self._commit_step()
+
+    def _commit_step(self) -> None:
+        self.steps_completed += 1
+        self.stats["steps"] += 1
+
+    def _pause_eligible(self) -> bool:
+        return (self._pause_req > 0
+                and self.steps_completed >= self._pause_target)
+
+    def _ack_pause_waiters(self) -> None:
+        if self._pause_started is None:
+            self._pause_started = self.engine.now
+        for ev in self._pause_waiters:
+            if not ev.triggered:
+                ev.succeed()
+        self._pause_waiters = []
+
+    def _mid_step_gate(self):
+        while self._pause_eligible():
+            self._at_safe_point = True
+            self._ack_pause_waiters()
+            self._resume_evt = Event(self.engine, name=f"resume:{self.rank}")
+            yield self._resume_evt
+            self._at_safe_point = False
+
+    def request_pause(self, target_step: Optional[int]) -> Optional[Event]:
+        """Register a pause; returns an event to wait on (or ``None`` if
+        the rank counts as paused right away)."""
+        self._pause_req += 1
+        if target_step is not None and target_step > self._pause_target:
+            self._pause_target = target_step
+        if self._at_safe_point or self._ckpt_blocked > 0:
+            if self._pause_started is None:
+                self._pause_started = self.engine.now
+            return None
+        if self._step_waiting and self._pause_eligible():
+            # Blocked mid-step beyond the target: de-facto frozen (the
+            # mid-step gate will hold it if its event completes).
+            if self._pause_started is None:
+                self._pause_started = self.engine.now
+            return None
+        ev = Event(self.engine, name=f"pause:{self.rank}")
+        self._pause_waiters.append(ev)
+        return ev
+
+    def _safe_point(self):
+        while True:
+            if self._pending_view is not None and self._pause_req == 0:
+                info = self._pending_view
+                self._pending_view = None
+                yield from self._apply_view(info)
+                continue
+            if self._pause_eligible():
+                self._at_safe_point = True
+                self._ack_pause_waiters()
+                self._resume_evt = Event(self.engine,
+                                         name=f"resume:{self.rank}")
+                yield self._resume_evt
+                self._at_safe_point = False
+                continue
+            return
+
+    def _apply_view(self, info: ViewInfo):
+        self.stats["views"] += 1
+        if info.new_world != self.mpi.world.group:
+            self.mpi._refresh_world(info.new_world, info.world_version)
+        self.mpi.world_version = info.world_version
+        handler = self.program.on_view_change(self.ctx, info)
+        if handler is not None and hasattr(handler, "__next__"):
+            yield from handler
+        return
+        yield  # pragma: no cover
+
+    def _release_pause(self) -> None:
+        if self._pause_req > 0:
+            self._pause_req -= 1
+        if self._pause_req == 0:
+            self._pause_target = 0
+            if self._pause_started is not None:
+                self.paused_accum += self.engine.now - self._pause_started
+                self._pause_started = None
+            if self._resume_evt is not None \
+                    and not self._resume_evt.triggered:
+                self._resume_evt.succeed()
+
+    def _on_shutdown_event(self, event: ShutdownEvent) -> None:
+        self.kill(event.reason or "shutdown")
+
+    def _ckpt_ticker(self):
+        try:
+            while True:
+                yield self.engine.timeout(self.record.ckpt_interval)
+                ev = self.protocol.request_checkpoint()
+                yield ev
+        except Interrupt:
+            return
+        except Exception:
+            return
+
+    # ------------------------------------------------------------------
+    # restart from a checkpoint
+    # ------------------------------------------------------------------
+
+    def _restore(self):
+        info = self.restore_info
+        version: Optional[int]
+        if info["mode"] == "coordinated":
+            version = info["version"]
+        else:
+            version = info["line"].get(self.rank, -1)
+            if version is not None and version < 0:
+                version = None
+        if version is None:
+            # Nothing stored for us (initial-state rollback): fresh start.
+            self.program.setup(self.ctx)
+            return
+        record = yield from self.daemon.store.read(
+            self.node, self.record.app_id, self.rank, version)
+        state, convert_cost = self.checkpointer.restore(
+            record.image, record.nbytes, self.node.arch)
+        yield self.engine.timeout(RESTART_BASE + convert_cost)
+        self.program.state = state
+        self.steps_completed = record.mpi_state.get("steps_completed", 0)
+        # The execution model replays from the captured step boundary, so
+        # in-flight traffic captured with the snapshot (unexpected queues,
+        # Chandy–Lamport channel recordings) is regenerated by the replay
+        # itself — the stored copies are diagnostic, not restored.  The
+        # fresh endpoint starts with empty queues and zero counters.
+        self.was_restored = True
+        hook = self.program.on_restart(self.ctx)
+        if hook is not None and hasattr(hook, "__next__"):
+            yield from hook
+
+    def __repr__(self) -> str:
+        return (f"<AppProcess {self.record.app_id}#{self.rank} on "
+                f"{self.node.node_id}>")
+
+
+class _Services(RuntimeServices):
+    """Starfish extension downcalls, serviced through the daemon."""
+
+    def __init__(self, rt: AppProcess):
+        self.rt = rt
+
+    def request_checkpoint(self):
+        if self.rt.protocol is None:
+            raise MpiError(
+                "checkpoint() called but the application was submitted "
+                "without a checkpoint protocol")
+        ev = self.rt.protocol.request_checkpoint()
+        # The caller blocks mid-step until the commit; that wait is a safe
+        # point (the program promises its state is step-consistent here),
+        # otherwise the protocol's own pause() could never be satisfied.
+        self.rt._ckpt_blocked += 1
+        try:
+            version = yield ev
+        finally:
+            self.rt._ckpt_blocked -= 1
+        return version
+
+    def request_spawn(self, nprocs: int):
+        if nprocs < 1:
+            raise MpiError("spawn() needs nprocs >= 1")
+        want = len(self.rt.mpi.world.group) + nprocs
+        ev = Event(self.rt.engine, name=f"spawn-wait:{self.rt.rank}")
+        self.rt._spawn_waiters.append((want, ev))
+        self.rt.daemon.request_spawn(self.rt.record.app_id, nprocs)
+        new_size = yield ev
+        return new_size
+
+
+class _CrContextImpl(CrContext):
+    """The runtime side of the checkpoint-protocol interface."""
+
+    def __init__(self, rt: AppProcess):
+        self.rt = rt
+        self.engine = rt.engine
+        self.app_id = rt.record.app_id
+        self.rank = rt.rank
+        self.node = rt.node
+        self.arch = rt.node.arch
+        self.endpoint = rt.endpoint
+        self.checkpointer = rt.checkpointer
+        self.store = rt.daemon.store
+
+    def peers(self):
+        return sorted(self.rt.mpi.world.group)
+
+    def cast(self, payload):
+        self.rt.daemon.cr_cast(self.app_id, self.rank, payload)
+
+    def pause(self, target_step=None):
+        ev = self.rt.request_pause(target_step)
+        if ev is not None:
+            yield ev
+
+    def resume(self):
+        self.rt._release_pause()
+
+    def snapshot_state(self):
+        return self.rt.program.state
+
+    def current_step(self) -> int:
+        return self.rt.steps_completed
+
+    def runtime_meta(self) -> dict:
+        return {"steps_completed": self.rt.steps_completed}
+
+    def notify_committed(self, version: int) -> None:
+        self.rt.bus.post(CheckpointEvent(op="committed", payload=version))

@@ -1,0 +1,66 @@
+"""Client-side helper for the ASCII management/user protocol.
+
+A :class:`Client` models the paper's remote administrator or user (or its
+Java GUI, which speaks the same textual protocol underneath): it opens a
+TCP connection to *any* daemon and issues commands.  Cluster state changes
+made through one daemon propagate to all others via the Starfish group.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.daemon.daemon import CTL_PORT
+from repro.errors import AuthenticationError, ProtocolError
+from repro.net.conn import Connection
+
+
+class Client:
+    """One client session (management or user)."""
+
+    def __init__(self, engine, node, daemon_node_id: str):
+        self.engine = engine
+        self.node = node
+        self.daemon_node_id = daemon_node_id
+        self.conn: Optional[Connection] = None
+        self.transcript: List[Tuple[str, str]] = []
+
+    # -- plumbing -----------------------------------------------------------
+
+    def connect(self):
+        """Process generator: open the control connection."""
+        self.conn = yield from Connection.connect(
+            self.engine, self.node.nic("tcp-ethernet"),
+            self.daemon_node_id, CTL_PORT)
+        return self
+
+    def command(self, line: str):
+        """Process generator: send one command line; returns the reply."""
+        if self.conn is None:
+            raise ProtocolError("client not connected")
+        yield from self.conn.send(line, size=len(line) + 8)
+        reply = yield self.conn.recv()
+        self.transcript.append((line, reply))
+        return reply
+
+    def must(self, line: str):
+        """Process generator: run a command, asserting an OK reply."""
+        reply = yield from self.command(line)
+        if not reply.startswith("OK"):
+            raise ProtocolError(f"{line!r} failed: {reply}")
+        return reply
+
+    # -- conveniences ----------------------------------------------------------
+
+    def login(self, user: str, password: str, mgmt: bool = False):
+        kind = "MGMT" if mgmt else "USER"
+        reply = yield from self.command(f"LOGIN {user} {password} {kind}")
+        if not reply.startswith("OK"):
+            raise AuthenticationError(reply)
+        return reply
+
+    def close(self):
+        if self.conn is not None:
+            yield from self.command("QUIT")
+            yield from self.conn.close()
+            self.conn = None

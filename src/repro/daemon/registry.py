@@ -1,0 +1,94 @@
+"""Replicated application registry.
+
+Every daemon holds an identical replica (all mutations are applied from
+totally-ordered main-group casts), so any daemon can answer any client's
+queries and any daemon can take over an application's recovery.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import UnknownApplication
+
+
+class AppStatus(enum.Enum):
+    RUNNING = "running"
+    SUSPENDED = "suspended"
+    RESTARTING = "restarting"
+    DONE = "done"
+    FAILED = "failed"
+    KILLED = "killed"
+
+
+@dataclass
+class AppRecord:
+    """One application as every daemon sees it."""
+
+    app_id: str
+    owner: str
+    nprocs: int
+    program: Any                   # opaque to the daemon (a program class)
+    params: Dict[str, Any]
+    ft_policy: str                 # "kill" | "view-notify" | "restart"
+    ckpt_protocol: Optional[str]   # None | stop-and-sync | chandy-lamport |
+    #                                uncoordinated
+    ckpt_level: str                # "native" | "vm"
+    ckpt_interval: Optional[float]
+    transport: str
+    polling: bool
+    placement: Dict[int, str]      # world rank -> node id
+    status: AppStatus = AppStatus.RUNNING
+    #: Results reported by finished ranks.
+    results: Dict[int, Any] = field(default_factory=dict)
+    #: Ranks that have finished.
+    done_ranks: List[int] = field(default_factory=list)
+    restarts: int = 0
+    world_version: int = 0
+
+    def ranks_on(self, node_id: str) -> List[int]:
+        return sorted(r for r, n in self.placement.items() if n == node_id)
+
+    def nodes(self) -> List[str]:
+        return sorted(set(self.placement.values()))
+
+    @property
+    def finished(self) -> bool:
+        return self.status in (AppStatus.DONE, AppStatus.FAILED,
+                               AppStatus.KILLED)
+
+
+class Registry:
+    """The per-daemon replica of all application records."""
+
+    def __init__(self):
+        self._apps: Dict[str, AppRecord] = {}
+
+    def add(self, record: AppRecord) -> None:
+        self._apps[record.app_id] = record
+
+    def get(self, app_id: str) -> AppRecord:
+        rec = self._apps.get(app_id)
+        if rec is None:
+            raise UnknownApplication(f"unknown application {app_id!r}")
+        return rec
+
+    def maybe(self, app_id: str) -> Optional[AppRecord]:
+        return self._apps.get(app_id)
+
+    def remove(self, app_id: str) -> None:
+        self._apps.pop(app_id, None)
+
+    def all(self) -> List[AppRecord]:
+        return [self._apps[k] for k in sorted(self._apps)]
+
+    def active(self) -> List[AppRecord]:
+        return [r for r in self.all() if not r.finished]
+
+    def __contains__(self, app_id: str) -> bool:
+        return app_id in self._apps
+
+    def __len__(self) -> int:
+        return len(self._apps)

@@ -1,0 +1,165 @@
+"""Exception hierarchy for the Starfish reproduction.
+
+Every layer of the system raises exceptions derived from :class:`ReproError`
+so callers can distinguish library failures from programming errors.  The
+hierarchy mirrors the system inventory in ``DESIGN.md``: simulation kernel,
+network, group communication, daemon/client protocol, MPI, and
+checkpoint/restart each get their own subtree.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# Simulation kernel
+# ---------------------------------------------------------------------------
+
+class SimulationError(ReproError):
+    """A violation of the discrete-event kernel's rules."""
+
+
+class StopSimulation(Exception):
+    """Internal control-flow signal used to halt :meth:`Engine.run`.
+
+    Deliberately *not* a :class:`ReproError`: user code must never catch it.
+    """
+
+    def __init__(self, value=None):
+        super().__init__(value)
+        self.value = value
+
+
+class Interrupt(Exception):
+    """Thrown into a simulated process by :meth:`Process.interrupt`.
+
+    Also not a :class:`ReproError`; it is part of the normal control flow of
+    simulated processes (e.g. a daemon interrupting an application process
+    when its node is being shut down).
+    """
+
+    def __init__(self, cause=None):
+        super().__init__(cause)
+
+    @property
+    def cause(self):
+        return self.args[0]
+
+
+# ---------------------------------------------------------------------------
+# Cluster / network substrate
+# ---------------------------------------------------------------------------
+
+class ClusterError(ReproError):
+    """Errors from the cluster model (unknown nodes, double crash...)."""
+
+
+class NodeDown(ClusterError):
+    """An operation was attempted on a crashed or disabled node."""
+
+
+class NetworkError(ReproError):
+    """Errors from the network substrate."""
+
+
+class ConnectionClosed(NetworkError):
+    """The peer of a reliable connection crashed or closed the connection."""
+
+
+class Unreachable(NetworkError):
+    """No route to the destination (partition or missing NIC)."""
+
+
+# ---------------------------------------------------------------------------
+# Group communication / lightweight groups
+# ---------------------------------------------------------------------------
+
+class GcsError(ReproError):
+    """Errors from the group-communication substrate."""
+
+
+class NotMember(GcsError):
+    """Operation requires group membership the endpoint does not have."""
+
+
+class ViewChangeInProgress(GcsError):
+    """Multicast attempted while the group is blocked for a flush."""
+
+
+# ---------------------------------------------------------------------------
+# Daemon / client protocol
+# ---------------------------------------------------------------------------
+
+class DaemonError(ReproError):
+    """Errors from the Starfish daemon."""
+
+
+class ProtocolError(DaemonError):
+    """Malformed or out-of-sequence client protocol command."""
+
+
+class AuthenticationError(ProtocolError):
+    """Login failed or a command required privileges the session lacks."""
+
+
+class UnknownApplication(DaemonError):
+    """A client referred to an application id the cluster does not know."""
+
+
+class PlacementError(DaemonError):
+    """The scheduler could not place all processes of an application."""
+
+
+# ---------------------------------------------------------------------------
+# MPI
+# ---------------------------------------------------------------------------
+
+class MpiError(ReproError):
+    """Errors raised by the MPI module."""
+
+
+class InvalidRank(MpiError):
+    """Rank outside the communicator, or wildcard used where forbidden."""
+
+
+class InvalidTag(MpiError):
+    """Negative tag (other than the ANY_TAG wildcard) used for sending."""
+
+
+class CommunicatorError(MpiError):
+    """Operation on a freed/invalid communicator."""
+
+
+class TruncationError(MpiError):
+    """A receive buffer was smaller than the matched message."""
+
+
+class AbortError(MpiError):
+    """MPI_Abort was called, or the job was killed by a fault policy."""
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint / restart & heterogeneity
+# ---------------------------------------------------------------------------
+
+class CheckpointError(ReproError):
+    """Errors from the checkpoint/restart framework."""
+
+
+class NoCheckpoint(CheckpointError):
+    """Restart requested but no (consistent) checkpoint exists."""
+
+
+class RecoveryLineError(CheckpointError):
+    """No consistent recovery line could be computed (domino collapse)."""
+
+
+class RepresentationError(ReproError):
+    """Errors converting data between machine representations."""
+
+
+class WordSizeOverflow(RepresentationError):
+    """An unboxed integer does not fit the target architecture's VM word."""

@@ -1,0 +1,70 @@
+"""Endpoint identities and membership views."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+_incarnations = itertools.count(1)
+
+
+def fresh_incarnation() -> int:
+    """A process-unique incarnation number for a new endpoint."""
+    return next(_incarnations)
+
+
+@dataclass(frozen=True, order=True)
+class EndpointId:
+    """Identity of one group member.
+
+    The ``inc`` field distinguishes a recovered daemon from its crashed
+    previous life on the same node — the old endpoint is removed from the
+    view by failure detection while the new one joins as a new member.
+
+    The ordering (node, name, inc) is the coordinator *rank*: the smallest
+    live endpoint of a view is its coordinator.
+    """
+
+    node: str
+    name: str
+    inc: int
+
+    def __str__(self) -> str:
+        return f"{self.node}/{self.name}#{self.inc}"
+
+
+@dataclass(frozen=True)
+class View:
+    """One installed membership view of a group.
+
+    ``epoch`` increases across every view change in the system (including
+    across concurrent partitions — coordinators always propose
+    ``max(seen)+1``), so epochs totally order the views any single member
+    installs.
+    """
+
+    group: str
+    epoch: int
+    coordinator: EndpointId
+    members: Tuple[EndpointId, ...]
+
+    def __contains__(self, ep: EndpointId) -> bool:
+        return ep in self.members
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def rank(self, ep: EndpointId) -> int:
+        return self.members.index(ep)
+
+    def member_on(self, node: str) -> Optional[EndpointId]:
+        """The member running on ``node``, if any."""
+        for m in self.members:
+            if m.node == node:
+                return m
+        return None
+
+    def __repr__(self) -> str:
+        who = ", ".join(str(m) for m in self.members)
+        return f"<View {self.group}#{self.epoch} coord={self.coordinator} [{who}]>"

@@ -1,0 +1,49 @@
+"""Events a :class:`~repro.gcs.member.GroupMember` delivers upward.
+
+The daemon (or a test) consumes these from ``member.events`` — a FIFO
+channel — exactly like Ensemble upcalls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Tuple
+
+from repro.gcs.endpoint import EndpointId, View
+
+
+class GcsEvent:
+    """Base class of all group upcalls."""
+
+
+@dataclass(frozen=True)
+class ViewEvent(GcsEvent):
+    """A new view was installed.
+
+    ``joined``/``left`` are relative to the previous view *at this member*;
+    ``state`` carries the coordinator-provided state transfer blob when this
+    member entered the group with this view (``None`` otherwise).
+    """
+
+    view: View
+    joined: Tuple[EndpointId, ...]
+    left: Tuple[EndpointId, ...]
+    state: Any = None
+
+
+@dataclass(frozen=True)
+class CastEvent(GcsEvent):
+    """A totally-ordered group multicast."""
+
+    source: EndpointId
+    payload: Any
+    epoch: int = 0
+    gseq: int = 0
+
+
+@dataclass(frozen=True)
+class P2pEvent(GcsEvent):
+    """A point-to-point message from another member."""
+
+    source: EndpointId
+    payload: Any

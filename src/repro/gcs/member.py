@@ -1,0 +1,628 @@
+"""One endpoint of a virtually-synchronous process group.
+
+The protocol (coordinator-based, sequencer total order, flush on every
+membership change) is described in the package docstring.  A short map of
+the moving parts inside each member:
+
+* ``_rx`` process — drains the NIC port into the local inbox;
+* ``_tx`` process — serializes outgoing protocol frames onto the NIC;
+* ``_main`` process — the protocol state machine: one handler per message
+  type, run strictly one message at a time (a real daemon's event loop);
+* ``_ticker`` process — heartbeats, failure suspicion, flush retry,
+  blocked-too-long recovery, join retry, and coordinator gossip.
+
+A member can be in three macro-states: *joining* (no view yet), *stable*
+(view installed, casts flow through the sequencer), and *blocked* (a flush
+is in progress: no new casts are ordered, no deliveries happen, incoming
+``Ordered`` messages are buffered and reported to the flush initiator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.errors import Interrupt, NetworkError, NodeDown, NotMember
+from repro.gcs.config import GcsConfig
+from repro.gcs.endpoint import EndpointId, View, fresh_incarnation
+from repro.gcs.events import CastEvent, P2pEvent, ViewEvent
+from repro.gcs.messages import (Announce, CastReq, Flush, FlushOk, Hb, Join,
+                                Leave, Msg, Ordered, P2p, Sync, ViewMsg)
+from repro.net.message import Frame
+from repro.sim.channel import Channel
+
+
+@dataclass
+class _FlushState:
+    """Coordinator-side bookkeeping of an in-progress flush."""
+
+    epoch: int
+    survivors: Tuple[EndpointId, ...]
+    started: float
+    replies: Dict[EndpointId, FlushOk] = field(default_factory=dict)
+
+
+class GroupMember:
+    """A member endpoint of one process group.
+
+    Parameters
+    ----------
+    node:
+        The :class:`~repro.cluster.node.Node` this member runs on; its
+        Ethernet NIC carries the protocol and a node crash kills the member.
+    name:
+        Endpoint name (daemons use ``"daemon"``).
+    group:
+        Group name; all members of a group must use the same one.
+    state_provider:
+        Zero-argument callable returning the application state blob handed
+        to joiners (Ensemble-style state transfer).
+    """
+
+    def __init__(self, engine, node, name: str = "daemon",
+                 group: str = "starfish",
+                 config: Optional[GcsConfig] = None,
+                 state_provider: Optional[Callable[[], Any]] = None):
+        self.engine = engine
+        self.node = node
+        self.group = group
+        self.cfg = config or GcsConfig()
+        self.state_provider = state_provider or (lambda: None)
+        self.endpoint = EndpointId(node.node_id, name, fresh_incarnation())
+        self.nic = node.nic("tcp-ethernet")
+        self._port = f"gcs:{group}:{name}"
+        self._rx_ch = self.nic.open_port(self._port)
+        self._inbox = Channel(engine, name=f"gcs-in:{self.endpoint}")
+        self._tx_q = Channel(engine, name=f"gcs-tx:{self.endpoint}")
+        #: Upcalls for the layer above (daemon / tests).
+        self.events = Channel(engine, name=f"gcs-ev:{self.endpoint}")
+
+        # --- membership state ---
+        self.view: Optional[View] = None
+        self.max_epoch = 0
+        self.blocked = False
+        self._block_since = 0.0
+        self._flush_accepted: Optional[Tuple[int, EndpointId]] = None
+        self._active_flush: Optional[_FlushState] = None
+        self._joiners: Set[EndpointId] = set()
+        self._contact: Optional[EndpointId] = None
+        self._left = False
+
+        # --- multicast state (reset per view) ---
+        self._global_next = 0                       # next gseq to deliver
+        self._ooo: Dict[int, Ordered] = {}          # gseq -> msg
+        self._delivered_view: List[Ordered] = []    # this view, in order
+        self._next_gseq = 0                         # sequencer counter
+        self._ordered_keys: Set[Tuple[EndpointId, int]] = set()  # sequencer
+
+        # --- sender state (survives view changes) ---
+        self._next_lseq = 0
+        self._pending: Dict[int, Tuple[Any, int]] = {}  # lseq -> (payload, size)
+
+        # --- liveness ---
+        self.last_heard: Dict[EndpointId, float] = {}
+        self.known_endpoints: Set[EndpointId] = set()
+
+        # --- metrics ---
+        self.stats = {"casts": 0, "delivered": 0, "duplicates": 0,
+                      "views": 0, "flushes": 0, "p2p": 0}
+        self._delivered_keys: Set[Tuple[EndpointId, int]] = set()
+        self._procs: List = []
+        self._started = False
+
+        self._handlers = {
+            Hb: self._on_hb,
+            Join: self._on_join,
+            Leave: self._on_leave,
+            CastReq: self._on_cast_req,
+            Ordered: self._on_ordered,
+            Flush: self._on_flush,
+            FlushOk: self._on_flush_ok,
+            Sync: self._on_sync,
+            ViewMsg: self._on_view,
+            Announce: self._on_announce,
+            P2p: self._on_p2p,
+        }
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self, contact: Optional[EndpointId] = None) -> None:
+        """Boot the member.
+
+        With ``contact=None`` the member founds the group as a singleton;
+        otherwise it keeps sending ``Join`` to ``contact`` until a view that
+        includes it is installed.
+        """
+        if self._started:
+            raise NotMember(f"{self.endpoint} already started")
+        self._started = True
+        self._contact = contact
+        self._procs = [
+            self.node.spawn(self._rx(), name=f"gcs-rx:{self.endpoint}"),
+            self.node.spawn(self._tx(), name=f"gcs-tx:{self.endpoint}"),
+            self.node.spawn(self._main(), name=f"gcs-main:{self.endpoint}"),
+            self.node.spawn(self._ticker(), name=f"gcs-tick:{self.endpoint}"),
+        ]
+        if contact is None:
+            epoch = self.max_epoch + 1
+            self._post(ViewMsg(group=self.group, sender=self.endpoint,
+                               epoch=epoch, coordinator=self.endpoint,
+                               members=(self.endpoint,)))
+        else:
+            self._post_join(contact)
+
+    def stop(self) -> None:
+        """Silently stop (used for graceful leave and tests)."""
+        for p in self._procs:
+            if p.is_alive:
+                p.interrupt("gcs-stop")
+        self._procs = []
+        self.nic.close_port(self._port)
+
+    def leave(self) -> None:
+        """Graceful departure: notify the coordinator, then stop."""
+        self._left = True
+        if self.view is not None and self.view.coordinator != self.endpoint:
+            self._sendto(self.view.coordinator,
+                         Leave(group=self.group, sender=self.endpoint))
+        elif self.view is not None and len(self.view) > 1:
+            # I am the coordinator: hand off by telling the next-ranked
+            # member to form the new view (it will suspect me anyway, but
+            # an explicit Leave is faster).
+            others = [m for m in self.view.members if m != self.endpoint]
+            self._sendto(min(others),
+                         Leave(group=self.group, sender=self.endpoint))
+        self.stop()
+
+    @property
+    def is_coordinator(self) -> bool:
+        return self.view is not None and self.view.coordinator == self.endpoint
+
+    # ------------------------------------------------------------------
+    # public sends
+    # ------------------------------------------------------------------
+
+    def cast(self, payload: Any, size: Optional[int] = None) -> int:
+        """Totally-ordered multicast to the current group.
+
+        Returns the sender-local sequence number.  Non-blocking: if a view
+        change is in progress the cast is queued and ordered in the next
+        view.  The message is delivered back to the sender too.
+        """
+        size = size if size is not None else self.cfg.control_size
+        lseq = self._next_lseq
+        self._next_lseq += 1
+        self._pending[lseq] = (payload, size)
+        self.stats["casts"] += 1
+        if self.view is not None and not self.blocked:
+            self._sendto(self.view.coordinator,
+                         CastReq(group=self.group, sender=self.endpoint,
+                                 epoch=self.view.epoch, lseq=lseq,
+                                 payload=payload, size=size))
+        return lseq
+
+    def send(self, dest: EndpointId, payload: Any,
+             size: Optional[int] = None, kind: str = "control") -> None:
+        """Reliable FIFO point-to-point message to another member.
+
+        ``kind`` tags the frame for the Table 1 message-taxonomy audit
+        (lightweight groups relay application coordination and C/R traffic
+        through these sends)."""
+        self._sendto(dest, P2p(group=self.group, sender=self.endpoint,
+                               payload=payload,
+                               size=size if size is not None
+                               else self.cfg.control_size), kind=kind)
+
+    # ------------------------------------------------------------------
+    # transport plumbing
+    # ------------------------------------------------------------------
+
+    def _post(self, msg: Msg) -> None:
+        """Loop a message back into our own inbox (self-delivery)."""
+        if not self._inbox.closed:
+            self._inbox.put(msg)
+
+    def _sendto(self, ep: EndpointId, msg: Msg,
+                kind: str = "control") -> None:
+        if ep == self.endpoint:
+            self._post(msg)
+        else:
+            self._tx_q.put((ep, msg, kind))
+
+    def _frame_size(self, msg: Msg) -> int:
+        if isinstance(msg, (CastReq, Ordered, P2p)):
+            return max(msg.size, self.cfg.control_size)
+        if isinstance(msg, (FlushOk, Sync)):
+            payload = getattr(msg, "delivered", ()) or getattr(msg, "msgs", ())
+            return self.cfg.control_size * (1 + len(payload))
+        return self.cfg.control_size
+
+    def _rx(self):
+        try:
+            while True:
+                frame = yield self._rx_ch.get()
+                if isinstance(frame.payload, Msg) and \
+                        frame.payload.group == self.group:
+                    self._post(frame.payload)
+        except (Interrupt, Exception):
+            return
+
+    def _tx(self):
+        try:
+            while True:
+                ep, msg, kind = yield self._tx_q.get()
+                frame = Frame(src=self.node.node_id, dst=ep.node,
+                              port=f"gcs:{self.group}:{ep.name}",
+                              payload=msg, size=self._frame_size(msg),
+                              kind=kind)
+                try:
+                    yield from self.nic.send(frame)
+                except (NodeDown, NetworkError):
+                    return  # our NIC died; the member is dead
+        except Interrupt:
+            return
+
+    def _main(self):
+        try:
+            while True:
+                msg = yield self._inbox.get()
+                if msg.sender != self.endpoint:
+                    self.last_heard[msg.sender] = self.engine.now
+                    self.known_endpoints.add(msg.sender)
+                # Learn the highest epoch in the system from any message, so
+                # a rebooted member's proposals are never stuck in the past.
+                epoch = getattr(msg, "epoch", 0)
+                if epoch > self.max_epoch:
+                    self.max_epoch = epoch
+                handler = self._handlers.get(type(msg))
+                if handler is None:
+                    continue
+                result = handler(msg)
+                if result is not None and hasattr(result, "__next__"):
+                    yield from result
+        except Interrupt:
+            return
+
+    # ------------------------------------------------------------------
+    # the ticker: heartbeats, suspicion, retries, gossip
+    # ------------------------------------------------------------------
+
+    def _ticker(self):
+        cfg = self.cfg
+        try:
+            while True:
+                yield self.engine.timeout(
+                    cfg.heartbeat_period if self.view is not None
+                    else cfg.join_retry)
+                now = self.engine.now
+                if self._left:
+                    return
+
+                if self.view is None:
+                    # Still joining: nag the contact (and anyone we heard of).
+                    if self._contact is not None:
+                        self._post_join(self._contact)
+                    continue
+
+                # Heartbeats to everybody in the view.
+                for m in self.view.members:
+                    if m != self.endpoint:
+                        self._sendto(m, Hb(group=self.group,
+                                           sender=self.endpoint,
+                                           epoch=self.view.epoch))
+
+                alive = self._alive_members(now)
+                stale = [m for m in self.view.members if m not in alive]
+
+                if self._active_flush is not None:
+                    fl = self._active_flush
+                    if now - fl.started > cfg.flush_timeout:
+                        # Drop non-responders and retry.
+                        responders = set(fl.replies) | {self.endpoint}
+                        self._start_flush(responders)
+                    continue
+
+                if self.blocked:
+                    if now - self._block_since > 3 * cfg.flush_timeout:
+                        # The flush initiator died mid-flush.  Unblock and
+                        # let the normal suspicion path elect a new one.
+                        self.blocked = False
+                        self._flush_accepted = None
+                        self._recast_pending()
+                    continue
+
+                if stale or (self.is_coordinator and self._joiners):
+                    candidate = min(alive) if alive else self.endpoint
+                    if candidate == self.endpoint:
+                        survivors = set(alive) | self._joiners
+                        self._start_flush(survivors)
+                    continue
+
+                # Stable coordinator: gossip for partition merge.
+                if self.is_coordinator and cfg.gossip:
+                    strangers = (self.known_endpoints
+                                 - set(self.view.members))
+                    for ep in sorted(strangers):
+                        self._sendto(ep, Announce(
+                            group=self.group, sender=self.endpoint,
+                            epoch=self.view.epoch,
+                            members=self.view.members))
+        except Interrupt:
+            return
+
+    def _alive_members(self, now: float) -> List[EndpointId]:
+        out = []
+        for m in self.view.members:
+            if m == self.endpoint:
+                out.append(m)
+                continue
+            heard = self.last_heard.get(m)
+            if heard is not None and now - heard <= self.cfg.suspect_timeout:
+                out.append(m)
+        return out
+
+    def _post_join(self, contact: EndpointId) -> None:
+        self._sendto(contact, Join(group=self.group, sender=self.endpoint))
+
+    def _recast_pending(self) -> None:
+        if self.view is None:
+            return
+        for lseq in sorted(self._pending):
+            payload, size = self._pending[lseq]
+            self._sendto(self.view.coordinator,
+                         CastReq(group=self.group, sender=self.endpoint,
+                                 epoch=self.view.epoch, lseq=lseq,
+                                 payload=payload, size=size))
+
+    # ------------------------------------------------------------------
+    # flush / view agreement
+    # ------------------------------------------------------------------
+
+    def _start_flush(self, survivors) -> None:
+        survivors = tuple(sorted(set(survivors) | {self.endpoint}))
+        epoch = self.max_epoch + 1
+        self.max_epoch = epoch
+        self._active_flush = _FlushState(epoch=epoch, survivors=survivors,
+                                         started=self.engine.now)
+        self.stats["flushes"] += 1
+        for m in survivors:
+            self._sendto(m, Flush(group=self.group, sender=self.endpoint,
+                                  epoch=epoch, survivors=survivors))
+
+    def _on_flush(self, msg: Flush) -> None:
+        if self.view is not None and msg.epoch <= self.view.epoch:
+            return
+        if self.endpoint not in msg.survivors:
+            return
+        cur = self._flush_accepted
+        better = (cur is None or msg.epoch > cur[0]
+                  or (msg.epoch == cur[0] and msg.sender < cur[1]))
+        if not better:
+            return
+        self.max_epoch = max(self.max_epoch, msg.epoch)
+        # A competing flush of our own that lost: abandon it.
+        if (self._active_flush is not None
+                and (self._active_flush.epoch < msg.epoch
+                     or (self._active_flush.epoch == msg.epoch
+                         and msg.sender < self.endpoint))
+                and msg.sender != self.endpoint):
+            self._active_flush = None
+        self._flush_accepted = (msg.epoch, msg.sender)
+        self.blocked = True
+        self._block_since = self.engine.now
+        old_epoch = self.view.epoch if self.view is not None else -1
+        reply = FlushOk(group=self.group, sender=self.endpoint,
+                        epoch=msg.epoch, old_epoch=old_epoch,
+                        delivered=tuple(self._delivered_view),
+                        ooo=tuple(self._ooo[k] for k in sorted(self._ooo)),
+                        pending=tuple((lseq, p, s) for lseq, (p, s)
+                                      in sorted(self._pending.items())))
+        self._sendto(msg.sender, reply)
+
+    def _on_flush_ok(self, msg: FlushOk) -> None:
+        fl = self._active_flush
+        if fl is None or msg.epoch != fl.epoch:
+            return
+        if msg.sender not in fl.survivors:
+            return
+        fl.replies[msg.sender] = msg
+        if len(fl.replies) == len(fl.survivors):
+            self._finalize_flush(fl)
+
+    def _finalize_flush(self, fl: _FlushState) -> None:
+        self._active_flush = None
+        new_members = tuple(sorted(fl.survivors))
+        coordinator = new_members[0]
+
+        # Reconcile message histories per old view (virtual synchrony).
+        by_old: Dict[int, List[Tuple[EndpointId, FlushOk]]] = {}
+        for ep, reply in fl.replies.items():
+            by_old.setdefault(reply.old_epoch, []).append((ep, reply))
+        for old_epoch, reports in by_old.items():
+            if old_epoch < 0:
+                continue  # fresh joiners have no old view to close
+            longest = max(reports, key=lambda r: len(r[1].delivered))
+            final: List[Ordered] = list(longest[1].delivered)
+            known = {o.key for o in final}
+            extras = []
+            for _ep, reply in reports:
+                for o in reply.ooo:
+                    if o.key not in known:
+                        known.add(o.key)
+                        extras.append(o)
+            extras.sort(key=lambda o: (o.epoch, o.gseq))
+            final.extend(extras)
+            for ep, reply in reports:
+                suffix = tuple(final[len(reply.delivered):])
+                if suffix:
+                    self._sendto(ep, Sync(group=self.group,
+                                          sender=self.endpoint,
+                                          epoch=fl.epoch, msgs=suffix))
+
+        state = None
+        needs_state = [ep for ep, r in fl.replies.items() if r.old_epoch < 0]
+        if needs_state:
+            state = self.state_provider()
+        for ep in new_members:
+            joiner = ep in needs_state
+            self._sendto(ep, ViewMsg(group=self.group, sender=self.endpoint,
+                                     epoch=fl.epoch, coordinator=coordinator,
+                                     members=new_members,
+                                     state=state if joiner else None))
+
+    def _on_sync(self, msg: Sync) -> None:
+        # Close the old view: deliver what the initiator says we are missing.
+        for o in msg.msgs:
+            self._deliver(o)
+
+    def _on_view(self, msg: ViewMsg) -> None:
+        if self.endpoint not in msg.members:
+            return
+        if self.view is not None and msg.epoch <= self.view.epoch:
+            return
+        prev = set(self.view.members) if self.view is not None else set()
+        self.view = View(group=self.group, epoch=msg.epoch,
+                         coordinator=msg.coordinator, members=msg.members)
+        self.max_epoch = max(self.max_epoch, msg.epoch)
+        self.known_endpoints.update(msg.members)
+        now = self.engine.now
+        for m in msg.members:
+            self.last_heard[m] = now
+        # Reset per-view multicast machinery.
+        self._global_next = 0
+        self._ooo.clear()
+        self._delivered_view = []
+        self._next_gseq = 0
+        self._ordered_keys = set()
+        self.blocked = False
+        self._flush_accepted = None
+        self._active_flush = None
+        self._joiners -= set(msg.members)
+        self.stats["views"] += 1
+        joined = tuple(sorted(set(msg.members) - prev))
+        left = tuple(sorted(prev - set(msg.members)))
+        self.events.put(ViewEvent(view=self.view, joined=joined, left=left,
+                                  state=msg.state))
+        self._recast_pending()
+
+    # ------------------------------------------------------------------
+    # multicast path
+    # ------------------------------------------------------------------
+
+    def _on_cast_req(self, msg: CastReq):
+        if (self.view is None or msg.epoch != self.view.epoch
+                or not self.is_coordinator or self.blocked):
+            return None
+        if (msg.sender, msg.lseq) in self._ordered_keys:
+            return None  # duplicate re-cast
+        if msg.sender not in self.view:
+            return None
+        self._ordered_keys.add((msg.sender, msg.lseq))
+        # Sequencer processing cost (Ensemble round).
+        yield self.engine.timeout(self.cfg.sequencer_base
+                                  + len(self.view) *
+                                  self.cfg.sequencer_per_member)
+        if (self.view is None or msg.epoch != self.view.epoch
+                or self.blocked):
+            return  # a view change hit while we were processing
+        gseq = self._next_gseq
+        self._next_gseq += 1
+        ordered = Ordered(group=self.group, sender=self.endpoint,
+                          epoch=msg.epoch, gseq=gseq, origin=msg.sender,
+                          lseq=msg.lseq, payload=msg.payload, size=msg.size)
+        for m in self.view.members:
+            self._sendto(m, ordered)
+
+    def _on_ordered(self, msg: Ordered) -> None:
+        if self.view is None or msg.epoch != self.view.epoch:
+            return
+        if self.blocked:
+            self._ooo[msg.gseq] = msg
+            return
+        if msg.gseq == self._global_next:
+            self._deliver(msg)
+            self._global_next += 1
+            while self._global_next in self._ooo:
+                self._deliver(self._ooo.pop(self._global_next))
+                self._global_next += 1
+        elif msg.gseq > self._global_next:
+            self._ooo[msg.gseq] = msg
+
+    def _deliver(self, o: Ordered) -> None:
+        self._delivered_view.append(o)
+        if o.origin == self.endpoint:
+            self._pending.pop(o.lseq, None)
+        if o.key in self._delivered_keys:
+            self.stats["duplicates"] += 1
+        else:
+            self._delivered_keys.add(o.key)
+        self.stats["delivered"] += 1
+        self.events.put(CastEvent(source=o.origin, payload=o.payload,
+                                  epoch=o.epoch, gseq=o.gseq))
+
+    # ------------------------------------------------------------------
+    # membership requests & gossip
+    # ------------------------------------------------------------------
+
+    def _on_join(self, msg: Join) -> None:
+        if self.view is None:
+            return
+        if not self.is_coordinator:
+            self._sendto(self.view.coordinator, msg)  # forward
+            return
+        if msg.sender in self.view.members:
+            # It probably missed the ViewMsg; resend with state.
+            self._sendto(msg.sender, ViewMsg(
+                group=self.group, sender=self.endpoint,
+                epoch=self.view.epoch, coordinator=self.view.coordinator,
+                members=self.view.members, state=self.state_provider()))
+            return
+        self._joiners.add(msg.sender)
+        if self._active_flush is None and not self.blocked:
+            alive = self._alive_members(self.engine.now)
+            self._start_flush(set(alive) | self._joiners)
+
+    def _on_leave(self, msg: Leave) -> None:
+        if self.view is None or msg.sender not in self.view.members:
+            return
+        # Coordinator (or the designated successor of a leaving
+        # coordinator) removes the leaver immediately.
+        if self.is_coordinator or msg.sender == self.view.coordinator:
+            survivors = [m for m in self._alive_members(self.engine.now)
+                         if m != msg.sender]
+            if self.endpoint in survivors:
+                self._start_flush(set(survivors) | self._joiners)
+
+    def _on_announce(self, msg: Announce) -> None:
+        if self.view is None or not self.cfg.gossip:
+            return
+        if msg.sender in self.view.members:
+            return
+        if not self.is_coordinator:
+            return
+        if self.endpoint < msg.sender:
+            if self._active_flush is None and not self.blocked:
+                alive = self._alive_members(self.engine.now)
+                self._start_flush(set(alive) | set(msg.members)
+                                  | self._joiners)
+        else:
+            # Prompt the other coordinator (smaller id) to merge us.
+            self._sendto(msg.sender, Announce(
+                group=self.group, sender=self.endpoint,
+                epoch=self.view.epoch, members=self.view.members))
+
+    def _on_hb(self, msg: Hb) -> None:
+        self.max_epoch = max(self.max_epoch, msg.epoch)
+
+    def _on_p2p(self, msg: P2p) -> None:
+        self.stats["p2p"] += 1
+        self.events.put(P2pEvent(source=msg.sender, payload=msg.payload))
+
+    def __repr__(self) -> str:
+        v = f"view#{self.view.epoch}x{len(self.view)}" if self.view else "joining"
+        flags = "".join(f for f, on in
+                        (("B", self.blocked), ("C", self.is_coordinator))
+                        if on)
+        return f"<GroupMember {self.endpoint} {v} {flags}>"

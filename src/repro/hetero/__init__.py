@@ -1,0 +1,33 @@
+"""Heterogeneous checkpointing support (system S12, paper §4).
+
+The paper checkpoints pure-OCaml programs at the *virtual machine* level so
+a computation can move between the six machine types of Table 2 (mixed
+endianness, mixed 32/64-bit word length).  Its key performance trick: data
+is saved in the **source machine's native representation** with "a concise
+indication of what that representation is", and conversion happens only on
+restart — and only if the target machine actually differs.
+
+This package implements that design for the state containers of
+:class:`~repro.core.program.StarfishProgram`:
+
+* :mod:`repro.hetero.representation` — a real binary format whose
+  multi-byte scalars, lengths, and array payloads are written in the source
+  architecture's byte order, with unboxed integers sized to the source VM
+  word (31/63-bit, one tag bit, as in OCaml); the decoder byte-swaps and
+  re-boxes as needed for the target architecture.
+* :mod:`repro.hetero.layout` — the *native heap layout* model: how many
+  bytes the same state occupies in a process-level (homogeneous) core dump,
+  which is what Figure 3's checkpoint sizes are made of.
+"""
+
+from repro.hetero.representation import (CheckpointBlob, decode, encode,
+                                         portable_nbytes)
+from repro.hetero.layout import native_heap_nbytes
+
+__all__ = [
+    "CheckpointBlob",
+    "decode",
+    "encode",
+    "native_heap_nbytes",
+    "portable_nbytes",
+]

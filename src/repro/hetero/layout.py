@@ -1,0 +1,61 @@
+"""Native heap layout model — what a process-level core dump costs.
+
+Figure 3's (homogeneous) checkpoint files are raw memory images: every
+boxed value pays a header word and word alignment, and the dump includes
+allocator slack (free lists, fragmentation, GC headroom) that the portable
+VM-level encoder of Figure 4 does not carry.  The slack factor is calibrated
+from the paper's own numbers: the same application checkpoints to 135 MB
+natively but 96 MB portably (see ``calibration.VM_PAYLOAD_FACTOR``).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.calibration import VM_PAYLOAD_FACTOR
+from repro.cluster.arch import Architecture
+from repro.errors import RepresentationError
+
+#: Dump-size multiplier over the exact live-heap layout: allocator free
+#: lists, fragmentation, and GC headroom included in a core dump.
+ALLOCATOR_SLACK = 1.0 / VM_PAYLOAD_FACTOR
+
+
+def _align(n: int, word: int) -> int:
+    return (n + word - 1) // word * word
+
+
+def _layout(v: Any, word: int) -> int:
+    """Exact live-heap bytes of ``v`` under an OCaml-like layout."""
+    if v is None or isinstance(v, bool):
+        return word                        # immediate value in a field
+    if isinstance(v, (int, np.integer)):
+        iv = int(v)
+        if -(1 << (word * 8 - 2)) <= iv < (1 << (word * 8 - 2)):
+            return word                    # unboxed, fits word minus tag
+        return word + _align(max(8, (iv.bit_length() + 8) // 8), word)
+    if isinstance(v, (float, np.floating)):
+        return word + 8                    # boxed double: header + payload
+    if isinstance(v, str):
+        return word + _align(len(v.encode("utf-8")) + 1, word)
+    if isinstance(v, (bytes, bytearray)):
+        return word + _align(len(v) + 1, word)
+    if isinstance(v, (list, tuple)):
+        return word + word * len(v) + sum(_layout(i, word) for i in v)
+    if isinstance(v, dict):
+        # Hash table: header + bucket array (~2x entries) + per-entry cells.
+        inner = sum(_layout(k, word) + _layout(val, word)
+                    for k, val in v.items())
+        return word + 2 * word * max(1, len(v)) + 3 * word * len(v) + inner
+    if isinstance(v, np.ndarray):
+        return word + _align(int(v.nbytes), word)
+    raise RepresentationError(
+        f"cannot lay out {type(v).__name__!r} in the native heap model")
+
+
+def native_heap_nbytes(value: Any, arch: Architecture) -> int:
+    """Bytes ``value`` contributes to a native (core-dump) checkpoint."""
+    exact = _layout(value, arch.word_bytes)
+    return int(exact * ALLOCATOR_SLACK)

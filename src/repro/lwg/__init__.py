@@ -1,0 +1,25 @@
+"""Lightweight groups (system S5), after Guo & Rodrigues' dynamic
+light-weight groups — the mechanism Starfish uses to scope per-application
+membership and coordination without paying for one full process group per
+application.
+
+Design (paper §2.1):
+
+* Lightweight-group **membership operations** (create / join / leave) are
+  rare, so they ride the *main* Starfish group's totally-ordered multicast —
+  every daemon therefore has an identical replica of every lightweight
+  group's member list, and main-group view changes (node failures) shrink
+  all lightweight groups consistently and locally, with no extra protocol.
+* Lightweight-group **data messages** (coordination and C/R traffic of one
+  application) are frequent, so they travel point-to-point: the lightweight
+  group's coordinator sequences them and relays them only to that group's
+  members — the efficiency argument for lightweight groups.
+
+The ablation benchmark ``bench_ablation_lwg`` compares this against the
+naive "one full process group per application" design.
+"""
+
+from repro.lwg.manager import LwgManager
+from repro.lwg.events import LwgCast, LwgEvent, LwgView
+
+__all__ = ["LwgCast", "LwgEvent", "LwgManager", "LwgView"]

@@ -1,0 +1,42 @@
+"""Upcalls delivered to lightweight-group subscribers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+from repro.gcs.endpoint import EndpointId
+
+
+class LwgEvent:
+    """Base class of lightweight-group upcalls."""
+
+
+@dataclass(frozen=True)
+class LwgView(LwgEvent):
+    """The lightweight group's membership changed."""
+
+    app_id: str
+    members: Tuple[EndpointId, ...]
+    joined: Tuple[EndpointId, ...]
+    left: Tuple[EndpointId, ...]
+
+
+@dataclass(frozen=True)
+class LwgCast(LwgEvent):
+    """A totally-ordered multicast within the lightweight group."""
+
+    app_id: str
+    source: EndpointId
+    payload: Any
+    kind: str = "coordination"
+
+
+@dataclass(frozen=True)
+class LwgP2p(LwgEvent):
+    """A direct message between two members of the lightweight group."""
+
+    app_id: str
+    source: EndpointId
+    payload: Any
+    kind: str = "coordination"

@@ -1,0 +1,293 @@
+"""The lightweight membership module.
+
+One :class:`LwgManager` runs inside every daemon, layered on that daemon's
+main-group :class:`~repro.gcs.member.GroupMember`.  The daemon's event loop
+feeds every main-group upcall through :meth:`LwgManager.on_main_event`; the
+manager consumes the ones that belong to the lightweight layer and returns
+``True`` for them.
+
+Protocol envelopes on the main group:
+
+* membership ops (total-order casts): ``("lwg-op", op, app_id, endpoint)``
+  with op in {create, join, leave, destroy}; *create* carries the initial
+  member tuple instead of one endpoint;
+* data (point-to-point): ``("lwg-data", app_id, origin, lseq, payload,
+  kind)`` to the group's sequencer and ``("lwg-ord", app_id, gseq, origin,
+  lseq, payload, kind)`` from the sequencer to members.
+
+Because membership ops are totally ordered, every daemon holds an identical
+replica of every group's member list, and a main-group view change shrinks
+all lightweight groups locally and consistently — no extra agreement
+protocol, which is the entire point of lightweight groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.errors import NotMember
+from repro.gcs.endpoint import EndpointId
+from repro.gcs.events import CastEvent, GcsEvent, P2pEvent, ViewEvent
+from repro.gcs.member import GroupMember
+from repro.lwg.events import LwgCast, LwgP2p, LwgView
+from repro.sim.channel import Channel
+
+
+@dataclass
+class _LwgState:
+    """Replicated (per daemon) state of one lightweight group."""
+
+    app_id: str
+    members: Tuple[EndpointId, ...] = ()
+    # -- sequencer side (only used by the current coordinator) --
+    next_gseq: int = 0
+    seen_keys: Set[Tuple[EndpointId, int]] = field(default_factory=set)
+    # -- member side --
+    next_deliver: int = 0
+    ooo: Dict[int, tuple] = field(default_factory=dict)
+    delivered_keys: Set[Tuple[EndpointId, int]] = field(default_factory=set)
+
+    @property
+    def coordinator(self) -> Optional[EndpointId]:
+        return min(self.members) if self.members else None
+
+    def reset_ordering(self) -> None:
+        self.next_gseq = 0
+        self.seen_keys = set()
+        self.next_deliver = 0
+        self.ooo = {}
+        # delivered_keys survives: dedup across re-sends spanning a change.
+
+
+class LwgManager:
+    """Lightweight membership + lightweight endpoints' message fan-out."""
+
+    def __init__(self, engine, gm: GroupMember):
+        self.engine = engine
+        self.gm = gm
+        self.groups: Dict[str, _LwgState] = {}
+        #: Local subscribers: app_id -> channel of LwgEvent.
+        self._subs: Dict[str, Channel] = {}
+        #: Our un-sequenced data messages per group: app -> {lseq: (payload, kind, size)}
+        self._pending: Dict[str, Dict[int, tuple]] = {}
+        self._next_lseq: Dict[str, int] = {}
+        self.stats = {"casts": 0, "delivered": 0, "relayed": 0}
+
+    @property
+    def endpoint(self) -> EndpointId:
+        return self.gm.endpoint
+
+    # ------------------------------------------------------------------
+    # subscriptions (the lightweight *endpoint* side)
+    # ------------------------------------------------------------------
+
+    def subscribe(self, app_id: str) -> Channel:
+        """Channel on which this daemon receives the group's upcalls."""
+        ch = self._subs.get(app_id)
+        if ch is None:
+            ch = Channel(self.engine, name=f"lwg:{app_id}@{self.endpoint}")
+            self._subs[app_id] = ch
+        return ch
+
+    def unsubscribe(self, app_id: str) -> None:
+        self._subs.pop(app_id, None)
+
+    def members(self, app_id: str) -> Tuple[EndpointId, ...]:
+        state = self.groups.get(app_id)
+        return state.members if state else ()
+
+    # ------------------------------------------------------------------
+    # membership operations (ride the main group's total order)
+    # ------------------------------------------------------------------
+
+    def create(self, app_id: str, members) -> None:
+        """Create a lightweight group spanning ``members`` (daemons)."""
+        self.gm.cast(("lwg-op", "create", app_id, tuple(sorted(members))))
+
+    def join(self, app_id: str, member: Optional[EndpointId] = None) -> None:
+        self.gm.cast(("lwg-op", "join", app_id, member or self.endpoint))
+
+    def leave(self, app_id: str, member: Optional[EndpointId] = None) -> None:
+        """Terminate (our or ``member``'s) membership in the group."""
+        self.gm.cast(("lwg-op", "leave", app_id, member or self.endpoint))
+
+    def destroy(self, app_id: str) -> None:
+        self.gm.cast(("lwg-op", "destroy", app_id, None))
+
+    # ------------------------------------------------------------------
+    # data path
+    # ------------------------------------------------------------------
+
+    def cast(self, app_id: str, payload: Any, kind: str = "coordination",
+             size: int = 256) -> None:
+        """Totally-ordered multicast within the lightweight group."""
+        state = self.groups.get(app_id)
+        if state is None or self.endpoint not in state.members:
+            raise NotMember(f"{self.endpoint} is not in lwg {app_id!r}")
+        lseq = self._next_lseq.get(app_id, 0)
+        self._next_lseq[app_id] = lseq + 1
+        self._pending.setdefault(app_id, {})[lseq] = (payload, kind, size)
+        self.stats["casts"] += 1
+        self._send_data(app_id, state, lseq, payload, kind, size)
+
+    def send(self, app_id: str, dest: EndpointId, payload: Any,
+             kind: str = "coordination", size: int = 256) -> None:
+        """Direct message to one member of the lightweight group."""
+        self.gm.send(dest, ("lwg-p2p", app_id, payload, kind), size=size,
+                     kind=kind)
+
+    def _send_data(self, app_id, state, lseq, payload, kind, size) -> None:
+        coord = state.coordinator
+        if coord is None:
+            return  # group empty; pending is re-sent on membership change
+        self.gm.send(coord, ("lwg-data", app_id, self.endpoint, lseq,
+                             payload, kind), size=size, kind=kind)
+
+    # ------------------------------------------------------------------
+    # main-group event intake
+    # ------------------------------------------------------------------
+
+    def on_main_event(self, ev: GcsEvent) -> bool:
+        """Feed a main-group upcall through the lightweight layer.
+
+        Returns ``True`` if the event was consumed here (pure lwg traffic);
+        main-group view changes return ``False`` so the daemon can also act
+        on them, but their lwg side effects are applied.
+        """
+        if isinstance(ev, ViewEvent):
+            self._apply_main_view(ev)
+            return False
+        if isinstance(ev, CastEvent):
+            payload = ev.payload
+            if isinstance(payload, tuple) and payload and payload[0] == "lwg-op":
+                self._apply_op(payload)
+                return True
+            return False
+        if isinstance(ev, P2pEvent):
+            payload = ev.payload
+            if not (isinstance(payload, tuple) and payload):
+                return False
+            tag = payload[0]
+            if tag == "lwg-data":
+                self._sequence(payload)
+                return True
+            if tag == "lwg-ord":
+                self._receive_ordered(payload)
+                return True
+            if tag == "lwg-p2p":
+                _, app_id, inner, kind = payload
+                self._emit(app_id, LwgP2p(app_id=app_id, source=ev.source,
+                                          payload=inner, kind=kind))
+                return True
+            return False
+        return False
+
+    # -- membership mechanics ----------------------------------------------
+
+    def _apply_op(self, payload: tuple) -> None:
+        _, op, app_id, arg = payload
+        state = self.groups.get(app_id)
+        if op == "create":
+            if state is not None:
+                return  # duplicate create (e.g. re-cast after view change)
+            state = _LwgState(app_id=app_id, members=tuple(sorted(arg)))
+            self.groups[app_id] = state
+            self._emit(app_id, LwgView(app_id=app_id, members=state.members,
+                                       joined=state.members, left=()))
+            return
+        if state is None:
+            return
+        if op == "destroy":
+            del self.groups[app_id]
+            self._emit(app_id, LwgView(app_id=app_id, members=(),
+                                       joined=(), left=state.members))
+            return
+        old = state.members
+        if op == "join" and arg not in old:
+            new = tuple(sorted(old + (arg,)))
+        elif op == "leave" and arg in old:
+            new = tuple(m for m in old if m != arg)
+        else:
+            return
+        self._change_members(state, new)
+
+    def _apply_main_view(self, ev: ViewEvent) -> None:
+        alive = set(ev.view.members)
+        for state in list(self.groups.values()):
+            new = tuple(m for m in state.members if m in alive)
+            if new != state.members:
+                self._change_members(state, new)
+
+    def _change_members(self, state: _LwgState, new: Tuple[EndpointId, ...]):
+        old = state.members
+        state.members = new
+        state.reset_ordering()
+        joined = tuple(sorted(set(new) - set(old)))
+        left = tuple(sorted(set(old) - set(new)))
+        self._emit(state.app_id, LwgView(app_id=state.app_id, members=new,
+                                         joined=joined, left=left))
+        # Re-drive our own unordered messages through the new coordinator.
+        if self.endpoint in new:
+            for lseq, (payload, kind, size) in sorted(
+                    self._pending.get(state.app_id, {}).items()):
+                self._send_data(state.app_id, state, lseq, payload, kind, size)
+
+    # -- data mechanics ---------------------------------------------------------
+
+    def _sequence(self, payload: tuple) -> None:
+        """Coordinator role: order one data message and relay it."""
+        _, app_id, origin, lseq, inner, kind = payload
+        state = self.groups.get(app_id)
+        if state is None or state.coordinator != self.endpoint:
+            return  # stale coordinator view at sender; it will re-send
+        if origin not in state.members:
+            return
+        key = (origin, lseq)
+        if key in state.seen_keys:
+            return
+        state.seen_keys.add(key)
+        gseq = state.next_gseq
+        state.next_gseq += 1
+        self.stats["relayed"] += 1
+        out = ("lwg-ord", app_id, gseq, origin, lseq, inner, kind)
+        for m in state.members:
+            if m == self.endpoint:
+                self._receive_ordered(out)
+            else:
+                self.gm.send(m, out, size=256, kind=kind)
+
+    def _receive_ordered(self, payload: tuple) -> None:
+        _, app_id, gseq, origin, lseq, inner, kind = payload
+        state = self.groups.get(app_id)
+        if state is None or self.endpoint not in state.members:
+            return
+        if gseq == state.next_deliver:
+            self._deliver(state, (origin, lseq, inner, kind))
+            state.next_deliver += 1
+            while state.next_deliver in state.ooo:
+                self._deliver(state, state.ooo.pop(state.next_deliver))
+                state.next_deliver += 1
+        elif gseq > state.next_deliver:
+            state.ooo[gseq] = (origin, lseq, inner, kind)
+
+    def _deliver(self, state: _LwgState, item: tuple) -> None:
+        origin, lseq, inner, kind = item
+        key = (origin, lseq)
+        if key in state.delivered_keys:
+            return  # duplicate from a re-send across a membership change
+        state.delivered_keys.add(key)
+        if origin == self.endpoint:
+            self._pending.get(state.app_id, {}).pop(lseq, None)
+        self.stats["delivered"] += 1
+        self._emit(state.app_id, LwgCast(app_id=state.app_id, source=origin,
+                                         payload=inner, kind=kind))
+
+    def _emit(self, app_id: str, event) -> None:
+        ch = self._subs.get(app_id)
+        if ch is not None and not ch.closed:
+            ch.put(event)
+
+    def __repr__(self) -> str:
+        return (f"<LwgManager {self.endpoint} groups={sorted(self.groups)} "
+                f"stats={self.stats}>")

@@ -1,0 +1,190 @@
+"""The MPI facade handed to application programs (``ctx.mpi``).
+
+Wraps the world communicator with the familiar call surface plus the
+Starfish extension downcalls of the paper's API (§1):
+
+* ``checkpoint()`` — user-initiated checkpoint of the whole application;
+* ``spawn(n)`` — MPI-2 dynamic process management, serviced by the daemons;
+* world refresh — after a view change under the VIEW_NOTIFY policy, the
+  runtime renumbers the surviving ranks densely and swaps in a new world
+  communicator; programs observe it through their ``on_view_change`` hook.
+
+A program that uses none of these is a plain MPI program — Starfish runs
+it unmodified (the paper's compatibility argument), and conversely a
+Starfish program stripped of these calls runs on any MPI.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from repro.errors import MpiError
+from repro.mpi.communicator import Communicator
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG
+from repro.mpi.endpoint import MpiEndpoint
+from repro.mpi.reduce_ops import SUM, ReduceOp
+from repro.mpi.request import Request, waitall, waitany
+
+
+class RuntimeServices:
+    """What the Starfish runtime provides behind the extension downcalls.
+
+    The default implementation refuses everything — a bare MpiApi (as used
+    in unit tests) behaves like a conventional MPI library.
+    """
+
+    def request_checkpoint(self):
+        raise MpiError("checkpoint() requires the Starfish runtime")
+        yield  # pragma: no cover
+
+    def request_spawn(self, nprocs: int):
+        raise MpiError("spawn() requires the Starfish runtime")
+        yield  # pragma: no cover
+
+
+class MpiApi:
+    """Per-process MPI interface bound to one world communicator."""
+
+    def __init__(self, endpoint: MpiEndpoint, nprocs: int,
+                 services: Optional[RuntimeServices] = None,
+                 world_group: Optional[Tuple[int, ...]] = None,
+                 world_version: int = 0):
+        self.endpoint = endpoint
+        self.services = services or RuntimeServices()
+        group = world_group or tuple(range(nprocs))
+        self.world = Communicator(
+            endpoint, f"world:{endpoint.app_id}:v{world_version}", group)
+        self.world_version = world_version
+
+    # -- identity ------------------------------------------------------------
+
+    @property
+    def rank(self) -> int:
+        return self.world.rank
+
+    @property
+    def size(self) -> int:
+        return self.world.size
+
+    # -- point-to-point (delegates to the world communicator) ----------------
+
+    def send(self, data, dest, tag=0, size=None):
+        yield from self.world.send(data, dest, tag=tag, size=size)
+
+    def recv(self, source=ANY_SOURCE, tag=ANY_TAG, with_status=False):
+        out = yield from self.world.recv(source=source, tag=tag,
+                                         with_status=with_status)
+        return out
+
+    def isend(self, data, dest, tag=0, size=None) -> Request:
+        return self.world.isend(data, dest, tag=tag, size=size)
+
+    def irecv(self, source=ANY_SOURCE, tag=ANY_TAG) -> Request:
+        return self.world.irecv(source=source, tag=tag)
+
+    def sendrecv(self, data, dest, source=ANY_SOURCE, sendtag=0,
+                 recvtag=ANY_TAG, size=None):
+        out = yield from self.world.sendrecv(data, dest, source=source,
+                                             sendtag=sendtag,
+                                             recvtag=recvtag, size=size)
+        return out
+
+    def probe(self, source=ANY_SOURCE, tag=ANY_TAG):
+        st = yield from self.world.probe(source=source, tag=tag)
+        return st
+
+    def iprobe(self, source=ANY_SOURCE, tag=ANY_TAG):
+        return self.world.iprobe(source=source, tag=tag)
+
+    def wait(self, request: Request):
+        data = yield from request.wait()
+        return data
+
+    def waitall(self, requests: List[Request]):
+        out = yield from waitall(self.endpoint.engine, requests)
+        return out
+
+    def waitany(self, requests: List[Request]):
+        out = yield from waitany(self.endpoint.engine, requests)
+        return out
+
+    # -- collectives ------------------------------------------------------------
+
+    def barrier(self):
+        yield from self.world.barrier()
+
+    def bcast(self, data, root=0):
+        out = yield from self.world.bcast(data, root=root)
+        return out
+
+    def reduce(self, data, op: ReduceOp = SUM, root=0):
+        out = yield from self.world.reduce(data, op=op, root=root)
+        return out
+
+    def allreduce(self, data, op: ReduceOp = SUM):
+        out = yield from self.world.allreduce(data, op=op)
+        return out
+
+    def gather(self, data, root=0):
+        out = yield from self.world.gather(data, root=root)
+        return out
+
+    def scatter(self, data, root=0):
+        out = yield from self.world.scatter(data, root=root)
+        return out
+
+    def allgather(self, data):
+        out = yield from self.world.allgather(data)
+        return out
+
+    def alltoall(self, data):
+        out = yield from self.world.alltoall(data)
+        return out
+
+    def scan(self, data, op: ReduceOp = SUM):
+        out = yield from self.world.scan(data, op=op)
+        return out
+
+    def split(self, color, key=None):
+        out = yield from self.world.split(color, key=key)
+        return out
+
+    def dup(self):
+        out = yield from self.world.dup()
+        return out
+
+    # -- Starfish extensions ------------------------------------------------------
+
+    def checkpoint(self):
+        """Starfish downcall: checkpoint the application now (§3.2.2).
+
+        Returns the committed version (blocks until the commit; call it as
+        the last communication-free action of a step)."""
+        version = yield from self.services.request_checkpoint()
+        return version
+
+    def spawn(self, nprocs: int):
+        """MPI-2 dynamic process management: ask the daemons for ``nprocs``
+        more processes of this application.  Returns the new world size
+        once they have joined."""
+        out = yield from self.services.request_spawn(nprocs)
+        return out
+
+    # -- runtime hook (not for application use) ---------------------------------
+
+    def _refresh_world(self, group: Tuple[int, ...],
+                       version: Optional[int] = None) -> None:
+        """Swap in a new, densely-renumbered world after a view change.
+
+        ``version`` is the cluster-assigned world version — it names the
+        new communicator, so every process derives the same id even if
+        some of them coalesced several view changes into one.
+        """
+        self.world_version = (version if version is not None
+                              else self.world_version + 1)
+        self.world = Communicator(
+            self.endpoint,
+            f"world:{self.endpoint.app_id}:v{self.world_version}", group)
+
+    def __repr__(self) -> str:
+        return f"<MpiApi rank {self.rank}/{self.size} {self.world.comm_id}>"

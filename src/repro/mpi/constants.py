@@ -1,0 +1,23 @@
+"""MPI constants."""
+
+#: Wildcard source for receives.
+ANY_SOURCE = -1
+#: Wildcard tag for receives.
+ANY_TAG = -1
+#: Null rank: sends/receives to it complete immediately with no data.
+PROC_NULL = -2
+#: Returned by split() for ranks passing color=UNDEFINED.
+UNDEFINED = -3
+
+#: Largest tag available to applications; larger values (and all negative
+#: tags) are reserved for the runtime (collectives, C/R protocols).
+MAX_USER_TAG = 2**20
+
+#: Base for internal collective tags (negative space, below ANY_TAG).
+COLL_TAG_BASE = -16
+#: Base for checkpoint-protocol tags.
+CKPT_TAG_BASE = -(2**24)
+
+#: Fixed header bytes added to each data message on the wire (the wire
+#: timing model in repro.calibration accounts for its serialization).
+from repro.calibration import DATA_HEADER as MSG_HEADER  # noqa: E402

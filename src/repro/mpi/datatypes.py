@@ -1,0 +1,40 @@
+"""Wire-size accounting for transmitted Python objects.
+
+The simulator moves Python objects by reference; what the timing model
+needs is the number of bytes the real system would marshal.  ``nbytes_of``
+estimates that, preferring exact answers (NumPy buffers, bytes) and falling
+back to a compact-encoding estimate for plain Python data.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+#: Per-object marshalling overhead for non-buffer types.
+_BOX = 8
+
+
+def nbytes_of(data: Any) -> int:
+    """Estimated marshalled size of ``data`` in bytes."""
+    if data is None or isinstance(data, bool):
+        return 1
+    if isinstance(data, (bytes, bytearray, memoryview)):
+        return len(data)
+    if isinstance(data, np.ndarray):
+        return int(data.nbytes)
+    if isinstance(data, (np.integer, np.floating, float, int)):
+        return 8
+    if isinstance(data, complex):
+        return 16
+    if isinstance(data, str):
+        return len(data.encode("utf-8"))
+    if isinstance(data, (list, tuple, set, frozenset)):
+        return _BOX + sum(nbytes_of(item) for item in data)
+    if isinstance(data, dict):
+        return _BOX + sum(nbytes_of(k) + nbytes_of(v)
+                          for k, v in data.items())
+    # Opaque object: charge a boxed reference; callers that care pass
+    # an explicit size.
+    return _BOX

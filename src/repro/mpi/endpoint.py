@@ -1,0 +1,213 @@
+"""The per-process MPI engine: eager sends, dispatcher, channel counters.
+
+One :class:`MpiEndpoint` lives inside each application process.  It owns
+the process's VNI, the matching engine, and per-peer channel counters (the
+raw material of the checkpoint protocols' quiescence detection and channel
+recording).  Data messages are delivered *eagerly*: the paper's polling
+thread (inside the VNI) moves them off the network whether or not a
+matching receive exists yet, and this dispatcher files them into the
+matching engine.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.calibration import LayerCosts
+from repro.errors import Interrupt, MpiError, NetworkError, NodeDown
+from repro.mpi.constants import CKPT_TAG_BASE, MSG_HEADER, PROC_NULL
+from repro.mpi.datatypes import nbytes_of
+from repro.mpi.matching import InboundMsg, MatchingEngine
+from repro.mpi.request import Request
+from repro.vni.interface import Vni
+
+#: Wire packet: ("mpi", comm_id, src_comm_rank, tag, data, nbytes, src_world)
+_PKT_TAG = "mpi"
+
+
+class MpiEndpoint:
+    """MPI engine of one rank of one application.
+
+    Parameters
+    ----------
+    world_rank:
+        This process's rank in the application's world communicator.
+    addressbook:
+        ``{world_rank: (node_id, vni_port)}`` — mutated in place by the
+        runtime when processes migrate or restart elsewhere.
+    transport:
+        Fabric for the data fast path (default BIP/Myrinet, as the paper's
+        performance configuration).
+    polling:
+        Run the paper's polling-thread receive path (see
+        :class:`repro.vni.Vni`).
+    """
+
+    def __init__(self, engine, node, app_id: str, world_rank: int,
+                 addressbook: Dict[int, Tuple[str, str]],
+                 transport: str = "bip-myrinet", polling: bool = True):
+        self.engine = engine
+        self.node = node
+        self.app_id = app_id
+        self.world_rank = world_rank
+        self.addressbook = addressbook
+        self.port = f"mpi:{app_id}:{world_rank}"
+        addressbook[world_rank] = (node.node_id, self.port)
+        self.vni = Vni(engine, node, port=self.port, transport=transport,
+                       polling=polling)
+        self.polling = polling
+        self.matching = MatchingEngine()
+        #: Data messages sent to / received from each peer world rank —
+        #: per-channel counters used by the C/R protocols.
+        self.sent_count: Dict[int, int] = {}
+        self.recv_count: Dict[int, int] = {}
+        #: Hook intercepting control messages (tag <= CKPT_TAG_BASE);
+        #: installed by the C/R module (e.g. Chandy–Lamport markers).
+        self.control_hook: Optional[Callable[[InboundMsg, int], Any]] = None
+        #: Piggyback provider: called per outgoing data message; its return
+        #: value rides the packet (uncoordinated C/R dependency tracking).
+        self.piggyback_provider: Optional[Callable[[], Any]] = None
+        #: Tap on arriving data messages: ``tap(src_world, msg, piggyback)``
+        #: (Chandy–Lamport channel recording, message logging).
+        self.data_tap: Optional[Callable[[int, InboundMsg, Any], None]] = None
+        self._dispatcher = None
+        if polling:
+            self._dispatcher = node.spawn(self._dispatch(),
+                                          name=f"mpi-disp:{self.port}")
+
+    @property
+    def layers(self) -> LayerCosts:
+        return self.vni.layers
+
+    # ------------------------------------------------------------------
+    # send side
+    # ------------------------------------------------------------------
+
+    def send(self, dest_world: int, comm_id: str, src_comm_rank: int,
+             tag: int, data: Any, nbytes: Optional[int] = None):
+        """Process generator: eager-send one data message."""
+        if dest_world == PROC_NULL:
+            return
+        addr = self.addressbook.get(dest_world)
+        if addr is None:
+            raise MpiError(f"rank {dest_world} has no address "
+                           f"(app {self.app_id})")
+        nbytes = nbytes if nbytes is not None else nbytes_of(data)
+        yield self.engine.timeout(self.layers.mpi_send)
+        pb = None
+        if tag > CKPT_TAG_BASE:  # control messages don't move the counters
+            self.sent_count[dest_world] = \
+                self.sent_count.get(dest_world, 0) + 1
+            if self.piggyback_provider is not None:
+                pb = self.piggyback_provider()
+        packet = (_PKT_TAG, comm_id, src_comm_rank, tag, data, nbytes,
+                  self.world_rank, pb)
+        node_id, port = addr
+        try:
+            yield from self.vni.send(node_id, port, packet,
+                                     size=nbytes + MSG_HEADER, kind="data")
+        except (NodeDown, NetworkError):
+            # Peer (or our NIC) died mid-send: eager sends complete locally;
+            # failure surfaces through the daemons' failure detection.
+            pass
+
+    def isend(self, dest_world: int, comm_id: str, src_comm_rank: int,
+              tag: int, data: Any, nbytes: Optional[int] = None) -> Request:
+        req = Request(self.engine, "send")
+
+        def run():
+            try:
+                yield from self.send(dest_world, comm_id, src_comm_rank,
+                                     tag, data, nbytes)
+                req.complete(None)
+            except Interrupt:
+                req.fail(MpiError("isend interrupted"))
+
+        self.node.spawn(run(), name=f"isend:{self.port}")
+        return req
+
+    # ------------------------------------------------------------------
+    # receive side
+    # ------------------------------------------------------------------
+
+    def _dispatch(self):
+        """Move VNI-received messages into the matching engine."""
+        try:
+            while True:
+                try:
+                    vmsg = yield from self.vni.recv()
+                except (NodeDown, NetworkError):
+                    return
+                yield self.engine.timeout(self.layers.mpi_recv)
+                consumed = yield from self._ingest(vmsg.payload)
+                del consumed
+        except Interrupt:
+            return
+
+    def _ingest(self, payload):
+        """Classify one raw packet; returns True if a hook consumed it."""
+        if not (isinstance(payload, tuple) and payload
+                and payload[0] == _PKT_TAG):
+            return False
+        _, comm_id, src_rank, tag, data, nbytes, src_world, pb = payload
+        if tag <= CKPT_TAG_BASE:
+            if self.control_hook is not None:
+                result = self.control_hook(
+                    InboundMsg(comm_id=comm_id, source=src_rank, tag=tag,
+                               data=data, nbytes=nbytes), src_world)
+                if result is not None and hasattr(result, "__next__"):
+                    yield from result
+            return True
+        self.recv_count[src_world] = self.recv_count.get(src_world, 0) + 1
+        inbound = InboundMsg(comm_id=comm_id, source=src_rank, tag=tag,
+                             data=data, nbytes=nbytes)
+        if self.data_tap is not None:
+            self.data_tap(src_world, inbound, pb)
+        self.matching.arrived(inbound)
+        return False
+
+    def pump_blocking(self):
+        """Process generator: ingest exactly one message from the NIC.
+
+        Used when the polling thread is disabled (ablation §2.2.1): the
+        receiver itself must enter the kernel per message.
+        """
+        vmsg = yield from self.vni.recv()
+        yield self.engine.timeout(self.layers.mpi_recv)
+        yield from self._ingest(vmsg.payload)
+
+    # ------------------------------------------------------------------
+    # checkpoint/restart support
+    # ------------------------------------------------------------------
+
+    def channel_counters(self) -> Tuple[Dict[int, int], Dict[int, int]]:
+        return dict(self.sent_count), dict(self.recv_count)
+
+    def export_state(self) -> dict:
+        """Serializable runtime state saved inside checkpoints."""
+        return {
+            "sent_count": dict(self.sent_count),
+            "recv_count": dict(self.recv_count),
+            "unexpected": self.matching.snapshot_unexpected(),
+        }
+
+    def import_state(self, state: dict) -> None:
+        self.sent_count = dict(state["sent_count"])
+        self.recv_count = dict(state["recv_count"])
+        self.matching.restore_unexpected(state["unexpected"])
+
+    def in_flight_to(self, peer_sent: Dict[int, int]) -> int:
+        """Messages sent to us (per peers' counters) but not yet ingested."""
+        missing = 0
+        for src, sent in peer_sent.items():
+            missing += sent - self.recv_count.get(src, 0)
+        return missing
+
+    def close(self) -> None:
+        if self._dispatcher is not None and self._dispatcher.is_alive:
+            self._dispatcher.interrupt("mpi-close")
+        self.vni.close()
+
+    def __repr__(self) -> str:
+        return (f"<MpiEndpoint {self.app_id}#{self.world_rank} on "
+                f"{self.node.node_id}>")

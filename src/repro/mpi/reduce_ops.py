@@ -1,0 +1,84 @@
+"""Reduction operators.
+
+Each operator combines two contributions; element-wise operators accept
+scalars, (nested) lists/tuples of scalars, or NumPy arrays.  MAXLOC/MINLOC
+operate on whole ``(value, index)`` pairs, as in MPI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.errors import MpiError
+
+
+def _combine(a: Any, b: Any, fn) -> Any:
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return fn(np.asarray(a), np.asarray(b))
+    if isinstance(a, (list, tuple)):
+        if not isinstance(b, (list, tuple)) or len(a) != len(b):
+            raise MpiError("reduction over mismatched sequence shapes")
+        out = [_combine(x, y, fn) for x, y in zip(a, b)]
+        return tuple(out) if isinstance(a, tuple) else out
+    return fn(a, b)
+
+
+@dataclass(frozen=True)
+class ReduceOp:
+    """A named, associative, commutative combiner.
+
+    ``elementwise`` operators recurse into containers; pair operators
+    (MAXLOC/MINLOC) treat each contribution as one opaque tuple.
+    """
+
+    name: str
+    fn: Callable[[Any, Any], Any]
+    elementwise: bool = True
+
+    def __call__(self, a: Any, b: Any) -> Any:
+        if self.elementwise:
+            return _combine(a, b, self.fn)
+        return self.fn(a, b)
+
+    def __repr__(self) -> str:
+        return f"<ReduceOp {self.name}>"
+
+
+SUM = ReduceOp("SUM", lambda a, b: a + b)
+PROD = ReduceOp("PROD", lambda a, b: a * b)
+MAX = ReduceOp("MAX", lambda a, b: np.maximum(a, b)
+               if isinstance(a, np.ndarray) else max(a, b))
+MIN = ReduceOp("MIN", lambda a, b: np.minimum(a, b)
+               if isinstance(a, np.ndarray) else min(a, b))
+LAND = ReduceOp("LAND", lambda a, b: np.logical_and(a, b)
+                if isinstance(a, np.ndarray) else bool(a) and bool(b))
+LOR = ReduceOp("LOR", lambda a, b: np.logical_or(a, b)
+               if isinstance(a, np.ndarray) else bool(a) or bool(b))
+BAND = ReduceOp("BAND", lambda a, b: a & b)
+BOR = ReduceOp("BOR", lambda a, b: a | b)
+
+
+def _maxloc(a, b):
+    (va, ia), (vb, ib) = a, b
+    if va > vb or (va == vb and ia < ib):
+        return (va, ia)
+    return (vb, ib)
+
+
+def _minloc(a, b):
+    (va, ia), (vb, ib) = a, b
+    if va < vb or (va == vb and ia < ib):
+        return (va, ia)
+    return (vb, ib)
+
+
+MAXLOC = ReduceOp("MAXLOC", _maxloc, elementwise=False)
+MINLOC = ReduceOp("MINLOC", _minloc, elementwise=False)
+
+
+def apply_op(op: ReduceOp, a: Any, b: Any) -> Any:
+    """Combine two contributions under ``op``."""
+    return op(a, b)

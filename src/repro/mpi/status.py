@@ -1,0 +1,23 @@
+"""Receive status objects."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Status:
+    """What a completed receive reports (MPI_Status)."""
+
+    source: int
+    tag: int
+    nbytes: int
+
+    def get_source(self) -> int:
+        return self.source
+
+    def get_tag(self) -> int:
+        return self.tag
+
+    def get_count(self) -> int:
+        return self.nbytes

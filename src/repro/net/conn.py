@@ -1,0 +1,333 @@
+"""Reliable, in-order, connection-oriented messaging (simulated TCP).
+
+Starfish uses plain TCP connections for everything that is *not* on the
+fast data path: client↔daemon management/user sessions, the transport
+underneath Ensemble, and the local daemon↔application-process link.  This
+module provides that abstraction:
+
+* :class:`Listener` — accepts connections on a well-known port;
+* :class:`Connection` — an ARQ-protected (sequence numbers, cumulative
+  acks, retransmission) in-order message stream that survives the fabric's
+  configured frame loss and transient partitions;
+* :class:`LocalPipe` — the same interface between two software modules on
+  one node (fixed :data:`~repro.calibration.LOCAL_TCP_HOP` latency, no NIC).
+
+All ``send`` operations are process generators (``yield from conn.send(x)``)
+and ``recv()`` returns an event (``msg = yield conn.recv()``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Optional, Tuple
+
+from repro.calibration import LOCAL_TCP_HOP
+from repro.errors import ConnectionClosed, NetworkError
+from repro.net.message import Frame
+from repro.net.nic import Nic
+from repro.sim.channel import Channel
+
+_port_ids = itertools.count(1)
+
+#: Modelled wire size of connection control frames (SYN/ACK/FIN).
+CTRL_SIZE = 64
+#: Per-message framing overhead added to the caller's payload size.
+HEADER_SIZE = 32
+#: Retransmission timeout, seconds.
+RTO = 0.004
+#: Give up retransmitting after this many attempts; the connection breaks.
+MAX_RETRANSMITS = 30
+
+
+class Listener:
+    """Accepts incoming connections on ``(nic.node_id, port)``."""
+
+    def __init__(self, engine, nic: Nic, port: str):
+        self.engine = engine
+        self.nic = nic
+        self.port = port
+        self._accept_q = Channel(engine, name=f"accept:{nic.node_id}:{port}")
+        self._rx = nic.open_port(port)
+        self._known: Dict[Tuple[str, str], "Connection"] = {}
+        self._pump = engine.process(self._run(), name=f"listener:{port}")
+
+    def _run(self):
+        while True:
+            try:
+                frame = yield self._rx.get()
+            except Exception as exc:        # listening NIC went down
+                if not self._accept_q.closed:
+                    self._accept_q.close(
+                        exc if isinstance(exc, ConnectionClosed)
+                        else ConnectionClosed(str(exc)))
+                return
+            tag, *args = frame.payload
+            if tag != "SYN":
+                continue  # stray frame on the listening port
+            (client_port,) = args
+            key = (frame.src, client_port)
+            conn = self._known.get(key)
+            if conn is None:
+                conn = Connection(self.engine, self.nic,
+                                  peer_node=frame.src, peer_port=client_port)
+                self._known[key] = conn
+                if not self._accept_q.closed:
+                    self._accept_q.put(conn)
+            # (Re-)answer; duplicate SYNs just get the same SYNACK again.
+            yield from conn._send_ctrl("SYNACK", conn.local_port)
+
+    def accept(self):
+        """Event that fires with the next accepted :class:`Connection`."""
+        return self._accept_q.get()
+
+    def close(self) -> None:
+        self.nic.close_port(self.port)
+
+
+class Connection:
+    """One side of a reliable in-order connection over a fabric.
+
+    Create the client side with :meth:`Connection.connect`; server sides are
+    produced by :class:`Listener`.
+    """
+
+    def __init__(self, engine, nic: Nic, peer_node: str, peer_port: str):
+        self.engine = engine
+        self.nic = nic
+        self.peer_node = peer_node
+        self.peer_port = peer_port
+        self.local_port = f"conn-{next(_port_ids)}"
+        self._rx = nic.open_port(self.local_port)
+        self._inbox = Channel(engine, name=f"in:{self.local_port}")
+        self._next_tx_seq = 0
+        self._next_rx_seq = 0
+        self._ooo: Dict[int, Tuple[Any, str]] = {}   # seq -> (payload, kind)
+        self._unacked: Dict[int, Frame] = {}
+        self._retrans_count: Dict[int, int] = {}
+        self._retransmitter = None
+        self._closed = False
+        self._pump = engine.process(self._run(), name=f"conn:{self.local_port}")
+
+    # -- establishment -------------------------------------------------------
+
+    @classmethod
+    def connect(cls, engine, nic: Nic, peer_node: str, peer_port: str):
+        """Process generator: open a connection to a :class:`Listener`.
+
+        Returns the connected :class:`Connection`.  Retries the SYN until
+        answered, so it tolerates frame loss; it does *not* time out on a
+        dead peer (callers that need that should race it with a timeout).
+        """
+        conn = cls(engine, nic, peer_node=peer_node, peer_port=peer_port)
+        handshake = Channel(engine, name=f"hs:{conn.local_port}")
+        conn._handshake = handshake
+        # One persistent getter: a fresh get() per retry would leave stale
+        # getters queued on the channel that would swallow the SYNACK.
+        answer = handshake.get()
+        while True:
+            syn = Frame(src=nic.node_id, dst=peer_node, port=peer_port,
+                        payload=("SYN", conn.local_port), size=CTRL_SIZE,
+                        kind="control")
+            yield from nic.send(syn)
+            yield answer | engine.timeout(RTO * 4)
+            if answer.triggered:
+                conn.peer_port = answer.value
+                conn._handshake = None
+                return conn
+
+    # -- internal receive pump --------------------------------------------------
+
+    def _run(self):
+        while True:
+            try:
+                frame = yield self._rx.get()
+            except Exception as exc:        # rx port died (crash/close)
+                self._teardown(exc)
+                return
+            tag = frame.payload[0]
+            if tag == "DATA":
+                _, seq, payload, kind = frame.payload
+                yield from self._on_data(seq, payload, kind)
+            elif tag == "ACK":
+                self._on_ack(frame.payload[1])
+            elif tag == "SYNACK":
+                hs = getattr(self, "_handshake", None)
+                if hs is not None and not hs.closed:
+                    hs.put(frame.payload[1])
+            elif tag == "FIN":
+                self._teardown(ConnectionClosed(
+                    f"{self.peer_node} closed the connection"))
+                return
+
+    def _on_data(self, seq: int, payload: Any, kind: str):
+        if seq == self._next_rx_seq:
+            self._deliver(payload)
+            self._next_rx_seq += 1
+            while self._next_rx_seq in self._ooo:
+                buffered, _k = self._ooo.pop(self._next_rx_seq)
+                self._deliver(buffered)
+                self._next_rx_seq += 1
+        elif seq > self._next_rx_seq:
+            self._ooo[seq] = (payload, kind)
+        # duplicate (seq < expected): just re-ack
+        yield from self._send_ctrl("ACK", self._next_rx_seq)
+
+    def _deliver(self, payload: Any) -> None:
+        if not self._inbox.closed:
+            self._inbox.put(payload)
+
+    def _on_ack(self, cum_ack: int) -> None:
+        for seq in [s for s in self._unacked if s < cum_ack]:
+            del self._unacked[seq]
+            self._retrans_count.pop(seq, None)
+
+    def _send_ctrl(self, tag: str, arg: Any):
+        frame = Frame(src=self.nic.node_id, dst=self.peer_node,
+                      port=self.peer_port, payload=(tag, arg),
+                      size=CTRL_SIZE, kind="control")
+        try:
+            yield from self.nic.send(frame)
+        except NetworkError:
+            pass  # our own NIC died; the pump will find out
+
+    # -- retransmission ---------------------------------------------------------
+
+    def _retransmit_loop(self):
+        while self._unacked and not self._closed:
+            yield self.engine.timeout(RTO)
+            # Snapshot: acks may arrive (and mutate _unacked) while we are
+            # suspended inside nic.send below.
+            for seq, frame in sorted(list(self._unacked.items())):
+                if seq not in self._unacked or self._closed:
+                    continue
+                self._retrans_count[seq] = self._retrans_count.get(seq, 0) + 1
+                if self._retrans_count[seq] > MAX_RETRANSMITS:
+                    self._teardown(ConnectionClosed(
+                        f"gave up retransmitting to {self.peer_node}"))
+                    return
+                try:
+                    yield from self.nic.send(frame)
+                except NetworkError:
+                    self._teardown(ConnectionClosed("local NIC down"))
+                    return
+        self._retransmitter = None
+
+    # -- public API ------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def send(self, payload: Any, size: int = 128, kind: str = "control"):
+        """Process generator: reliably send one message.
+
+        ``size`` is the modelled payload size in bytes; ``kind`` tags the
+        frame for the Table 1 message-taxonomy audit.
+        """
+        if self._closed:
+            raise ConnectionClosed(f"send on closed connection to "
+                                   f"{self.peer_node}")
+        seq = self._next_tx_seq
+        self._next_tx_seq += 1
+        frame = Frame(src=self.nic.node_id, dst=self.peer_node,
+                      port=self.peer_port,
+                      payload=("DATA", seq, payload, kind),
+                      size=size + HEADER_SIZE, kind=kind)
+        self._unacked[seq] = frame
+        if self._retransmitter is None or self._retransmitter.triggered:
+            self._retransmitter = self.engine.process(
+                self._retransmit_loop(), name=f"rto:{self.local_port}")
+        yield from self.nic.send(frame)
+
+    def recv(self):
+        """Event firing with the next in-order message."""
+        return self._inbox.get()
+
+    def recv_nowait(self) -> Tuple[bool, Any]:
+        return self._inbox.get_nowait()
+
+    def close(self):
+        """Process generator: send FIN and tear down this side."""
+        if not self._closed:
+            yield from self._send_ctrl("FIN", None)
+            self._teardown(ConnectionClosed("locally closed"))
+
+    def _teardown(self, exc: BaseException) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._unacked.clear()
+        self.nic.close_port(self.local_port)
+        if not self._inbox.closed:
+            if not isinstance(exc, ConnectionClosed):
+                exc = ConnectionClosed(str(exc))
+            self._inbox.close(exc)
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (f"<Connection {self.nic.node_id}:{self.local_port} -> "
+                f"{self.peer_node}:{self.peer_port} {state}>")
+
+
+class PipeEnd:
+    """One end of a :class:`LocalPipe` (same message-style API)."""
+
+    def __init__(self, engine, pipe: "LocalPipe", name: str):
+        self.engine = engine
+        self._pipe = pipe
+        self.name = name
+        self._inbox = Channel(engine, name=f"pipe:{name}")
+        self._peer: Optional["PipeEnd"] = None
+        self.closed = False
+
+    def send(self, payload: Any, size: int = 128, kind: str = "control"):
+        """Process generator: deliver to the peer after the local-TCP hop."""
+        if self.closed or self._peer is None or self._peer.closed:
+            raise ConnectionClosed(f"pipe {self.name} is closed")
+        self._pipe.messages += 1
+        self._pipe.by_kind[kind] = self._pipe.by_kind.get(kind, 0) + 1
+        arrival = self.engine.timeout(LOCAL_TCP_HOP, value=payload)
+        peer = self._peer
+
+        def _deliver(ev):
+            if not peer._inbox.closed:
+                peer._inbox.put(ev.value)
+        arrival.callbacks.append(_deliver)
+        return
+        yield  # pragma: no cover — makes this a generator for API symmetry
+
+    def recv(self):
+        return self._inbox.get()
+
+    def recv_nowait(self) -> Tuple[bool, Any]:
+        return self._inbox.get_nowait()
+
+    def close(self, exc: Optional[BaseException] = None) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        self._inbox.close(exc or ConnectionClosed(f"pipe {self.name} closed"))
+        if self._peer is not None and not self._peer.closed:
+            self._peer.close(exc)
+
+
+class LocalPipe:
+    """Bidirectional local link between two modules on the same node.
+
+    Models the "local TCP connection" between an application process's group
+    handler and its daemon's lightweight endpoint module (paper §2.3).
+    """
+
+    def __init__(self, engine, name: str = "local"):
+        self.engine = engine
+        self.name = name
+        self.messages = 0
+        self.by_kind: Dict[str, int] = {}
+        self.a = PipeEnd(engine, self, f"{name}.a")
+        self.b = PipeEnd(engine, self, f"{name}.b")
+        self.a._peer = self.b
+        self.b._peer = self.a
+
+    def close(self, exc: Optional[BaseException] = None) -> None:
+        self.a.close(exc)
+        self.b.close(exc)

@@ -1,0 +1,157 @@
+"""Interconnect fabrics.
+
+A :class:`Fabric` is one physical network (the Ethernet or the Myrinet of
+the paper's testbed).  It owns the wire-time model of its
+:class:`TransportSpec` and the set of attached NICs, and supports fault
+injection: frame loss (seeded, deterministic), network partitions, and
+detaching the NICs of crashed nodes.
+
+The *fixed* per-layer software costs (Figure 6) are charged by the layers
+themselves (driver in :mod:`repro.net.nic`, VNI in :mod:`repro.vni`, MPI in
+:mod:`repro.mpi`); the fabric charges only the wire term:
+``wire_latency + size / bandwidth``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Set
+
+from repro.calibration import (BIP_BANDWIDTH, BIP_LAYERS, LayerCosts,
+                               TCP_BANDWIDTH, TCP_LAYERS)
+from repro.errors import Unreachable
+from repro.net.message import Frame
+
+
+@dataclass(frozen=True)
+class TransportSpec:
+    """Timing model of one interconnect technology."""
+
+    name: str
+    layers: LayerCosts
+    bandwidth: float  # bytes/second
+
+    def wire_time(self, size: int) -> float:
+        """Time from NIC tx to NIC rx for a frame of ``size`` bytes."""
+        return self.layers.wire + size / self.bandwidth
+
+    def one_way(self, size: int) -> float:
+        """Full predicted app-to-app one-way latency (Figure 5 model)."""
+        return self.layers.one_way_fixed + size / self.bandwidth
+
+
+TCP_ETHERNET = TransportSpec("tcp-ethernet", TCP_LAYERS, TCP_BANDWIDTH)
+BIP_MYRINET = TransportSpec("bip-myrinet", BIP_LAYERS, BIP_BANDWIDTH)
+
+
+class Fabric:
+    """One interconnect: a set of attached NICs plus a wire-time model.
+
+    Parameters
+    ----------
+    engine:
+        The simulation engine.
+    spec:
+        The transport's timing model.
+    loss_prob:
+        Probability a frame is silently dropped (drawn from the seeded
+        ``net.loss`` stream).  Reliable connections recover via ARQ.
+    """
+
+    def __init__(self, engine, spec: TransportSpec, loss_prob: float = 0.0):
+        self.engine = engine
+        self.spec = spec
+        self.loss_prob = loss_prob
+        self._nics: Dict[str, "Nic"] = {}          # node_id -> Nic
+        self._partitions: Optional[Dict[str, int]] = None
+        self.frames_sent = 0
+        self.frames_dropped = 0
+        self.bytes_sent = 0
+        #: Frames per Table 1 message kind ("data", "control", ...).
+        self.kind_counts: Dict[str, int] = {}
+        self.kind_bytes: Dict[str, int] = {}
+
+    # -- attachment --------------------------------------------------------
+
+    def attach(self, nic: "Nic") -> None:
+        self._nics[nic.node_id] = nic
+
+    def detach(self, node_id: str) -> None:
+        """Remove a node's NIC (node crash or removal)."""
+        self._nics.pop(node_id, None)
+
+    def attached(self, node_id: str) -> bool:
+        return node_id in self._nics
+
+    # -- fault injection -----------------------------------------------------
+
+    def partition(self, *groups: Iterable[str]) -> None:
+        """Split the network: frames may only flow within a group.
+
+        Nodes not named in any group form one implicit extra group.
+        """
+        mapping: Dict[str, int] = {}
+        for gi, group in enumerate(groups):
+            for node in group:
+                mapping[node] = gi
+        self._partitions = mapping
+
+    def heal(self) -> None:
+        """Remove any partition."""
+        self._partitions = None
+
+    def _reachable(self, src: str, dst: str) -> bool:
+        if dst not in self._nics or src not in self._nics:
+            return False
+        if self._partitions is None:
+            return True
+        implicit = len(self._partitions) + 1  # distinct from explicit ids
+        return (self._partitions.get(src, implicit)
+                == self._partitions.get(dst, implicit))
+
+    # -- transmission --------------------------------------------------------
+
+    def transmit(self, frame: Frame) -> None:
+        """Put ``frame`` in flight; delivery is scheduled on the engine.
+
+        Raises :class:`Unreachable` if the *sender* is detached; frames to
+        detached or partitioned destinations are silently lost (exactly what
+        a real sender observes — it cannot tell loss from slowness, the
+        failure detector does that).
+        """
+        if frame.src not in self._nics:
+            raise Unreachable(
+                f"node {frame.src!r} is not attached to {self.spec.name}")
+        self.frames_sent += 1
+        self.bytes_sent += frame.size
+        self.kind_counts[frame.kind] = self.kind_counts.get(frame.kind, 0) + 1
+        self.kind_bytes[frame.kind] = \
+            self.kind_bytes.get(frame.kind, 0) + frame.size
+        frame.sent_at = self.engine.now
+
+        if not self._reachable(frame.src, frame.dst):
+            self.frames_dropped += 1
+            return
+        if self.loss_prob > 0.0:
+            if self.engine.rng.stream("net.loss").random() < self.loss_prob:
+                self.frames_dropped += 1
+                return
+
+        # Serialization (size/bandwidth) was charged by the sending NIC;
+        # only propagation/switching remains.
+        arrival = self.engine.timeout(self.spec.layers.wire, value=frame,
+                                      name=f"wire:{frame.frame_id}")
+        arrival.callbacks.append(self._deliver)
+
+    def _deliver(self, event) -> None:
+        frame: Frame = event.value
+        nic = self._nics.get(frame.dst)
+        if nic is None or not self._reachable(frame.src, frame.dst):
+            # Destination crashed or was partitioned away mid-flight.
+            self.frames_dropped += 1
+            return
+        nic._receive(frame)
+
+    def __repr__(self) -> str:
+        return (f"<Fabric {self.spec.name} nics={len(self._nics)} "
+                f"sent={self.frames_sent} dropped={self.frames_dropped}>")

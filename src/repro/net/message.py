@@ -1,0 +1,55 @@
+"""Network frames.
+
+A :class:`Frame` is the unit the fabric moves between NICs.  Its ``size`` is
+explicit (rather than derived from the payload) because the simulation
+transports Python objects whose modelled wire size — the size the real
+system would marshal them to — is what the timing model needs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+_frame_ids = itertools.count(1)
+
+#: Minimum modelled wire size: headers of the framing protocol.
+MIN_WIRE_SIZE = 16
+
+
+@dataclass
+class Frame:
+    """One message on the wire.
+
+    Attributes
+    ----------
+    src, dst:
+        Node ids of the endpoints.
+    port:
+        Destination demultiplexing key (which rx queue on the NIC).
+    payload:
+        The carried object (opaque to the network).
+    size:
+        Modelled wire size in bytes (payload + headers).
+    kind:
+        Free-form tag used by Table 1's message-taxonomy audit
+        (e.g. ``"data"``, ``"control"``, ``"coordination"``).
+    """
+
+    src: str
+    dst: str
+    port: str
+    payload: Any
+    size: int
+    kind: str = "data"
+    frame_id: int = field(default_factory=lambda: next(_frame_ids))
+    sent_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.size < MIN_WIRE_SIZE:
+            self.size = MIN_WIRE_SIZE
+
+    def __repr__(self) -> str:
+        return (f"<Frame #{self.frame_id} {self.src}->{self.dst}:{self.port} "
+                f"{self.kind} {self.size}B>")

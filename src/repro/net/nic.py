@@ -1,0 +1,120 @@
+"""Network interface cards.
+
+A :class:`Nic` attaches one node to one fabric.  It charges the *driver*
+layer costs of Figure 6: ``driver_send`` before a frame reaches the wire
+(for TCP this is the syscall + kernel stack; for BIP the user-level doorbell
+write) and ``driver_recv`` before an arriving frame becomes visible to the
+node's software (the VNI / polling thread).
+
+The transmit side is serialized: concurrent senders on the same node queue
+on the NIC, which models link serialization without a full switch model.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.errors import NodeDown
+from repro.net.fabric import Fabric
+from repro.net.message import Frame
+from repro.sim.channel import Channel
+from repro.sim.resources import Resource
+
+
+class Nic:
+    """One node's interface on one fabric."""
+
+    def __init__(self, engine, node_id: str, fabric: Fabric):
+        self.engine = engine
+        self.node_id = node_id
+        self.fabric = fabric
+        self._tx = Resource(engine, capacity=1, name=f"tx:{node_id}")
+        #: Per-port receive queues; ports are opened by the software above.
+        self._ports: Dict[str, Channel] = {}
+        #: Fallback handler for frames to unopened ports (dropped if None).
+        self.default_handler: Optional[Callable[[Frame], None]] = None
+        self._up = True
+        fabric.attach(self)
+
+    @property
+    def is_up(self) -> bool:
+        return self._up
+
+    # -- ports ---------------------------------------------------------------
+
+    def open_port(self, port: str) -> Channel:
+        """Create (or return) the receive queue for ``port``."""
+        ch = self._ports.get(port)
+        if ch is None:
+            ch = Channel(self.engine, name=f"rx:{self.node_id}:{port}")
+            self._ports[port] = ch
+        return ch
+
+    def close_port(self, port: str) -> None:
+        self._ports.pop(port, None)
+
+    # -- send path -----------------------------------------------------------
+
+    def send(self, frame: Frame):
+        """Process generator: transmit ``frame`` (charges driver_send).
+
+        Yields until the NIC tx path is free and the frame has been handed
+        to the wire.  Use as ``yield from nic.send(frame)``.
+        """
+        if not self._up:
+            raise NodeDown(f"NIC of {self.node_id} is down")
+        req = self._tx.request()
+        yield req
+        try:
+            # Driver cost + link serialization: the sender (and the NIC) are
+            # busy until the last byte is on the wire; only propagation
+            # happens "in flight" (charged by the fabric).
+            spec = self.fabric.spec
+            yield self.engine.timeout(spec.layers.driver_send
+                                      + frame.size / spec.bandwidth)
+            if not self._up:
+                raise NodeDown(f"NIC of {self.node_id} went down mid-send")
+            self.fabric.transmit(frame)
+        finally:
+            self._tx.release(req)
+
+    # -- receive path ----------------------------------------------------------
+
+    def _receive(self, frame: Frame) -> None:
+        """Called by the fabric on arrival; charges driver_recv, then queues."""
+        if not self._up:
+            return
+        done = self.engine.timeout(self.fabric.spec.layers.driver_recv,
+                                   value=frame,
+                                   name=f"drv-rx:{frame.frame_id}")
+        done.callbacks.append(self._enqueue)
+
+    def _enqueue(self, event) -> None:
+        if not self._up:
+            return
+        frame: Frame = event.value
+        ch = self._ports.get(frame.port)
+        if ch is not None and not ch.closed:
+            ch.put(frame)
+        elif self.default_handler is not None:
+            self.default_handler(frame)
+        # else: no listener — frame dropped, like a closed UDP port.
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def shutdown(self, exc: Optional[BaseException] = None) -> None:
+        """Bring the NIC down (node crash): detach and close all ports."""
+        if not self._up:
+            return
+        self._up = False
+        self.fabric.detach(self.node_id)
+        err = exc or NodeDown(f"node {self.node_id} is down")
+        for ch in self._ports.values():
+            if not ch.closed:
+                ch.close(err)
+        self._ports.clear()
+
+    def __repr__(self) -> str:
+        state = "up" if self._up else "down"
+        return (f"<Nic {self.node_id}@{self.fabric.spec.name} {state} "
+                f"ports={sorted(self._ports)}>")

@@ -1,0 +1,149 @@
+"""FIFO channels (stores) for inter-process communication inside a node.
+
+Channels are unbounded, asynchronous message queues: ``put`` never blocks,
+``get`` returns an event that fires when an item is available.  They model
+intra-node queues — e.g. the polling thread's received-message queue, the
+object-bus event queue, and the per-connection delivery queues — where the
+cost of the hop is accounted for by the *network* model, not the queue.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from heapq import heappop, heappush
+from typing import Any, Deque, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+
+
+class Channel:
+    """Unbounded FIFO queue with event-based ``get``.
+
+    Items put while getters wait are handed to the oldest waiting getter.
+    ``close()`` fails all pending and future gets with ``exc`` — used to
+    model a peer crashing.
+    """
+
+    def __init__(self, engine, name: Optional[str] = None):
+        self.engine = engine
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._closed: Optional[BaseException] = None
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed is not None
+
+    def put(self, item: Any) -> None:
+        """Enqueue ``item`` (never blocks)."""
+        if self._closed is not None:
+            raise SimulationError(f"put() on closed channel {self.name!r}")
+        while self._getters:
+            getter = self._getters.popleft()
+            if not getter.triggered:      # skip interrupted/abandoned gets
+                getter.succeed(item)
+                return
+        self._items.append(item)
+
+    def get(self) -> Event:
+        """Return an event that fires with the next item."""
+        ev = Event(self.engine, name=f"get:{self.name}")
+        if self._items:
+            ev.succeed(self._items.popleft())
+        elif self._closed is not None:
+            ev.fail(self._closed)
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def get_nowait(self) -> Tuple[bool, Any]:
+        """Non-blocking probe: ``(True, item)`` or ``(False, None)``."""
+        if self._items:
+            return True, self._items.popleft()
+        return False, None
+
+    def peek_all(self) -> List[Any]:
+        """Snapshot of queued items (used by checkpoint protocols)."""
+        return list(self._items)
+
+    def drain(self) -> List[Any]:
+        """Remove and return all queued items."""
+        items = list(self._items)
+        self._items.clear()
+        return items
+
+    def close(self, exc: BaseException) -> None:
+        """Fail all pending and future ``get``s with ``exc``.
+
+        Close is deliberate, so the failures are pre-defused: a getter
+        whose process was already interrupted (and detached) must not
+        crash the engine as an unhandled failure.
+        """
+        if self._closed is not None:
+            return
+        self._closed = exc
+        while self._getters:
+            getter = self._getters.popleft()
+            if not getter.triggered:
+                getter.fail(exc)
+                getter.defuse()
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else f"{len(self._items)} queued"
+        return f"<Channel {self.name!r} {state}>"
+
+
+class PriorityChannel(Channel):
+    """A channel delivering the lowest ``(priority, fifo)`` item first.
+
+    Items are put as ``put(item, priority=...)``; ties preserve FIFO order.
+    Used by the application-process scheduler, where Starfish control events
+    (checkpoint requests, view changes) outrank background work.
+    """
+
+    def __init__(self, engine, name: Optional[str] = None):
+        super().__init__(engine, name=name)
+        self._heap: List[Tuple[int, int, Any]] = []
+        self._counter = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def put(self, item: Any, priority: int = 0) -> None:
+        if self._closed is not None:
+            raise SimulationError(f"put() on closed channel {self.name!r}")
+        while self._getters:
+            getter = self._getters.popleft()
+            if not getter.triggered:
+                getter.succeed(item)
+                return
+        self._counter += 1
+        heappush(self._heap, (priority, self._counter, item))
+
+    def get(self) -> Event:
+        ev = Event(self.engine, name=f"get:{self.name}")
+        if self._heap:
+            ev.succeed(heappop(self._heap)[2])
+        elif self._closed is not None:
+            ev.fail(self._closed)
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def get_nowait(self) -> Tuple[bool, Any]:
+        if self._heap:
+            return True, heappop(self._heap)[2]
+        return False, None
+
+    def peek_all(self) -> List[Any]:
+        return [item for _p, _c, item in sorted(self._heap)]
+
+    def drain(self) -> List[Any]:
+        items = self.peek_all()
+        self._heap.clear()
+        return items

@@ -1,0 +1,160 @@
+"""The discrete-event engine.
+
+A single :class:`Engine` owns the virtual clock and the event queue.  The
+queue orders events by ``(time, priority, sequence)`` where the sequence
+number is a global insertion counter — two events scheduled for the same
+instant with the same priority are always processed in the order they were
+scheduled, which makes every simulation in this repository fully
+deterministic and reproducible.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Any, Generator, Optional
+
+from repro.errors import SimulationError, StopSimulation
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process
+from repro.sim.rng import RngStreams
+from repro.sim.trace import Tracer
+
+#: Priority for ordinary events.
+NORMAL = 1
+#: Priority for events that must run before ordinary ones at the same time.
+URGENT = 0
+
+
+class Engine:
+    """Deterministic discrete-event simulation engine.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for the per-subsystem random streams (see
+        :class:`~repro.sim.rng.RngStreams`).
+    trace:
+        When true, every processed event is recorded by a
+        :class:`~repro.sim.trace.Tracer` (used by the Figure 6 bench).
+    """
+
+    def __init__(self, seed: int = 0, trace: bool = False):
+        self._now: float = 0.0
+        self._queue: list = []
+        self._seq: int = 0
+        self.active_process: Optional[Process] = None
+        self.rng = RngStreams(seed)
+        self.tracer: Optional[Tracer] = Tracer() if trace else None
+        self._nprocessed = 0
+
+    # -- clock & queue ---------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds by convention)."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events processed so far (a work measure)."""
+        return self._nprocessed
+
+    def _enqueue(self, event: Event, priority: Optional[int],
+                 delay: float = 0.0) -> None:
+        self._seq += 1
+        heappush(self._queue,
+                 (self._now + delay,
+                  NORMAL if priority is None else priority,
+                  self._seq, event))
+
+    # -- factories ---------------------------------------------------------
+
+    def event(self, name: Optional[str] = None) -> Event:
+        """Create a fresh untriggered event."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None,
+                name: Optional[str] = None) -> Timeout:
+        """Create an event firing ``delay`` simulated seconds from now."""
+        return Timeout(self, delay, value=value, name=name)
+
+    def process(self, generator: Generator, name: Optional[str] = None) -> Process:
+        """Register ``generator`` as a simulated process; returns it."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events) -> AllOf:
+        return AllOf(self, events)
+
+    # -- execution ---------------------------------------------------------
+
+    def step(self) -> None:
+        """Process exactly one event; raise ``IndexError`` if queue empty."""
+        when, _prio, _seq, event = heappop(self._queue)
+        if when < self._now:
+            raise SimulationError("event queue went back in time")
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        self._nprocessed += 1
+        if self.tracer is not None:
+            self.tracer.record(when, event)
+        for cb in callbacks:
+            cb(event)
+        if not event._ok and not event._defused:
+            # A failure nobody was waiting on: surface it loudly.
+            exc = event.value
+            raise exc
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until the queue drains), a number
+        (run until that simulated time), or an :class:`Event` (run until it
+        is processed; its value is returned — a failed event re-raises).
+        """
+        stop_at: Optional[float] = None
+        if until is None:
+            pass
+        elif isinstance(until, Event):
+            def _halt(ev: Event) -> None:
+                if not ev.ok:
+                    ev.defuse()
+                raise StopSimulation(ev)
+            if until.processed:
+                if not until.ok:
+                    raise until.value
+                return until.value
+            until.callbacks.append(_halt)
+        else:
+            stop_at = float(until)
+            if stop_at < self._now:
+                raise SimulationError(
+                    f"run(until={stop_at}) is in the past (now={self._now})")
+
+        try:
+            while self._queue:
+                if stop_at is not None and self._queue[0][0] > stop_at:
+                    self._now = stop_at
+                    return None
+                self.step()
+        except StopSimulation as stop:
+            ev: Event = stop.value
+            if not ev.ok:
+                raise ev.value from None
+            return ev.value
+        if isinstance(until, Event):
+            raise SimulationError(
+                f"simulation ran dry before {until!r} triggered")
+        if stop_at is not None:
+            self._now = stop_at
+        return None
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def __repr__(self) -> str:
+        return (f"<Engine t={self._now:.9g} queued={len(self._queue)} "
+                f"processed={self._nprocessed}>")

@@ -1,0 +1,81 @@
+"""Capacity-limited resources.
+
+A :class:`Resource` models mutual exclusion / limited parallelism — most
+importantly the per-node IDE disk in the checkpoint model, where concurrent
+checkpoint writers on the same node queue up behind each other (this is the
+source of the multi-node slowdown visible in Figures 3 and 4).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+
+
+class Resource:
+    """A resource with ``capacity`` slots, granted FIFO.
+
+    Usage inside a process::
+
+        req = disk.request()
+        yield req
+        try:
+            yield eng.timeout(write_time)
+        finally:
+            disk.release(req)
+    """
+
+    def __init__(self, engine, capacity: int = 1, name: Optional[str] = None):
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.engine = engine
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiting: Deque[Event] = deque()
+        self._granted: set = set()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queued(self) -> int:
+        return len(self._waiting)
+
+    def request(self) -> Event:
+        """Return an event that fires once a slot is granted."""
+        ev = Event(self.engine, name=f"req:{self.name}")
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            self._granted.add(ev)
+            ev.succeed(ev)
+        else:
+            self._waiting.append(ev)
+        return ev
+
+    def release(self, req: Event) -> None:
+        """Release the slot granted to ``req``."""
+        if req in self._granted:
+            self._granted.remove(req)
+            self._in_use -= 1
+        elif req in self._waiting:
+            # Released before it was granted (holder got interrupted).
+            self._waiting.remove(req)
+            return
+        else:
+            raise SimulationError(f"release of unknown request on {self.name!r}")
+        while self._waiting and self._in_use < self.capacity:
+            nxt = self._waiting.popleft()
+            if nxt.triggered:
+                continue
+            self._in_use += 1
+            self._granted.add(nxt)
+            nxt.succeed(nxt)
+
+    def __repr__(self) -> str:
+        return (f"<Resource {self.name!r} {self._in_use}/{self.capacity} "
+                f"(+{len(self._waiting)} waiting)>")

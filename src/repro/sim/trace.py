@@ -1,0 +1,77 @@
+"""Event tracing.
+
+The tracer records ``(time, event-name, event-type)`` triples for every
+processed event.  The Figure 6 benchmark uses a higher-level span API —
+:meth:`Tracer.span_start` / :meth:`Tracer.span_end` — to time how long a
+message spends inside each software layer (application, MPI, VNI, driver).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One processed event."""
+    time: float
+    kind: str
+    name: Optional[str]
+
+
+@dataclass
+class Span:
+    """A named interval of simulated time, with free-form attributes."""
+    layer: str
+    start: float
+    end: Optional[float] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            raise ValueError(f"span {self.layer!r} still open")
+        return self.end - self.start
+
+
+class Tracer:
+    """Collects event records and layer spans."""
+
+    def __init__(self, keep_events: bool = True):
+        self.keep_events = keep_events
+        self.events: List[TraceRecord] = []
+        self.spans: List[Span] = []
+        self._open: Dict[Tuple[str, Any], Span] = {}
+
+    # -- raw event tracing ------------------------------------------------
+
+    def record(self, time: float, event: Any) -> None:
+        if self.keep_events:
+            self.events.append(TraceRecord(
+                time, type(event).__name__, getattr(event, "name", None)))
+
+    # -- layer spans (Figure 6) -------------------------------------------
+
+    def span_start(self, layer: str, key: Any, now: float, **attrs) -> None:
+        """Open a span for message ``key`` inside ``layer``."""
+        self._open[(layer, key)] = Span(layer, now, attrs=dict(attrs))
+
+    def span_end(self, layer: str, key: Any, now: float) -> Optional[Span]:
+        """Close the span; returns it (or ``None`` if it was never opened)."""
+        span = self._open.pop((layer, key), None)
+        if span is not None:
+            span.end = now
+            self.spans.append(span)
+        return span
+
+    def spans_by_layer(self) -> Dict[str, List[Span]]:
+        out: Dict[str, List[Span]] = {}
+        for span in self.spans:
+            out.setdefault(span.layer, []).append(span)
+        return out
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.spans.clear()
+        self._open.clear()

@@ -1,0 +1,149 @@
+"""VNI implementation: thin driver layer + the polling thread."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.calibration import BLOCKING_RECV_SYSCALL, POLL_PERIOD
+from repro.errors import Interrupt, NetworkError, NodeDown
+from repro.net.message import Frame
+from repro.sim.channel import Channel
+
+_msg_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class VniMessage:
+    """What the VNI hands to the MPI module (a received data message)."""
+
+    src_node: str
+    src_port: str
+    payload: Any
+    size: int
+    msg_id: int
+    recv_time: float
+
+
+class Vni:
+    """One application process's interface to one fabric.
+
+    Parameters
+    ----------
+    node:
+        Hosting node; supplies the NIC.
+    port:
+        This process's network address on the fabric (unique per process).
+    transport:
+        ``"bip-myrinet"`` (the fast path) or ``"tcp-ethernet"``.
+    polling:
+        When true (default, the paper's design) a polling-thread process
+        moves frames from the NIC into the received-messages queue as they
+        arrive; receives then cost only the VNI dequeue.  When false, each
+        receive enters the "kernel" itself
+        (:data:`~repro.calibration.BLOCKING_RECV_SYSCALL`).
+    """
+
+    def __init__(self, engine, node, port: str,
+                 transport: str = "bip-myrinet", polling: bool = True):
+        self.engine = engine
+        self.node = node
+        self.port = port
+        self.transport = transport
+        self.polling = polling
+        self.nic = node.nic(transport)
+        self._rx = self.nic.open_port(port)
+        self.recv_q = Channel(engine, name=f"vni-rq:{port}")
+        self._poller = None
+        self.stats = {"sent": 0, "received": 0, "bytes_sent": 0,
+                      "bytes_received": 0}
+        if polling:
+            self._poller = node.spawn(self._poll_loop(),
+                                      name=f"poll:{port}")
+
+    @property
+    def layers(self):
+        return self.nic.fabric.spec.layers
+
+    # ------------------------------------------------------------------
+    # send path
+    # ------------------------------------------------------------------
+
+    def send(self, dst_node: str, dst_port: str, payload: Any, size: int,
+             kind: str = "data"):
+        """Process generator: charge the VNI layer and hand to the driver."""
+        yield self.engine.timeout(self.layers.vni_send)
+        frame = Frame(src=self.node.node_id, dst=dst_node, port=dst_port,
+                      payload=payload, size=size, kind=kind)
+        self.stats["sent"] += 1
+        self.stats["bytes_sent"] += size
+        yield from self.nic.send(frame)
+
+    # ------------------------------------------------------------------
+    # receive path
+    # ------------------------------------------------------------------
+
+    def _poll_loop(self):
+        """The polling thread: drain the NIC into the receive queue."""
+        try:
+            while True:
+                try:
+                    frame = yield self._rx.get()
+                except (NetworkError, NodeDown, Exception):
+                    if not self.recv_q.closed:
+                        self.recv_q.close(NodeDown(
+                            f"VNI {self.port} lost its NIC"))
+                    return
+                # The polling thread's dequeue-and-enqueue cost; kernel
+                # interaction already charged by the NIC driver model.
+                yield self.engine.timeout(self.layers.vni_recv)
+                if not self.recv_q.closed:
+                    self.recv_q.put(self._wrap(frame))
+        except Interrupt:
+            return
+
+    def _wrap(self, frame: Frame) -> VniMessage:
+        self.stats["received"] += 1
+        self.stats["bytes_received"] += frame.size
+        return VniMessage(src_node=frame.src, src_port=frame.port,
+                          payload=frame.payload, size=frame.size,
+                          msg_id=next(_msg_ids), recv_time=self.engine.now)
+
+    def recv(self):
+        """Process generator: next received message.
+
+        With the polling thread, this just dequeues (the kernel work
+        already happened, interleaved).  Without it, the caller pays the
+        blocking-receive syscall path on every message.
+        """
+        if self.polling:
+            msg = yield self.recv_q.get()
+            return msg
+        frame = yield self._rx.get()
+        yield self.engine.timeout(BLOCKING_RECV_SYSCALL
+                                  + self.layers.vni_recv)
+        return self._wrap(frame)
+
+    def recv_nowait(self):
+        """Non-blocking probe of the received-messages queue."""
+        if self.polling:
+            return self.recv_q.get_nowait()
+        ok, frame = self._rx.get_nowait()
+        if not ok:
+            return False, None
+        return True, self._wrap(frame)
+
+    def pending(self) -> int:
+        return len(self.recv_q) if self.polling else len(self._rx)
+
+    def close(self) -> None:
+        if self._poller is not None and self._poller.is_alive:
+            self._poller.interrupt("vni-close")
+        self.nic.close_port(self.port)
+        if not self.recv_q.closed:
+            self.recv_q.close(NodeDown(f"VNI {self.port} closed"))
+
+    def __repr__(self) -> str:
+        mode = "polling" if self.polling else "blocking"
+        return f"<Vni {self.port}@{self.transport} {mode} {self.stats}>"

@@ -1,0 +1,73 @@
+"""Shared helpers for group-communication tests."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cluster import Cluster
+from repro.gcs import CastEvent, GcsConfig, GroupMember, ViewEvent
+
+
+class Harness:
+    """A cluster with one group member per node and recorded upcalls."""
+
+    def __init__(self, nodes: int = 4, seed: int = 0,
+                 config: Optional[GcsConfig] = None,
+                 state_provider=None):
+        self.cluster = Cluster.build(nodes=nodes, seed=seed)
+        self.engine = self.cluster.engine
+        self.cfg = config or GcsConfig()
+        self.members: Dict[str, GroupMember] = {}
+        self.log: Dict[str, List] = {}
+        for node_id in sorted(self.cluster.nodes):
+            node = self.cluster.node(node_id)
+            gm = GroupMember(self.engine, node, config=self.cfg,
+                             state_provider=state_provider)
+            self.members[node_id] = gm
+            self.log[node_id] = []
+            node.spawn(self._recorder(node_id, gm), name=f"rec:{node_id}")
+
+    def _recorder(self, node_id: str, gm: GroupMember):
+        try:
+            while True:
+                ev = yield gm.events.get()
+                self.log[node_id].append(ev)
+        except Exception:
+            return
+
+    def boot_all(self) -> None:
+        """First member founds the group; the rest join through it."""
+        ids = sorted(self.members)
+        first = self.members[ids[0]]
+        first.start(contact=None)
+        for nid in ids[1:]:
+            self.members[nid].start(contact=first.endpoint)
+
+    def run(self, until: float) -> None:
+        self.engine.run(until=until)
+
+    # -- log digests ------------------------------------------------------
+
+    def casts(self, node_id: str) -> List:
+        return [ev.payload for ev in self.log[node_id]
+                if isinstance(ev, CastEvent)]
+
+    def views(self, node_id: str) -> List:
+        return [ev for ev in self.log[node_id] if isinstance(ev, ViewEvent)]
+
+    def last_view(self, node_id: str):
+        views = self.views(node_id)
+        return views[-1].view if views else None
+
+    def member_ids(self, node_id: str):
+        view = self.last_view(node_id)
+        return sorted(m.node for m in view.members) if view else []
+
+
+def assert_common_prefix(sequences) -> None:
+    """Every sequence must be a prefix of the longest one (total order)."""
+    sequences = [list(s) for s in sequences]
+    longest = max(sequences, key=len)
+    for seq in sequences:
+        assert seq == longest[:len(seq)], (
+            f"total order violated:\n  {seq}\n is not a prefix of\n  {longest}")

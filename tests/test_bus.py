@@ -1,0 +1,131 @@
+"""Object bus unit tests."""
+
+import pytest
+
+from repro.bus import (CheckpointEvent, ConfigEvent, CoordinationEvent,
+                       MembershipEvent, ObjectBus, ShutdownEvent)
+from repro.calibration import BUS_DISPATCH
+from repro.cluster import Cluster
+from repro.errors import SimulationError
+
+
+def make_bus():
+    cluster = Cluster.build(nodes=1)
+    bus = ObjectBus(cluster.engine, name="t")
+    bus.start(cluster.node("n0"))
+    return cluster.engine, bus
+
+
+def test_post_dispatches_to_subscriber():
+    eng, bus = make_bus()
+    got = []
+    bus.subscribe(ConfigEvent, got.append)
+    bus.post(ConfigEvent(key="nprocs", value=4))
+    eng.run(until=0.001)
+    assert got == [ConfigEvent(key="nprocs", value=4)]
+
+
+def test_multiple_listeners_same_event():
+    eng, bus = make_bus()
+    got = []
+    bus.subscribe(CoordinationEvent, lambda e: got.append(("a", e.payload)))
+    bus.subscribe(CoordinationEvent, lambda e: got.append(("b", e.payload)))
+    bus.post(CoordinationEvent(payload=1))
+    eng.run(until=0.001)
+    assert got == [("a", 1), ("b", 1)]
+
+
+def test_no_inheritance_dispatch():
+    eng, bus = make_bus()
+    got = []
+    bus.subscribe(CoordinationEvent, got.append)
+    bus.post(ConfigEvent(key="x"))  # different type entirely
+    eng.run(until=0.001)
+    assert got == []
+    assert bus.stats["dropped"] == 1
+
+
+def test_priority_order_checkpoint_beats_coordination():
+    eng, bus = make_bus()
+    got = []
+    bus.subscribe(CoordinationEvent, lambda e: got.append("coord"))
+    bus.subscribe(CheckpointEvent, lambda e: got.append("ckpt"))
+    bus.subscribe(ShutdownEvent, lambda e: got.append("shutdown"))
+    # Post in "wrong" order; dispatch must follow priorities
+    # (shutdown=0 < ckpt=1 < coordination=5).
+    bus.post(CoordinationEvent(payload=None))
+    bus.post(CheckpointEvent(op="request"))
+    bus.post(ShutdownEvent(reason="test"))
+    eng.run(until=0.001)
+    assert got == ["shutdown", "ckpt", "coord"]
+
+
+def test_generator_handlers_do_simulated_work():
+    eng, bus = make_bus()
+    done = []
+
+    def slow_handler(event):
+        yield eng.timeout(0.5)
+        done.append(eng.now)
+
+    bus.subscribe(CheckpointEvent, slow_handler)
+    bus.post(CheckpointEvent(op="request"))
+    bus.post(CheckpointEvent(op="request"))
+    eng.run()
+    assert len(done) == 2
+    # Second handler run starts after the first finishes (+ dispatch cost).
+    assert done[1] - done[0] == pytest.approx(0.5 + BUS_DISPATCH)
+
+
+def test_dispatch_cost_charged_per_listener():
+    eng, bus = make_bus()
+    times = []
+    for _ in range(3):
+        bus.subscribe(ConfigEvent, lambda e: times.append(eng.now))
+    bus.post(ConfigEvent(key="k"))
+    eng.run()
+    assert times[0] == pytest.approx(BUS_DISPATCH)
+    assert times[2] == pytest.approx(3 * BUS_DISPATCH)
+
+
+def test_unsubscribe():
+    eng, bus = make_bus()
+    got = []
+    bus.subscribe(ConfigEvent, got.append)
+    bus.unsubscribe(ConfigEvent, got.append)
+    bus.post(ConfigEvent(key="x"))
+    eng.run(until=0.01)
+    assert got == []
+
+
+def test_subscribe_non_event_type_rejected():
+    eng, bus = make_bus()
+    with pytest.raises(SimulationError):
+        bus.subscribe(int, print)  # type: ignore[arg-type]
+
+
+def test_double_start_rejected():
+    cluster = Cluster.build(nodes=1)
+    bus = ObjectBus(cluster.engine)
+    node = cluster.node("n0")
+    bus.start(node)
+    with pytest.raises(SimulationError):
+        bus.start(node)
+
+
+def test_stop_halts_dispatch():
+    eng, bus = make_bus()
+    got = []
+    bus.subscribe(ConfigEvent, got.append)
+    bus.post(ConfigEvent(key="first"))
+    eng.run(until=0.001)
+    bus.stop()
+    bus.post(ConfigEvent(key="second"))
+    eng.run()
+    assert [e.key for e in got] == ["first"]
+
+
+def test_membership_event_defaults():
+    ev = MembershipEvent(members=("a", "b"), joined=("b",), left=())
+    assert ev.priority == 2
+    assert ev.members == ("a", "b")

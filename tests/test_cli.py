@@ -1,0 +1,37 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_demo(capsys):
+    assert main(["demo", "--nodes", "2", "--shots", "4000"]) == 0
+    out = capsys.readouterr().out
+    assert "pi ~ 3." in out
+    assert "2-node Starfish cluster" in out
+
+
+def test_status(capsys):
+    assert main(["status", "--nodes", "2", "--seconds", "2.0"]) == 0
+    out = capsys.readouterr().out
+    assert "2/2 nodes up" in out
+    assert "stop-and-sync" in out
+
+
+def test_rtt(capsys):
+    assert main(["rtt", "--reps", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "bip-myrinet" in out
+    assert "us" in out
+
+
+def test_examples_listing(capsys):
+    assert main(["examples"]) == 0
+    out = capsys.readouterr().out
+    assert "quickstart.py" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

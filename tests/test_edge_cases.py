@@ -1,0 +1,197 @@
+"""Edge cases across layers that the main suites don't reach."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.errors import (AuthenticationError, CheckpointError, MpiError,
+                          ProtocolError, ReproError, SimulationError)
+from repro.sim import Engine
+
+
+# ---------------------------------------------------------------------------
+# error hierarchy
+# ---------------------------------------------------------------------------
+
+def test_every_library_error_is_a_repro_error():
+    import repro.errors as errors
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if isinstance(obj, type) and issubclass(obj, Exception):
+            if name in ("StopSimulation", "Interrupt"):
+                assert not issubclass(obj, ReproError), name
+            elif obj is not ReproError and issubclass(obj, ReproError):
+                pass  # fine
+    assert issubclass(MpiError, ReproError)
+    assert issubclass(CheckpointError, ReproError)
+    assert issubclass(AuthenticationError, ProtocolError)
+
+
+# ---------------------------------------------------------------------------
+# engine odds and ends
+# ---------------------------------------------------------------------------
+
+def test_run_until_already_processed_event():
+    eng = Engine()
+    ev = eng.event()
+    ev.succeed("early")
+    eng.run()
+    assert eng.run(until=ev) == "early"        # returns instantly
+
+
+def test_run_until_processed_failed_event_raises():
+    eng = Engine()
+    ev = eng.event()
+    ev.fail(ValueError("x"))
+    ev.defuse()
+    eng.run()
+    with pytest.raises(ValueError):
+        eng.run(until=ev)
+
+
+def test_event_value_before_trigger_raises():
+    eng = Engine()
+    ev = eng.event()
+    with pytest.raises(SimulationError):
+        _ = ev.value
+    with pytest.raises(SimulationError):
+        _ = ev.ok
+
+
+def test_condition_cross_engine_rejected():
+    e1, e2 = Engine(), Engine()
+    with pytest.raises(SimulationError):
+        e1.event() | e2.event()
+
+
+# ---------------------------------------------------------------------------
+# MPI endpoint edges
+# ---------------------------------------------------------------------------
+
+def test_send_to_unknown_rank_raises():
+    from repro.mpi import MpiEndpoint
+    cluster = Cluster.build(nodes=1)
+    ep = MpiEndpoint(cluster.engine, cluster.node("n0"), app_id="a",
+                     world_rank=0, addressbook={})
+
+    def prog():
+        with pytest.raises(MpiError, match="no address"):
+            yield from ep.send(7, "c", 0, 0, "x")
+        return True
+
+    assert cluster.engine.run(cluster.engine.process(prog()))
+
+
+def test_communicator_requires_membership():
+    from repro.errors import CommunicatorError
+    from repro.mpi import Communicator, MpiEndpoint
+    cluster = Cluster.build(nodes=1)
+    ep = MpiEndpoint(cluster.engine, cluster.node("n0"), app_id="a",
+                     world_rank=0, addressbook={})
+    with pytest.raises(CommunicatorError):
+        Communicator(ep, "c", group=(1, 2))
+
+
+def test_freed_communicator_rejects_operations():
+    from repro.errors import CommunicatorError
+    from repro.mpi import Communicator, MpiEndpoint
+    cluster = Cluster.build(nodes=1)
+    ep = MpiEndpoint(cluster.engine, cluster.node("n0"), app_id="a",
+                     world_rank=0, addressbook={})
+    comm = Communicator(ep, "c", group=(0,))
+    comm.free()
+    with pytest.raises(CommunicatorError):
+        comm.irecv()
+
+
+def test_request_double_complete_rejected():
+    from repro.mpi.request import Request
+    cluster = Cluster.build(nodes=1)
+    req = Request(cluster.engine, "recv")
+    req.complete("a")
+    with pytest.raises(MpiError):
+        req.complete("b")
+
+
+def test_waitany_empty_rejected():
+    from repro.mpi.request import waitany
+    cluster = Cluster.build(nodes=1)
+    with pytest.raises(MpiError):
+        list(waitany(cluster.engine, []))
+
+
+# ---------------------------------------------------------------------------
+# datatypes sizing
+# ---------------------------------------------------------------------------
+
+def test_nbytes_of_estimates():
+    import numpy as np
+    from repro.mpi.datatypes import nbytes_of
+    assert nbytes_of(None) == 1
+    assert nbytes_of(True) == 1
+    assert nbytes_of(b"abcd") == 4
+    assert nbytes_of(np.zeros(10)) == 80
+    assert nbytes_of(3.14) == 8
+    assert nbytes_of("héllo") == len("héllo".encode())
+    assert nbytes_of([1, 2]) > 16
+    assert nbytes_of({"k": 1.0}) > 8
+    assert nbytes_of(object()) == 8
+
+
+# ---------------------------------------------------------------------------
+# gcs edges
+# ---------------------------------------------------------------------------
+
+def test_singleton_coordinator_leave_is_clean():
+    from repro.gcs import GroupMember
+    cluster = Cluster.build(nodes=1)
+    gm = GroupMember(cluster.engine, cluster.node("n0"))
+    gm.start()
+    cluster.engine.run(until=0.2)
+    gm.leave()           # nobody to hand off to; must not blow up
+    cluster.engine.run(until=0.4)
+
+
+def test_lwg_cast_on_unknown_group_rejected():
+    from repro.errors import NotMember
+    from repro.gcs import GroupMember
+    from repro.lwg import LwgManager
+    cluster = Cluster.build(nodes=1)
+    gm = GroupMember(cluster.engine, cluster.node("n0"))
+    mgr = LwgManager(cluster.engine, gm)
+    with pytest.raises(NotMember):
+        mgr.cast("ghost-app", "payload")
+
+
+def test_view_member_on():
+    from repro.gcs.endpoint import EndpointId, View
+    a = EndpointId("n0", "daemon", 1)
+    b = EndpointId("n1", "daemon", 2)
+    view = View(group="g", epoch=1, coordinator=a, members=(a, b))
+    assert view.member_on("n1") == b
+    assert view.member_on("n9") is None
+    assert a in view and len(view) == 2
+    assert view.rank(b) == 1
+
+
+# ---------------------------------------------------------------------------
+# client protocol edges
+# ---------------------------------------------------------------------------
+
+def test_migrate_parse_arity():
+    from repro.daemon import parse_command
+    assert parse_command("MIGRATE app 1 n2") == ("MIGRATE",
+                                                 ["app", "1", "n2"])
+    with pytest.raises(ProtocolError):
+        parse_command("MIGRATE app 1")
+
+
+def test_submit_nprocs_must_be_number():
+    from repro.daemon import parse_command
+    with pytest.raises(ProtocolError):
+        parse_command("SUBMIT job many program=x")
+
+
+def test_quoted_arguments_supported():
+    from repro.daemon import parse_command
+    verb, args = parse_command('SET motd "hello world"')
+    assert args == ["motd", "hello world"]

@@ -1,0 +1,162 @@
+"""Group communication: stable-group behaviour."""
+
+import pytest
+
+from repro.gcs import CastEvent, GroupMember, ViewEvent
+
+from tests.gcs_helpers import Harness, assert_common_prefix
+
+
+def test_singleton_founds_group():
+    h = Harness(nodes=1)
+    h.boot_all()
+    h.run(until=0.1)
+    view = h.last_view("n0")
+    assert view is not None
+    assert len(view) == 1
+    assert h.members["n0"].is_coordinator
+
+
+def test_all_members_converge_to_full_view():
+    h = Harness(nodes=4)
+    h.boot_all()
+    h.run(until=2.0)
+    for nid in h.members:
+        assert h.member_ids(nid) == ["n0", "n1", "n2", "n3"], nid
+    # Exactly one coordinator.
+    coords = [gm for gm in h.members.values() if gm.is_coordinator]
+    assert len(coords) == 1
+    # And all agree on the same epoch.
+    epochs = {h.last_view(nid).epoch for nid in h.members}
+    assert len(epochs) == 1
+
+
+def test_cast_reaches_every_member_including_sender():
+    h = Harness(nodes=3)
+    h.boot_all()
+    h.run(until=2.0)
+    h.members["n1"].cast("hello")
+    h.run(until=3.0)
+    for nid in h.members:
+        assert h.casts(nid) == ["hello"], nid
+
+
+def test_casts_totally_ordered_across_concurrent_senders():
+    h = Harness(nodes=4)
+    h.boot_all()
+    h.run(until=2.0)
+    for nid, gm in h.members.items():
+        for i in range(5):
+            gm.cast((nid, i))
+    h.run(until=4.0)
+    seqs = [h.casts(nid) for nid in h.members]
+    # everyone delivered everything...
+    for s in seqs:
+        assert len(s) == 20
+    # ...in exactly the same order
+    assert_common_prefix(seqs)
+
+
+def test_fifo_per_sender():
+    h = Harness(nodes=3)
+    h.boot_all()
+    h.run(until=2.0)
+    for i in range(10):
+        h.members["n2"].cast(i)
+    h.run(until=4.0)
+    for nid in h.members:
+        mine = [p for p in h.casts(nid) if isinstance(p, int)]
+        assert mine == list(range(10)), nid
+
+
+def test_no_duplicates_in_stable_group():
+    h = Harness(nodes=3)
+    h.boot_all()
+    h.run(until=2.0)
+    for i in range(8):
+        h.members["n0"].cast(i)
+    h.run(until=4.0)
+    for gm in h.members.values():
+        assert gm.stats["duplicates"] == 0
+
+
+def test_p2p_send_delivered_once():
+    h = Harness(nodes=2)
+    h.boot_all()
+    h.run(until=2.0)
+    dst = h.members["n1"].endpoint
+    h.members["n0"].send(dst, {"op": "ping"})
+    h.run(until=2.5)
+    from repro.gcs import P2pEvent
+    p2ps = [ev for ev in h.log["n1"] if isinstance(ev, P2pEvent)]
+    assert len(p2ps) == 1
+    assert p2ps[0].payload == {"op": "ping"}
+    assert p2ps[0].source == h.members["n0"].endpoint
+
+
+def test_view_event_reports_joiners():
+    h = Harness(nodes=2)
+    h.boot_all()
+    h.run(until=2.0)
+    final_views = h.views("n0")
+    # The founder saw itself alone first, then n1 join.
+    assert any(len(v.view) == 1 for v in final_views)
+    joined_nodes = {m.node for v in final_views for m in v.joined}
+    assert "n1" in joined_nodes
+
+
+def test_state_transfer_to_joiner():
+    blob = {"config": 42}
+    h = Harness(nodes=3, state_provider=lambda: blob)
+    h.boot_all()
+    h.run(until=2.0)
+    for nid in ("n1", "n2"):
+        first_view = h.views(nid)[0]
+        assert first_view.state == blob, nid
+    # The founder never receives state (it already has it).
+    assert all(v.state is None for v in h.views("n0"))
+
+
+def test_cast_before_view_is_delivered_eventually():
+    # A member casts immediately after start(), before any view exists;
+    # the cast must be ordered once the group forms.
+    h = Harness(nodes=2)
+    ids = sorted(h.members)
+    first = h.members[ids[0]]
+    first.start(contact=None)
+    second = h.members[ids[1]]
+    second.start(contact=first.endpoint)
+    second.cast("early-bird")
+    h.run(until=2.0)
+    assert h.casts("n0") == ["early-bird"]
+    assert h.casts("n1") == ["early-bird"]
+
+
+def test_stats_counters():
+    h = Harness(nodes=2)
+    h.boot_all()
+    h.run(until=2.0)
+    h.members["n0"].cast("x")
+    h.run(until=3.0)
+    gm = h.members["n0"]
+    assert gm.stats["casts"] == 1
+    assert gm.stats["delivered"] == 1
+    assert gm.stats["views"] >= 2
+
+
+def test_start_twice_is_error():
+    from repro.errors import NotMember
+    h = Harness(nodes=1)
+    h.boot_all()
+    with pytest.raises(NotMember):
+        h.members["n0"].start()
+
+
+def test_control_traffic_stays_off_myrinet():
+    h = Harness(nodes=3)
+    h.boot_all()
+    h.run(until=2.0)
+    h.members["n0"].cast("data")
+    h.run(until=3.0)
+    assert h.cluster.myrinet.frames_sent == 0
+    assert h.cluster.ethernet.frames_sent > 0

@@ -1,0 +1,93 @@
+"""Hypothesis property tests: representation round-trips across every pair
+of Table 2 architectures, for arbitrary state trees."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.cluster import TABLE2_MACHINES
+from repro.hetero import decode, encode
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(1 << 80), max_value=1 << 80),
+    st.floats(allow_nan=False),  # NaN breaks == comparison; tested separately
+    st.text(max_size=20),
+    st.binary(max_size=20),
+)
+
+np_arrays = st.one_of(
+    arrays(np.float64, st.integers(0, 8),
+           elements=st.floats(allow_nan=False, width=64)),
+    arrays(np.int32, st.tuples(st.integers(0, 4), st.integers(0, 4)),
+           elements=st.integers(-2**31, 2**31 - 1)),
+)
+
+state_trees = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.tuples(children, children),
+        st.dictionaries(st.text(max_size=8), children, max_size=5),
+    ),
+    max_leaves=20,
+)
+
+arch_pairs = st.tuples(st.sampled_from(TABLE2_MACHINES),
+                       st.sampled_from(TABLE2_MACHINES))
+
+
+def deep_equal(a, b):
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return (isinstance(a, np.ndarray) and isinstance(b, np.ndarray)
+                and a.dtype == b.dtype and np.array_equal(a, b))
+    if isinstance(a, dict) and isinstance(b, dict):
+        return (a.keys() == b.keys()
+                and all(deep_equal(a[k], b[k]) for k in a))
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        return (type(a) is type(b) and len(a) == len(b)
+                and all(deep_equal(x, y) for x, y in zip(a, b)))
+    if isinstance(a, float) and isinstance(b, float):
+        return np.float64(a).tobytes() == np.float64(b).tobytes()
+    return type(a) is type(b) and a == b
+
+
+@settings(max_examples=150, deadline=None)
+@given(value=state_trees, pair=arch_pairs)
+def test_roundtrip_any_tree_any_arch_pair(value, pair):
+    src, dst = pair
+    out = decode(encode(value, src), dst)
+    assert deep_equal(value, out.value)
+    if src.same_representation(dst):
+        # Identical representation must never report a conversion...
+        # unless integer boxing promotion happened (only across word sizes,
+        # impossible here).
+        assert not out.converted
+
+
+@settings(max_examples=60, deadline=None)
+@given(arr=np_arrays, pair=arch_pairs)
+def test_roundtrip_arrays(arr, pair):
+    src, dst = pair
+    out = decode(encode(arr, src), dst).value
+    assert out.dtype == arr.dtype
+    assert out.shape == arr.shape
+    assert np.array_equal(out, arr)
+
+
+@settings(max_examples=60, deadline=None)
+@given(value=state_trees, pair=arch_pairs)
+def test_encode_is_deterministic(value, pair):
+    src, _ = pair
+    assert encode(value, src) == encode(value, src)
+
+
+@settings(max_examples=60, deadline=None)
+@given(v=st.integers(min_value=-(1 << 62), max_value=(1 << 62) - 1))
+def test_int_roundtrip_all_pairs(v):
+    for src in TABLE2_MACHINES:
+        blob = encode(v, src)
+        for dst in TABLE2_MACHINES:
+            assert decode(blob, dst).value == v

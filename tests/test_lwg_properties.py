@@ -1,0 +1,101 @@
+"""Property-based tests of lightweight-group guarantees under random
+schedules of casts, membership ops, and crashes."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.lwg import LwgCast
+
+from tests.test_lwg import LwgHarness, eps
+
+action = st.one_of(
+    st.tuples(st.just("cast"), st.integers(0, 3), st.integers(0, 99)),
+    st.tuples(st.just("join"), st.integers(0, 3)),
+    st.tuples(st.just("leave"), st.integers(0, 3)),
+    st.tuples(st.just("crash"), st.integers(1, 3)),
+)
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(actions=st.lists(action, min_size=1, max_size=10),
+       seed=st.integers(0, 2**16))
+def test_lwg_membership_replicas_stay_identical(actions, seed):
+    h = LwgHarness(nodes=4, seed=seed)
+    h.boot_all()
+    h.run(until=2.0)
+    h.lwg["n0"].create("a", eps(h, "n0", "n1"))
+    h.run(until=2.5)
+
+    crashed = set()
+    t = 2.5
+    for act in actions:
+        kind = act[0]
+        nid = f"n{act[1]}"
+        if nid in crashed:
+            continue
+        if kind == "cast":
+            mgr = h.lwg[nid]
+            if mgr.endpoint in mgr.members("a"):
+                mgr.cast("a", ("m", nid, act[2]))
+        elif kind == "join":
+            h.lwg[nid].join("a", h.members[nid].endpoint)
+        elif kind == "leave":
+            h.lwg[nid].leave("a", h.members[nid].endpoint)
+        elif kind == "crash":
+            if len(crashed) >= 2:
+                continue
+            crashed.add(nid)
+            h.cluster.crash_node(nid)
+            t += 1.0
+        t += 0.05
+        h.run(until=t)
+    h.run(until=t + 6.0)
+
+    survivors = [n for n in ("n0", "n1", "n2", "n3") if n not in crashed]
+    # 1. Every surviving daemon holds the identical member list replica.
+    replicas = {tuple(h.lwg[n].members("a")) for n in survivors}
+    assert len(replicas) == 1
+    members = replicas.pop()
+    # 2. No crashed daemon lingers in the lightweight group.
+    assert all(m.node not in crashed for m in members)
+    # 3. Surviving members delivered identical cast sequences.
+    seqs = []
+    for n in survivors:
+        casts = [e.payload for e in h.lwg_log.get((n, "a"), ())
+                 if isinstance(e, LwgCast)]
+        if h.members[n].endpoint in members:
+            seqs.append(casts)
+    if len(seqs) > 1:
+        # Compare only the common suffix window: members that joined later
+        # legitimately missed earlier casts, so check pairwise common tail.
+        shortest = min(len(s) for s in seqs)
+        if shortest:
+            tails = {tuple(s[-shortest:]) for s in seqs}
+            # All tails must be consistent orderings of the same stream:
+            # the shorter ones are suffixes of the longer ones.
+            longest = max(seqs, key=len)
+            for s in seqs:
+                if s:
+                    assert longest[-len(s):] == s
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(n_casts=st.integers(1, 10), seed=st.integers(0, 2**16))
+def test_lwg_no_duplicate_delivery_under_churn(n_casts, seed):
+    h = LwgHarness(nodes=3, seed=seed)
+    h.boot_all()
+    h.run(until=2.0)
+    for nid in ("n0", "n1"):
+        h.watch(nid, "a")
+    h.lwg["n0"].create("a", eps(h, "n0", "n1", "n2"))
+    h.run(until=2.5)
+    for i in range(n_casts):
+        h.lwg["n0"].cast("a", ("x", i))
+    # Membership churn mid-stream.
+    h.lwg["n2"].leave("a")
+    h.run(until=8.0)
+    for nid in ("n0", "n1"):
+        got = h.lwg_casts(nid, "a")
+        assert got == [("x", i) for i in range(n_casts)], nid

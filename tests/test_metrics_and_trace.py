@@ -1,0 +1,100 @@
+"""Metrics snapshots and the tracing facility."""
+
+import pytest
+
+from repro.apps import ComputeSleep
+from repro.core import AppSpec, CheckpointConfig, FaultPolicy, StarfishCluster
+from repro.core.metrics import ClusterMetrics
+from repro.sim import Engine
+from repro.sim.trace import Tracer
+
+
+# ---------------------------------------------------------------------------
+# Tracer
+# ---------------------------------------------------------------------------
+
+def test_engine_records_events_when_tracing():
+    eng = Engine(trace=True)
+
+    def proc():
+        yield eng.timeout(1, name="tick")
+        yield eng.timeout(2, name="tock")
+
+    eng.run(eng.process(proc()))
+    names = [r.name for r in eng.tracer.events if r.name]
+    assert "tick" in names and "tock" in names
+    kinds = {r.kind for r in eng.tracer.events}
+    assert "Timeout" in kinds and "Process" in kinds
+
+
+def test_engine_no_tracer_by_default():
+    assert Engine().tracer is None
+
+
+def test_tracer_spans():
+    tr = Tracer()
+    tr.span_start("mpi_send", key=1, now=0.0, size=64)
+    span = tr.span_end("mpi_send", key=1, now=0.002)
+    assert span.duration == pytest.approx(0.002)
+    assert span.attrs == {"size": 64}
+    assert tr.spans_by_layer() == {"mpi_send": [span]}
+    # Unmatched end is harmless.
+    assert tr.span_end("mpi_send", key=99, now=1.0) is None
+    tr.clear()
+    assert tr.spans == [] and tr.events == []
+
+
+def test_span_duration_requires_end():
+    from repro.sim.trace import Span
+    span = Span(layer="x", start=1.0)
+    with pytest.raises(ValueError):
+        _ = span.duration
+
+
+# ---------------------------------------------------------------------------
+# ClusterMetrics
+# ---------------------------------------------------------------------------
+
+def test_snapshot_reflects_running_app():
+    sf = StarfishCluster.build(nodes=3)
+    handle = sf.submit(AppSpec(
+        program=ComputeSleep, nprocs=2,
+        params={"steps": 200, "step_time": 0.02},
+        ft_policy=FaultPolicy.RESTART,
+        checkpoint=CheckpointConfig(protocol="stop-and-sync", level="vm",
+                                    interval=0.5)))
+    sf.engine.run(until=sf.engine.now + 1.5)
+    snap = ClusterMetrics(sf).snapshot()
+    assert snap.nodes_up == 3 and snap.daemons == 3
+    assert snap.group_epoch is not None
+    app = snap.apps[0]
+    assert app.app_id == handle.app_id
+    assert app.status == "running"
+    assert app.ckpt_protocol == "stop-and-sync"
+    assert app.committed_line is not None
+    assert all(n > 0 for n in app.steps_completed.values())
+    assert snap.store_writes >= 2
+    eth = next(f for f in snap.fabrics if f.name == "tcp-ethernet")
+    assert eth.by_kind.get("control", 0) > 0
+    assert eth.by_kind.get("checkpoint/restart", 0) > 0
+
+
+def test_snapshot_counts_crash_effects():
+    sf = StarfishCluster.build(nodes=3)
+    sf.crash_node("n2")
+    sf.engine.run(until=sf.engine.now + 2.0)
+    snap = ClusterMetrics(sf).snapshot()
+    assert snap.nodes_up == 2
+    assert snap.daemons == 2
+
+
+def test_format_report_mentions_everything():
+    sf = StarfishCluster.build(nodes=2)
+    handle = sf.submit(AppSpec(program=ComputeSleep, nprocs=2,
+                               params={"steps": 3, "step_time": 0.01}))
+    sf.run_to_completion(handle)
+    report = ClusterMetrics(sf).format_report()
+    assert "2/2 nodes up" in report
+    assert handle.app_id in report
+    assert "tcp-ethernet" in report and "bip-myrinet" in report
+    assert "done" in report

@@ -1,0 +1,110 @@
+"""Process migration via checkpoint/restart (paper §3.2.1)."""
+
+import pytest
+
+from repro.apps import ComputeSleep, Jacobi1D
+from repro.core import AppSpec, CheckpointConfig, FaultPolicy, StarfishCluster
+from repro.daemon import AppStatus
+
+
+def checkpointed_app(sf, nprocs=2, steps=60, protocol="stop-and-sync"):
+    handle = sf.submit(AppSpec(
+        program=ComputeSleep, nprocs=nprocs,
+        params={"steps": steps, "step_time": 0.05},
+        ft_policy=FaultPolicy.RESTART,
+        checkpoint=CheckpointConfig(protocol=protocol, level="vm",
+                                    interval=0.5),
+        placement={r: f"n{r}" for r in range(nprocs)}))
+    sf.engine.run(until=sf.engine.now + 1.3)
+    assert sf.store.latest_committed(handle.app_id) is not None
+    return handle
+
+
+def test_migrate_moves_rank_and_completes():
+    sf = StarfishCluster.build(nodes=3)
+    handle = checkpointed_app(sf)
+    sf.migrate(handle, rank=1, target_node="n2")
+    results = sf.run_to_completion(handle, timeout=300)
+    assert results == {0: 60, 1: 60}
+    record = handle._record()
+    assert record.placement[1] == "n2"
+    assert record.restarts == 1       # migration = rollback + re-place
+    assert record.world_version >= 1
+
+
+def test_migrate_preserves_progress():
+    sf = StarfishCluster.build(nodes=3)
+    handle = checkpointed_app(sf, steps=40)
+    t0 = sf.engine.now
+    sf.migrate(handle, rank=1, target_node="n2")
+    sf.run_to_completion(handle, timeout=300)
+    # Progress up to the recovery line is not redone: finishing takes less
+    # time than a full 40 x 0.05 = 2.0s rerun would.
+    assert sf.engine.now - t0 < 1.9
+
+
+def test_migrate_to_same_node_is_noop():
+    sf = StarfishCluster.build(nodes=3)
+    handle = checkpointed_app(sf)
+    sf.migrate(handle, rank=1, target_node="n1")   # already there
+    sf.engine.run(until=sf.engine.now + 1.0)
+    assert handle._record().restarts == 0
+    sf.run_to_completion(handle, timeout=300)
+
+
+def test_migrate_without_checkpoints_restarts_from_scratch():
+    sf = StarfishCluster.build(nodes=3)
+    handle = sf.submit(AppSpec(
+        program=ComputeSleep, nprocs=2,
+        params={"steps": 10, "step_time": 0.05},
+        ft_policy=FaultPolicy.RESTART,
+        placement={0: "n0", 1: "n1"}))
+    sf.engine.run(until=sf.engine.now + 0.3)
+    sf.migrate(handle, rank=0, target_node="n2")
+    results = sf.run_to_completion(handle, timeout=300)
+    assert results == {0: 10, 1: 10}
+    assert handle._record().placement[0] == "n2"
+
+
+def test_migrate_via_ascii_client():
+    sf = StarfishCluster.build(nodes=3)
+    handle = checkpointed_app(sf)
+
+    def session():
+        client = sf.client()
+        c = yield from client.connect()
+        yield from c.login("admin", "adminpw", mgmt=True)
+        reply = yield from c.command(
+            f"MIGRATE {handle.app_id} 1 n2")
+        bad_rank = yield from c.command(f"MIGRATE {handle.app_id} 9 n2")
+        bad_node = yield from c.command(f"MIGRATE {handle.app_id} 0 nope")
+        yield from c.close()
+        return reply, bad_rank, bad_node
+
+    proc = sf.engine.process(session())
+    sf.engine.run(until=sf.engine.now + 10.0)
+    reply, bad_rank, bad_node = proc.value
+    assert reply.startswith("OK migrating")
+    assert bad_rank.startswith("ERR no rank")
+    assert bad_node.startswith("ERR unknown node")
+    results = sf.run_to_completion(handle, timeout=300)
+    assert results == {0: 60, 1: 60}
+    assert handle._record().placement[1] == "n2"
+
+
+def test_migrate_tightly_coupled_app():
+    sf = StarfishCluster.build(nodes=4)
+    handle = sf.submit(AppSpec(
+        program=Jacobi1D, nprocs=3,
+        params={"n": 255, "iterations": 200, "iters_per_step": 10,
+                "compute_ns_per_cell": 200_000},
+        ft_policy=FaultPolicy.RESTART,
+        checkpoint=CheckpointConfig(protocol="chandy-lamport", level="vm",
+                                    interval=1.0),
+        placement={0: "n0", 1: "n1", 2: "n2"}))
+    sf.engine.run(until=sf.engine.now + 2.5)
+    sf.migrate(handle, rank=2, target_node="n3")
+    results = sf.run_to_completion(handle, timeout=600)
+    iters, _res, _tot = results[0]
+    assert iters == 200
+    assert handle._record().placement[2] == "n3"

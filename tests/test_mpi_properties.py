@@ -1,0 +1,168 @@
+"""Property-based tests of MPI semantics (hypothesis)."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.mpi import ANY_SOURCE, ANY_TAG, MAX, MIN, PROD, SUM
+from repro.mpi.matching import InboundMsg, MatchingEngine, PostedRecv
+from repro.mpi.request import Request
+
+from tests.mpi_helpers import make_world, run_ranks
+
+
+# ---------------------------------------------------------------------------
+# matching engine (pure, fast)
+# ---------------------------------------------------------------------------
+
+def _req():
+    class _E:            # matching completes requests without an engine
+        pass
+
+    r = Request.__new__(Request)
+    r.engine = None
+    r.kind = "recv"
+    r._status = None
+    r._data = None
+    r.cancelled = False
+
+    class _Ev:
+        triggered = False
+        value = None
+
+        def succeed(self, v):
+            self.triggered = True
+            self.value = v
+
+    r.event = _Ev()
+    return r
+
+
+messages = st.lists(
+    st.tuples(st.integers(0, 3), st.integers(0, 5)),   # (source, tag)
+    min_size=0, max_size=12)
+receives = st.lists(
+    st.tuples(st.sampled_from([ANY_SOURCE, 0, 1, 2, 3]),
+              st.sampled_from([ANY_TAG, 0, 1, 2, 3, 4, 5])),
+    min_size=0, max_size=12)
+
+
+@settings(max_examples=200, deadline=None)
+@given(msgs=messages, recvs=receives, post_first=st.booleans())
+def test_matching_invariants(msgs, recvs, post_first):
+    eng = MatchingEngine()
+    reqs = []
+
+    def post_all():
+        for source, tag in recvs:
+            req = _req()
+            reqs.append(req)
+            eng.post(PostedRecv(comm_id="c", source=source, tag=tag,
+                                request=req))
+
+    def arrive_all():
+        for i, (source, tag) in enumerate(msgs):
+            eng.arrived(InboundMsg(comm_id="c", source=source, tag=tag,
+                                   data=("m", i), nbytes=8))
+
+    if post_first:
+        post_all()
+        arrive_all()
+    else:
+        arrive_all()
+        post_all()
+
+    # Conservation: every message is either delivered or still unexpected.
+    delivered = [r for r in reqs if r.event.triggered]
+    assert len(delivered) + len(eng.unexpected) == len(msgs)
+    # Every pending receive matches nothing in the unexpected queue
+    # (otherwise the engine failed to pair a matchable pair).
+    for recv in eng.posted:
+        for msg in eng.unexpected:
+            assert not recv.matches(msg)
+    # Non-overtaking: for each (source, tag), delivered messages preserve
+    # their send order.
+    for src in range(4):
+        for tag in range(6):
+            got = [r.event.value[0][1] for r in delivered
+                   if r.event.value[1].source == src
+                   and r.event.value[1].tag == tag]
+            sent = [i for i, (s, t) in enumerate(msgs)
+                    if s == src and t == tag]
+            assert got == sorted(got)
+            assert set(got) <= set(sent)
+
+
+@settings(max_examples=100, deadline=None)
+@given(msgs=messages)
+def test_snapshot_restore_preserves_unexpected_queue(msgs):
+    eng = MatchingEngine()
+    for i, (source, tag) in enumerate(msgs):
+        eng.arrived(InboundMsg(comm_id="c", source=source, tag=tag,
+                               data=i, nbytes=4))
+    image = eng.snapshot_unexpected()
+    eng2 = MatchingEngine()
+    eng2.restore_unexpected(image)
+    assert [(m.source, m.tag, m.data) for m in eng2.unexpected] == \
+        [(m.source, m.tag, m.data) for m in eng.unexpected]
+
+
+# ---------------------------------------------------------------------------
+# collectives vs numpy reference (full simulation, small cases)
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(values=st.lists(st.integers(-1000, 1000), min_size=2, max_size=4),
+       op=st.sampled_from([SUM, PROD, MAX, MIN]))
+def test_allreduce_matches_reference(values, op):
+    n = len(values)
+    cluster, apis = make_world(n)
+
+    def prog(mpi, rank):
+        out = yield from mpi.allreduce(values[rank], op=op)
+        return out
+
+    results = run_ranks(cluster, apis, prog)
+    ref = values[0]
+    from repro.mpi.reduce_ops import apply_op
+    for v in values[1:]:
+        ref = apply_op(op, ref, v)
+    assert all(r == ref for r in results)
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(n=st.integers(2, 5), root=st.integers(0, 4), seed=st.integers(0, 99))
+def test_bcast_gather_roundtrip(n, root, seed):
+    root = root % n
+    rng = np.random.default_rng(seed)
+    payload = rng.integers(0, 100, size=5).tolist()
+    cluster, apis = make_world(n)
+
+    def prog(mpi, rank):
+        data = payload if rank == root else None
+        got = yield from mpi.bcast(data, root=root)
+        back = yield from mpi.gather(got, root=root)
+        return back
+
+    results = run_ranks(cluster, apis, prog)
+    assert results[root] == [payload] * n
+    assert all(results[r] is None for r in range(n) if r != root)
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(n=st.integers(2, 5), seed=st.integers(0, 99))
+def test_alltoall_is_transpose(n, seed):
+    rng = np.random.default_rng(seed)
+    matrix = rng.integers(0, 1000, size=(n, n)).tolist()
+    cluster, apis = make_world(n)
+
+    def prog(mpi, rank):
+        out = yield from mpi.alltoall(matrix[rank])
+        return out
+
+    results = run_ranks(cluster, apis, prog)
+    for j in range(n):
+        assert results[j] == [matrix[i][j] for i in range(n)]

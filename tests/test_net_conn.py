@@ -1,0 +1,280 @@
+"""Unit tests for reliable connections and local pipes."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.errors import ConnectionClosed
+from repro.net import Connection, Listener
+from repro.net.conn import LocalPipe
+
+
+def setup_listener(cluster, node="n1", port="svc"):
+    nic = cluster.node(node).nic("tcp-ethernet")
+    return Listener(cluster.engine, nic, port)
+
+
+def connect(cluster, src="n0", dst="n1", port="svc"):
+    nic = cluster.node(src).nic("tcp-ethernet")
+    return Connection.connect(cluster.engine, nic, dst, port)
+
+
+def test_connect_and_exchange():
+    cluster = Cluster.build(nodes=2)
+    eng = cluster.engine
+    listener = setup_listener(cluster)
+
+    def server():
+        conn = yield listener.accept()
+        msg = yield conn.recv()
+        yield from conn.send(("echo", msg))
+
+    def client():
+        conn = yield from connect(cluster)
+        yield from conn.send("hello", size=5)
+        reply = yield conn.recv()
+        return reply
+
+    eng.process(server())
+    assert eng.run(eng.process(client())) == ("echo", "hello")
+
+
+def test_messages_arrive_in_order():
+    cluster = Cluster.build(nodes=2)
+    eng = cluster.engine
+    listener = setup_listener(cluster)
+    n = 20
+
+    def server():
+        conn = yield listener.accept()
+        got = []
+        for _ in range(n):
+            got.append((yield conn.recv()))
+        return got
+
+    def client():
+        conn = yield from connect(cluster)
+        for i in range(n):
+            yield from conn.send(i)
+
+    p = eng.process(server())
+    eng.process(client())
+    assert eng.run(p) == list(range(n))
+
+
+def test_reliable_under_heavy_loss():
+    cluster = Cluster.build(nodes=2, seed=3, loss_prob=0.3)
+    eng = cluster.engine
+    listener = setup_listener(cluster)
+    n = 15
+
+    def server():
+        conn = yield listener.accept()
+        got = []
+        for _ in range(n):
+            got.append((yield conn.recv()))
+        return got
+
+    def client():
+        conn = yield from connect(cluster)
+        for i in range(n):
+            yield from conn.send(i)
+
+    p = eng.process(server())
+    eng.process(client())
+    assert eng.run(p) == list(range(n))
+    assert cluster.ethernet.frames_dropped > 0  # loss actually happened
+
+
+def test_bidirectional_traffic():
+    cluster = Cluster.build(nodes=2)
+    eng = cluster.engine
+    listener = setup_listener(cluster)
+
+    def server():
+        conn = yield listener.accept()
+        for i in range(5):
+            msg = yield conn.recv()
+            yield from conn.send(msg * 2)
+
+    def client():
+        conn = yield from connect(cluster)
+        out = []
+        for i in range(5):
+            yield from conn.send(i)
+            out.append((yield conn.recv()))
+        return out
+
+    eng.process(server())
+    assert eng.run(eng.process(client())) == [0, 2, 4, 6, 8]
+
+
+def test_close_propagates_fin():
+    cluster = Cluster.build(nodes=2)
+    eng = cluster.engine
+    listener = setup_listener(cluster)
+
+    def server():
+        conn = yield listener.accept()
+        yield from conn.close()
+
+    def client():
+        conn = yield from connect(cluster)
+        with pytest.raises(ConnectionClosed):
+            yield conn.recv()
+        return conn.closed
+
+    eng.process(server())
+    assert eng.run(eng.process(client()))
+
+
+def test_peer_crash_closes_connection():
+    cluster = Cluster.build(nodes=2)
+    eng = cluster.engine
+    listener = setup_listener(cluster)
+
+    def server():
+        conn = yield listener.accept()
+        yield conn.recv()   # hangs forever; node will crash
+
+    def client():
+        conn = yield from connect(cluster)
+        yield eng.timeout(0.01)
+        # Crash OUR node: our rx port closes, conn tears down.
+        cluster.crash_node("n0")
+        with pytest.raises(ConnectionClosed):
+            yield conn.recv()
+        return True
+
+    eng.process(server())
+    assert eng.run(eng.process(client()))
+
+
+def test_send_on_closed_connection_raises():
+    cluster = Cluster.build(nodes=2)
+    eng = cluster.engine
+    listener = setup_listener(cluster)
+
+    def client():
+        conn = yield from connect(cluster)
+        yield from conn.close()
+        with pytest.raises(ConnectionClosed):
+            yield from conn.send("too late")
+        return True
+
+    def server():
+        yield listener.accept()
+
+    eng.process(server())
+    assert eng.run(eng.process(client()))
+
+
+def test_two_clients_same_listener():
+    cluster = Cluster.build(nodes=3)
+    eng = cluster.engine
+    listener = setup_listener(cluster, node="n2")
+
+    def server():
+        seen = []
+        for _ in range(2):
+            conn = yield listener.accept()
+            msg = yield conn.recv()
+            seen.append(msg)
+        return sorted(seen)
+
+    def client(src):
+        conn = yield from Connection.connect(
+            eng, cluster.node(src).nic("tcp-ethernet"), "n2", "svc")
+        yield from conn.send(src)
+
+    p = eng.process(server())
+    eng.process(client("n0"))
+    eng.process(client("n1"))
+    assert eng.run(p) == ["n0", "n1"]
+
+
+def test_connection_survives_transient_partition():
+    cluster = Cluster.build(nodes=2)
+    eng = cluster.engine
+    listener = setup_listener(cluster)
+
+    def server():
+        conn = yield listener.accept()
+        got = []
+        for _ in range(3):
+            got.append((yield conn.recv()))
+        return got
+
+    def client():
+        conn = yield from connect(cluster)
+        yield from conn.send(0)
+        # Partition, send into the void, heal: ARQ must recover.
+        cluster.ethernet.partition(["n0"], ["n1"])
+        yield from conn.send(1)
+        yield eng.timeout(0.05)
+        cluster.ethernet.heal()
+        yield from conn.send(2)
+
+    p = eng.process(server())
+    eng.process(client())
+    assert eng.run(p) == [0, 1, 2]
+
+
+# ---------------------------------------------------------------------------
+# LocalPipe
+# ---------------------------------------------------------------------------
+
+def test_local_pipe_roundtrip():
+    from repro.sim import Engine
+    eng = Engine()
+    pipe = LocalPipe(eng, name="dmn-app")
+
+    def daemon():
+        msg = yield pipe.a.recv()
+        yield from pipe.a.send(("ack", msg))
+
+    def app():
+        yield from pipe.b.send("register", kind="configuration")
+        return (yield pipe.b.recv())
+
+    eng.process(daemon())
+    assert eng.run(eng.process(app())) == ("ack", "register")
+    assert pipe.by_kind["configuration"] == 1
+
+
+def test_local_pipe_close_fails_reader():
+    from repro.sim import Engine
+    eng = Engine()
+    pipe = LocalPipe(eng)
+
+    def reader():
+        with pytest.raises(ConnectionClosed):
+            yield pipe.b.recv()
+        return True
+
+    def closer():
+        yield eng.timeout(1)
+        pipe.a.close()
+
+    p = eng.process(reader())
+    eng.process(closer())
+    assert eng.run(p)
+    # send after close raises too (on first iteration of the generator)
+    with pytest.raises(ConnectionClosed):
+        next(pipe.a.send("x"))
+
+
+def test_local_pipe_latency_is_local_hop():
+    from repro.calibration import LOCAL_TCP_HOP
+    from repro.sim import Engine
+    eng = Engine()
+    pipe = LocalPipe(eng)
+
+    def sender():
+        yield from pipe.a.send("m")
+
+    def receiver():
+        yield pipe.b.recv()
+        return eng.now
+
+    eng.process(sender())
+    assert eng.run(eng.process(receiver())) == pytest.approx(LOCAL_TCP_HOP)

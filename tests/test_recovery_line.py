@@ -1,0 +1,146 @@
+"""Recovery-line computation on the rollback-dependency graph."""
+
+import pytest
+
+from repro.ckpt import DependencyGraph, compute_recovery_line
+from repro.errors import RecoveryLineError
+
+
+def test_no_messages_latest_checkpoints():
+    g = DependencyGraph([0, 1])
+    g.record_checkpoint(0)   # ckpt 0 of rank 0
+    g.record_checkpoint(1)
+    line = compute_recovery_line(g, failed=[0])
+    assert line.cut[0] == 0          # failed rank: last stored ckpt
+    assert line.cut[1] == 1          # survivor: live state (index 1 == live)
+    assert line.discarded_intervals == 0
+
+
+def test_orphan_message_rolls_back_receiver():
+    # rank0 checkpoints, then sends m in interval 1; rank1 receives m in
+    # interval 0 and then checkpoints.  rank0 fails -> resumes interval 1,
+    # m is re-sent eventually, fine.  But if rank0 had NOT checkpointed,
+    # m becomes an orphan and rank1's checkpoint is useless.
+    g = DependencyGraph([0, 1])
+    # rank0: no checkpoint; sends in interval 0.
+    g.record_message(sender=0, send_interval=0, receiver=1, recv_interval=0)
+    g.record_checkpoint(1)           # rank1 ckpt 0 (captures the receive)
+    line = compute_recovery_line(g, failed=[0])
+    # rank0 restarts from scratch; rank1's ckpt 0 contains an orphan
+    # receive, so rank1 rolls back to initial state too.
+    assert line.cut[0] == -1
+    assert line.cut[1] == -1
+    assert line.is_initial
+
+
+def test_consistent_checkpoint_survives():
+    g = DependencyGraph([0, 1])
+    g.record_message(0, 0, 1, 0)     # sent & received in interval 0
+    g.record_checkpoint(0)           # both checkpoint AFTER the exchange
+    g.record_checkpoint(1)
+    line = compute_recovery_line(g, failed=[0])
+    assert line.cut == {0: 0, 1: 1}  # rank1 keeps running (live = index 1)
+
+
+def test_domino_effect_cascades():
+    # The classic zig-zag: each checkpoint is invalidated by a message
+    # received before it that was sent after the peer's checkpoint.
+    g = DependencyGraph([0, 1])
+    for k in range(3):
+        # Every checkpoint is taken right after receiving a message the
+        # peer sent from *its* post-checkpoint interval: rolling back any
+        # checkpoint orphans the receive captured by the previous one.
+        g.record_message(1, k, 0, k)           # recv before rank0's ckpt k
+        g.record_checkpoint(0)                 # ckpt k of rank 0
+        g.record_message(0, k + 1, 1, k)       # sent after 0's ckpt
+        g.record_checkpoint(1)                 # ckpt k of rank 1
+    line = compute_recovery_line(g, failed=[0])
+    # Every checkpoint is orphaned in turn: full domino.
+    assert line.is_initial
+    with pytest.raises(RecoveryLineError):
+        compute_recovery_line(g, failed=[0], allow_initial=False)
+
+
+def test_partial_rollback_stops_at_consistent_pair():
+    g = DependencyGraph([0, 1])
+    # Consistent pair of checkpoints (no cross messages around them).
+    g.record_checkpoint(0)     # ckpt 0
+    g.record_checkpoint(1)     # ckpt 0
+    # Then a zig-zag that invalidates everything after.
+    g.record_checkpoint(0)                  # ckpt 1 of rank 0
+    g.record_message(0, 2, 1, 1)
+    g.record_checkpoint(1)                  # ckpt 1 of rank 1
+    g.record_message(1, 2, 0, 2)
+    line = compute_recovery_line(g, failed=[0])
+    # rank0 resumes from ckpt 1 (its interval-2 receive is discarded with
+    # the rolled-back execution); the zig-zag forces rank1 back to ckpt 0.
+    assert line.cut == {0: 1, 1: 0}
+    assert not line.is_initial
+
+
+def test_survivors_not_rolled_back_without_orphans():
+    g = DependencyGraph([0, 1, 2])
+    for r in (0, 1, 2):
+        g.record_checkpoint(r)
+    # Messages all sent & received in old intervals (before checkpoints).
+    g.record_message(0, 0, 1, 0)
+    g.record_message(1, 0, 2, 0)
+    line = compute_recovery_line(g, failed=[2])
+    assert line.cut[0] == 1  # live
+    assert line.cut[1] == 1  # live
+    assert line.cut[2] == 0  # restored from its checkpoint
+
+
+def test_transitive_rollback_propagation():
+    g = DependencyGraph([0, 1, 2])
+    # 0 sends (interval 0) to 1; 1 checkpoints; 1 sends (interval 1) to 2;
+    # 2 checkpoints.  0 fails with no checkpoint:
+    #  -> 1 rolls to initial (orphan from 0)
+    #  -> 2's checkpoint recorded a receive sent in 1's interval 1,
+    #     which is now rolled back, so 2 rolls to initial too.
+    g.record_message(0, 0, 1, 0)
+    g.record_checkpoint(1)
+    g.record_message(1, 1, 2, 0)
+    g.record_checkpoint(2)
+    line = compute_recovery_line(g, failed=[0])
+    assert line.cut == {0: -1, 1: -1, 2: -1}
+
+
+def test_multiple_failures():
+    g = DependencyGraph([0, 1, 2])
+    for r in (0, 1, 2):
+        g.record_checkpoint(r)
+    line = compute_recovery_line(g, failed=[0, 2])
+    assert line.cut[0] == 0
+    assert line.cut[2] == 0
+    assert line.cut[1] == 1  # live
+
+
+def test_snapshot_roundtrip():
+    g = DependencyGraph([0, 1])
+    g.record_checkpoint(0)
+    g.record_message(0, 1, 1, 0)
+    g2 = DependencyGraph.from_snapshot(g.snapshot())
+    assert g2.ckpt_count == g.ckpt_count
+    assert g2.deps == g.deps
+    line1 = compute_recovery_line(g, failed=[0])
+    line2 = compute_recovery_line(g2, failed=[0])
+    assert line1.cut == line2.cut
+
+
+def test_discarded_intervals_counts_lost_work():
+    g = DependencyGraph([0, 1])
+    g.record_checkpoint(0)
+    g.record_checkpoint(0)   # rank 0 has 2 ckpts, current interval 2
+    g.record_checkpoint(1)
+    # Orphan: rank1 received (interval 0) a message rank0 sent in
+    # interval 2 (after its last checkpoint).
+    g.record_message(0, 2, 1, 0)
+    g.record_checkpoint(1)   # ckpt 1 of rank 1 captures the orphan receive
+    line = compute_recovery_line(g, failed=[0])
+    # rank0 -> ckpt 1 (resume interval 2); the message it sent in interval
+    # 2 is unsent now; rank1 received it in interval 0, so rank1 rolls all
+    # the way to initial state.
+    assert line.cut[0] == 1
+    assert line.cut[1] == -1
+    assert line.discarded_intervals == 3  # rank1 lost intervals 0,1,2(live)

@@ -1,0 +1,209 @@
+"""Unit tests for channels, priority channels, and resources."""
+
+import pytest
+
+from repro.errors import ConnectionClosed, SimulationError
+from repro.sim import Channel, Engine, PriorityChannel, Resource
+
+
+def test_channel_fifo_order():
+    eng = Engine()
+    ch = Channel(eng, name="c")
+    got = []
+
+    def producer():
+        for i in range(5):
+            yield eng.timeout(1)
+            ch.put(i)
+
+    def consumer():
+        for _ in range(5):
+            item = yield ch.get()
+            got.append((eng.now, item))
+
+    eng.process(producer())
+    eng.process(consumer())
+    eng.run()
+    assert [i for _, i in got] == [0, 1, 2, 3, 4]
+    assert [t for t, _ in got] == [1, 2, 3, 4, 5]
+
+
+def test_channel_put_before_get():
+    eng = Engine()
+    ch = Channel(eng)
+    ch.put("a")
+    ch.put("b")
+
+    def consumer():
+        x = yield ch.get()
+        y = yield ch.get()
+        return x, y
+
+    assert eng.run(eng.process(consumer())) == ("a", "b")
+
+
+def test_channel_multiple_getters_served_in_order():
+    eng = Engine()
+    ch = Channel(eng)
+    served = []
+
+    def getter(i):
+        item = yield ch.get()
+        served.append((i, item))
+
+    for i in range(3):
+        eng.process(getter(i))
+
+    def producer():
+        yield eng.timeout(1)
+        for v in "xyz":
+            ch.put(v)
+
+    eng.process(producer())
+    eng.run()
+    assert served == [(0, "x"), (1, "y"), (2, "z")]
+
+
+def test_channel_get_nowait():
+    eng = Engine()
+    ch = Channel(eng)
+    assert ch.get_nowait() == (False, None)
+    ch.put(9)
+    assert ch.get_nowait() == (True, 9)
+
+
+def test_channel_close_fails_pending_gets():
+    eng = Engine()
+    ch = Channel(eng)
+
+    def consumer():
+        with pytest.raises(ConnectionClosed):
+            yield ch.get()
+        return "ok"
+
+    def closer():
+        yield eng.timeout(1)
+        ch.close(ConnectionClosed("peer died"))
+
+    p = eng.process(consumer())
+    eng.process(closer())
+    assert eng.run(p) == "ok"
+    with pytest.raises(SimulationError):
+        ch.put(1)
+
+
+def test_channel_drain_and_peek():
+    eng = Engine()
+    ch = Channel(eng)
+    for i in range(3):
+        ch.put(i)
+    assert ch.peek_all() == [0, 1, 2]
+    assert len(ch) == 3
+    assert ch.drain() == [0, 1, 2]
+    assert len(ch) == 0
+
+
+def test_priority_channel_orders_by_priority_then_fifo():
+    eng = Engine()
+    ch = PriorityChannel(eng)
+    ch.put("low-1", priority=5)
+    ch.put("high", priority=0)
+    ch.put("low-2", priority=5)
+
+    def consumer():
+        out = []
+        for _ in range(3):
+            out.append((yield ch.get()))
+        return out
+
+    assert eng.run(eng.process(consumer())) == ["high", "low-1", "low-2"]
+
+
+def test_priority_channel_peek_all_sorted():
+    eng = Engine()
+    ch = PriorityChannel(eng)
+    ch.put("b", priority=2)
+    ch.put("a", priority=1)
+    assert ch.peek_all() == ["a", "b"]
+    assert ch.drain() == ["a", "b"]
+    assert len(ch) == 0
+
+
+def test_resource_mutual_exclusion():
+    eng = Engine()
+    disk = Resource(eng, capacity=1, name="disk")
+    log = []
+
+    def writer(i):
+        req = disk.request()
+        yield req
+        log.append(("start", i, eng.now))
+        yield eng.timeout(10)
+        disk.release(req)
+        log.append(("end", i, eng.now))
+
+    for i in range(3):
+        eng.process(writer(i))
+    eng.run()
+    assert log == [("start", 0, 0), ("end", 0, 10),
+                   ("start", 1, 10), ("end", 1, 20),
+                   ("start", 2, 20), ("end", 2, 30)]
+
+
+def test_resource_capacity_two_overlaps():
+    eng = Engine()
+    r = Resource(eng, capacity=2)
+    done = []
+
+    def worker(i):
+        req = r.request()
+        yield req
+        yield eng.timeout(10)
+        r.release(req)
+        done.append((i, eng.now))
+
+    for i in range(4):
+        eng.process(worker(i))
+    eng.run()
+    assert done == [(0, 10), (1, 10), (2, 20), (3, 20)]
+
+
+def test_resource_release_unknown_request_raises():
+    eng = Engine()
+    r = Resource(eng)
+    with pytest.raises(SimulationError):
+        r.release(eng.event())
+
+
+def test_resource_release_queued_request_cancels_it():
+    eng = Engine()
+    r = Resource(eng, capacity=1)
+    first = r.request()
+    second = r.request()
+    assert not second.triggered
+    r.release(second)     # cancel while still queued
+    assert r.queued == 0
+    r.release(first)
+    assert r.in_use == 0
+
+
+def test_resource_invalid_capacity():
+    eng = Engine()
+    with pytest.raises(SimulationError):
+        Resource(eng, capacity=0)
+
+
+def test_rng_streams_independent_and_stable():
+    eng1 = Engine(seed=42)
+    eng2 = Engine(seed=42)
+    a1 = eng1.rng.stream("a").integers(0, 1000, 10).tolist()
+    # Drawing from another stream must not perturb "a".
+    eng2.rng.stream("b").integers(0, 1000, 10)
+    a2 = eng2.rng.stream("a").integers(0, 1000, 10).tolist()
+    assert a1 == a2
+
+
+def test_rng_streams_differ_by_seed():
+    s1 = Engine(seed=1).rng.stream("x").integers(0, 10**9)
+    s2 = Engine(seed=2).rng.stream("x").integers(0, 10**9)
+    assert s1 != s2

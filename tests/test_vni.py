@@ -1,0 +1,124 @@
+"""VNI unit tests: fast path timing, polling thread, both drivers."""
+
+import pytest
+
+from repro.calibration import BLOCKING_RECV_SYSCALL
+from repro.cluster import Cluster
+from repro.errors import NodeDown
+from repro.net import BIP_MYRINET, TCP_ETHERNET
+from repro.vni import Vni
+
+
+def make_pair(transport="bip-myrinet", polling=True, nodes=2):
+    cluster = Cluster.build(nodes=nodes)
+    a = Vni(cluster.engine, cluster.node("n0"), port="app:0",
+            transport=transport, polling=polling)
+    b = Vni(cluster.engine, cluster.node("n1"), port="app:1",
+            transport=transport, polling=polling)
+    return cluster, a, b
+
+
+def one_way(cluster, a, b, size=64):
+    eng = cluster.engine
+    out = {}
+
+    def sender():
+        yield from a.send("n1", "app:1", b"payload", size)
+
+    def receiver():
+        msg = yield from b.recv()
+        out["msg"] = msg
+        out["t"] = eng.now
+
+    eng.process(sender())
+    p = eng.process(receiver())
+    eng.run(p)
+    return out
+
+
+def test_message_delivered_with_payload():
+    cluster, a, b = make_pair()
+    out = one_way(cluster, a, b)
+    assert out["msg"].payload == b"payload"
+    assert out["msg"].src_node == "n0"
+    assert a.stats["sent"] == 1
+    assert b.stats["received"] == 1
+
+
+@pytest.mark.parametrize("transport,spec", [
+    ("bip-myrinet", BIP_MYRINET), ("tcp-ethernet", TCP_ETHERNET)])
+def test_one_way_time_is_model_minus_mpi_and_app_layers(transport, spec):
+    # The VNI path covers vni_send + driver_send + wire(size) + driver_recv
+    # + vni_recv; MPI and application layer costs are charged above the VNI.
+    cluster, a, b = make_pair(transport=transport)
+    size = 1000
+    out = one_way(cluster, a, b, size=size)
+    L = spec.layers
+    expected = (L.vni_send + L.driver_send + size / spec.bandwidth
+                + L.wire + L.driver_recv + L.vni_recv)
+    assert out["t"] == pytest.approx(expected, rel=1e-9)
+
+
+def test_polling_thread_quietly_queues_messages():
+    cluster, a, b = make_pair()
+    eng = cluster.engine
+
+    def sender():
+        for i in range(3):
+            yield from a.send("n1", "app:1", i, 64)
+
+    eng.process(sender())
+    eng.run()
+    # Nobody called recv, yet the messages sit in the received queue.
+    assert b.pending() == 3
+    ok, msg = b.recv_nowait()
+    assert ok and msg.payload == 0
+
+
+def test_blocking_mode_charges_syscall_per_receive():
+    cluster_p, ap, bp = make_pair(polling=True)
+    t_poll = one_way(cluster_p, ap, bp)["t"]
+    cluster_b, ab, bb = make_pair(polling=False)
+    t_block = one_way(cluster_b, ab, bb)["t"]
+    assert t_block - t_poll == pytest.approx(BLOCKING_RECV_SYSCALL, rel=1e-9)
+
+
+def test_messages_arrive_in_send_order():
+    cluster, a, b = make_pair()
+    eng = cluster.engine
+
+    def sender():
+        for i in range(10):
+            yield from a.send("n1", "app:1", i, 64)
+
+    def receiver():
+        got = []
+        for _ in range(10):
+            msg = yield from b.recv()
+            got.append(msg.payload)
+        return got
+
+    eng.process(sender())
+    assert eng.run(eng.process(receiver())) == list(range(10))
+
+
+def test_recv_fails_when_node_crashes():
+    cluster, a, b = make_pair()
+    eng = cluster.engine
+
+    def receiver():
+        with pytest.raises(NodeDown):
+            yield from b.recv()
+        return True
+
+    p = eng.process(receiver())
+    cluster.crash_at(0.01, "n1")
+    assert eng.run(p)
+
+
+def test_close_is_idempotent_and_stops_poller():
+    cluster, a, b = make_pair()
+    b.close()
+    b.close()
+    cluster.engine.run()
+    assert b.recv_q.closed
