@@ -12,6 +12,8 @@ from __future__ import annotations
 from typing import Any, List, Optional, Tuple
 
 from repro.errors import CheckpointError, Interrupt
+from repro.obs.instruments import (NULL_COUNTER, NULL_HISTOGRAM)
+from repro.obs.registry import get_registry
 from repro.sim.channel import Channel
 from repro.sim.events import Event
 
@@ -82,12 +84,41 @@ class CrProtocol:
         self._proc = None
         self._waiters: List[Tuple[int, Event]] = []
         self.last_committed: Optional[int] = None
-        self.stats = {"checkpoints": 0, "bytes": 0, "commits": 0}
+        # Instruments materialize in start() (that's when we learn the
+        # engine); until then the no-op twins keep stats readable.
+        self._m_checkpoints = NULL_COUNTER
+        self._m_bytes = NULL_COUNTER
+        self._m_commits = NULL_COUNTER
+        self._h_sync = NULL_HISTOGRAM
+
+    @property
+    def stats(self) -> dict:
+        """Legacy counter view (read side of the registry instruments)."""
+        return {"checkpoints": int(self._m_checkpoints.value),
+                "bytes": int(self._m_bytes.value),
+                "commits": int(self._m_commits.value)}
 
     # -- lifecycle ---------------------------------------------------------
 
     def start(self, ctx: CrContext) -> None:
         self.ctx = ctx
+        reg = get_registry(ctx.engine)
+        labels = dict(protocol=self.name, app=ctx.app_id, rank=str(ctx.rank))
+        self._m_checkpoints = reg.counter(
+            "ckpt.protocol.checkpoints", **labels,
+            help="local checkpoints taken by this rank's module")
+        self._m_bytes = reg.counter("ckpt.protocol.bytes", **labels,
+                                    help="checkpoint bytes produced")
+        self._m_commits = reg.counter(
+            "ckpt.protocol.commits", **labels,
+            help="recovery lines this module observed committing")
+        self._h_sync = reg.histogram(
+            "ckpt.protocol.sync_seconds", protocol=self.name,
+            help="simulated seconds spent in the protocol's sync/drain "
+                 "phase per checkpoint")
+        # A restarted rank gets a fresh module: per-instance series reset.
+        for m in (self._m_checkpoints, self._m_bytes, self._m_commits):
+            m.reset()
         self.inbox = Channel(ctx.engine, name=f"cr:{ctx.app_id}:{ctx.rank}")
         self._proc = ctx.node.spawn(self._main(),
                                     name=f"cr-{self.name}:{ctx.rank}")
@@ -132,9 +163,18 @@ class CrProtocol:
         self._waiters.append((version, ev))
         return ev
 
+    def record_checkpoint(self, nbytes: int) -> None:
+        """Count one locally-taken checkpoint of ``nbytes`` bytes."""
+        self._m_checkpoints.inc()
+        self._m_bytes.inc(nbytes)
+
+    def record_sync(self, seconds: float) -> None:
+        """Record one sync/drain phase duration (coordinated protocols)."""
+        self._h_sync.observe(seconds)
+
     def _committed(self, version: int) -> None:
         self.last_committed = version
-        self.stats["commits"] += 1
+        self._m_commits.inc()
         self.ctx.notify_committed(version)
         for v, ev in self._waiters[:]:
             if v <= version and not ev.triggered:

@@ -160,8 +160,7 @@ class ChandyLamportProtocol(CrProtocol):
             mpi_state=mpi_state, channel_msgs=list(self._recorded))
         yield from ctx.store.write(ctx.node, record,
                                    bandwidth=ctx.checkpointer.write_bandwidth)
-        self.stats["checkpoints"] += 1
-        self.stats["bytes"] += nbytes
+        self.record_checkpoint(nbytes)
         ctx.cast(("cl-done", version, ctx.rank))
 
     def on_cl_done(self, payload, source):

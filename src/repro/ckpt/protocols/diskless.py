@@ -90,9 +90,11 @@ class DisklessProtocol(StopAndSyncProtocol):
         me = ctx.rank
         expected = {r: counts.get(me, 0) for r, counts in
                     self._counts.items() if r != me}
+        t0 = ctx.engine.now
         while any(ctx.endpoint.recv_count.get(r, 0) < n
                   for r, n in expected.items()):
             yield ctx.engine.timeout(DRAIN_POLL)
+        self.record_sync(ctx.engine.now - t0)
 
         state = ctx.snapshot_state()
         image, nbytes = ctx.checkpointer.capture(state, ctx.arch)
@@ -118,8 +120,7 @@ class DisklessProtocol(StopAndSyncProtocol):
                 ("dl-store", version, me, record), nbytes=nbytes)
 
     def _after_dump(self, version: int, nbytes: int) -> None:
-        self.stats["checkpoints"] += 1
-        self.stats["bytes"] += nbytes
+        self.record_checkpoint(nbytes)
         self.ctx.cast(("ss-done", version, self.ctx.rank))
 
     # ------------------------------------------------------------------

@@ -110,9 +110,11 @@ class StopAndSyncProtocol(CrProtocol):
         expected = {r: counts.get(me, 0) for r, counts in
                     self._counts.items() if r != me}
         # Sync: wait until every message sent to us has been ingested.
+        t0 = ctx.engine.now
         while any(ctx.endpoint.recv_count.get(r, 0) < n
                   for r, n in expected.items()):
             yield ctx.engine.timeout(DRAIN_POLL)
+        self.record_sync(ctx.engine.now - t0)
         # Dump.
         state = ctx.snapshot_state()
         image, nbytes = ctx.checkpointer.capture(state, ctx.arch)
@@ -124,8 +126,7 @@ class StopAndSyncProtocol(CrProtocol):
                        **ctx.runtime_meta()})
         yield from ctx.store.write(
             ctx.node, record, bandwidth=ctx.checkpointer.write_bandwidth)
-        self.stats["checkpoints"] += 1
-        self.stats["bytes"] += nbytes
+        self.record_checkpoint(nbytes)
         ctx.cast(("ss-done", version, me))
 
     def on_ss_done(self, payload, source):

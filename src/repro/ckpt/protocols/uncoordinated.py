@@ -134,8 +134,7 @@ class UncoordinatedProtocol(CrProtocol):
             deps=list(deps), msg_log=log)
         yield from ctx.store.write(ctx.node, record,
                                    bandwidth=ctx.checkpointer.write_bandwidth)
-        self.stats["checkpoints"] += 1
-        self.stats["bytes"] += nbytes
+        self.record_checkpoint(nbytes)
         self._committed(index + 1)
 
     # -- recovery-side helpers ---------------------------------------------------

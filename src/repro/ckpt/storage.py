@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import CheckpointError, NoCheckpoint
+from repro.obs.registry import get_registry
 
 
 @dataclass
@@ -66,7 +67,23 @@ class CheckpointStore:
         self._records: Dict[Tuple[str, int, int], CheckpointRecord] = {}
         #: Committed coordinated versions per app (ascending).
         self._committed: Dict[str, List[int]] = {}
-        self.stats = {"writes": 0, "reads": 0, "bytes_written": 0}
+        reg = get_registry(engine)
+        self._m_writes = reg.counter(
+            "ckpt.store.writes", help="checkpoint records stored")
+        self._m_reads = reg.counter(
+            "ckpt.store.reads", help="checkpoint records loaded")
+        self._m_bytes = reg.counter(
+            "ckpt.store.bytes_written", help="checkpoint bytes stored")
+        self._m_volatile_lost = reg.counter(
+            "ckpt.store.volatile_lost",
+            help="diskless records whose last in-memory copy died")
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Legacy counter view (read side of the registry instruments)."""
+        return {"writes": int(self._m_writes.value),
+                "reads": int(self._m_reads.value),
+                "bytes_written": int(self._m_bytes.value)}
 
     # ------------------------------------------------------------------
     # writing
@@ -77,8 +94,8 @@ class CheckpointStore:
         """Process generator: dump ``record`` through ``node``'s disk."""
         yield from node.disk.write(record.nbytes, bandwidth=bandwidth)
         self._records[(record.app_id, record.rank, record.version)] = record
-        self.stats["writes"] += 1
-        self.stats["bytes_written"] += record.nbytes
+        self._m_writes.inc()
+        self._m_bytes.inc(record.nbytes)
 
     def write_memory(self, record: CheckpointRecord,
                      holder_node: str) -> None:
@@ -100,8 +117,8 @@ class CheckpointStore:
         record.in_memory = True
         record.holder_nodes = [holder_node]
         self._records[key] = record
-        self.stats["writes"] += 1
-        self.stats["bytes_written"] += record.nbytes
+        self._m_writes.inc()
+        self._m_bytes.inc(record.nbytes)
 
     def drop_volatile(self, node_id: str) -> int:
         """A node crashed: the in-memory copies it held are gone.
@@ -114,6 +131,7 @@ class CheckpointStore:
                 rec.holder_nodes.remove(node_id)
                 if not rec.holder_nodes:
                     del self._records[key]
+                    self._m_volatile_lost.inc()
                     lost += 1
         return lost
 
@@ -161,7 +179,7 @@ class CheckpointStore:
                                       + record.nbytes / BIP_BANDWIDTH)
         else:
             yield from node.disk.read(record.nbytes, bandwidth=bandwidth)
-        self.stats["reads"] += 1
+        self._m_reads.inc()
         return record
 
     def peek(self, app_id: str, rank: int, version: int) -> CheckpointRecord:

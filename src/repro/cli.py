@@ -4,6 +4,8 @@ A thin operational front end for trying the system without writing code:
 
 * ``demo`` — boot a cluster, run Monte-Carlo π, print the result;
 * ``status`` — boot a cluster with a workload and print the metrics report;
+* ``metrics [--format text|prom]`` — same workload, raw telemetry dump;
+* ``trace --chrome OUT.json`` — run traced, export Chrome trace JSON;
 * ``examples`` — list the bundled example scripts;
 * ``rtt [--transport ...]`` — quick Figure-5-style latency probe.
 """
@@ -11,6 +13,7 @@ A thin operational front end for trying the system without writing code:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -31,17 +34,50 @@ def cmd_demo(args) -> int:
 
 
 def cmd_status(args) -> int:
+    from repro.core import ClusterMetrics
+    sf = _run_status_workload(args.nodes, args.seconds)
+    print(ClusterMetrics(sf).format_report())
+    return 0
+
+
+def _run_status_workload(nodes: int, seconds: float, trace: bool = False):
+    """Boot a cluster, run the ``status`` workload, return the cluster."""
     from repro.apps import ComputeSleep
-    from repro.core import (AppSpec, CheckpointConfig, ClusterMetrics,
-                            FaultPolicy, StarfishCluster)
-    sf = StarfishCluster.build(nodes=args.nodes)
-    sf.submit(AppSpec(program=ComputeSleep, nprocs=args.nodes,
+    from repro.core import (AppSpec, CheckpointConfig, FaultPolicy,
+                            StarfishCluster)
+    sf = StarfishCluster.build(nodes=nodes, trace=trace)
+    sf.submit(AppSpec(program=ComputeSleep, nprocs=nodes,
                       params={"steps": 100, "step_time": 0.05},
                       ft_policy=FaultPolicy.RESTART,
                       checkpoint=CheckpointConfig(protocol="stop-and-sync",
                                                   level="vm", interval=1.0)))
-    sf.engine.run(until=sf.engine.now + args.seconds)
-    print(ClusterMetrics(sf).format_report())
+    sf.engine.run(until=sf.engine.now + seconds)
+    return sf
+
+
+def cmd_metrics(args) -> int:
+    from repro.obs import to_prometheus, to_text
+    sf = _run_status_workload(args.nodes, args.seconds)
+    render = to_prometheus if args.format == "prom" else to_text
+    print(render(sf.engine.metrics))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from repro.obs import chrome_trace
+    try:
+        fh = open(args.chrome, "w")   # fail on a bad path *before* the run
+    except OSError as exc:
+        print(f"repro trace: cannot write {args.chrome}: {exc.strerror}",
+              file=sys.stderr)
+        return 1
+    with fh:
+        sf = _run_status_workload(args.nodes, args.seconds, trace=True)
+        doc = chrome_trace(sf.engine.tracer,
+                           event_log=sf.engine.metrics.events)
+        json.dump(doc, fh)
+    print(f"wrote {len(doc['traceEvents'])} trace events to {args.chrome} "
+          f"(open in chrome://tracing or https://ui.perfetto.dev)")
     return 0
 
 
@@ -90,6 +126,22 @@ def main(argv=None) -> int:
     status.add_argument("--nodes", type=int, default=4)
     status.add_argument("--seconds", type=float, default=3.0)
     status.set_defaults(fn=cmd_status)
+
+    metrics = sub.add_parser("metrics", help="run a workload and dump the "
+                                             "telemetry registry")
+    metrics.add_argument("--nodes", type=int, default=4)
+    metrics.add_argument("--seconds", type=float, default=3.0)
+    metrics.add_argument("--format", default="text",
+                         choices=["text", "prom"])
+    metrics.set_defaults(fn=cmd_metrics)
+
+    trace = sub.add_parser("trace", help="run a traced workload and export "
+                                         "Chrome trace_event JSON")
+    trace.add_argument("--nodes", type=int, default=4)
+    trace.add_argument("--seconds", type=float, default=3.0)
+    trace.add_argument("--chrome", required=True, metavar="OUT.json",
+                       help="output path for the trace JSON")
+    trace.set_defaults(fn=cmd_trace)
 
     rtt = sub.add_parser("rtt", help="quick Figure-5-style latency probe")
     rtt.add_argument("--transport", default="bip-myrinet",

@@ -19,8 +19,10 @@ class Cluster:
     """
 
     def __init__(self, engine: Optional[Engine] = None, seed: int = 0,
-                 loss_prob: float = 0.0, trace: bool = False):
-        self.engine = engine or Engine(seed=seed, trace=trace)
+                 loss_prob: float = 0.0, trace: bool = False,
+                 telemetry: bool = True):
+        self.engine = engine or Engine(seed=seed, trace=trace,
+                                       telemetry=telemetry)
         self.ethernet = Fabric(self.engine, TCP_ETHERNET, loss_prob=loss_prob)
         self.myrinet = Fabric(self.engine, BIP_MYRINET, loss_prob=loss_prob)
         self.nodes: Dict[str, Node] = {}
@@ -34,9 +36,11 @@ class Cluster:
     @classmethod
     def build(cls, nodes: int = 4, seed: int = 0,
               archs: Optional[Sequence[Architecture]] = None,
-              loss_prob: float = 0.0, trace: bool = False) -> "Cluster":
+              loss_prob: float = 0.0, trace: bool = False,
+              telemetry: bool = True) -> "Cluster":
         """Convenience: a cluster of ``nodes`` homogeneous (or given) nodes."""
-        cluster = cls(seed=seed, loss_prob=loss_prob, trace=trace)
+        cluster = cls(seed=seed, loss_prob=loss_prob, trace=trace,
+                      telemetry=telemetry)
         for i in range(nodes):
             arch = archs[i % len(archs)] if archs else DEFAULT_ARCH
             cluster.add_node(f"n{i}", arch=arch)

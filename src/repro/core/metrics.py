@@ -3,9 +3,10 @@
 :class:`ClusterMetrics` snapshots everything a Starfish operator would
 want on a dashboard: per-application progress and fault history, stable
 storage consumption, per-fabric traffic broken down by Table 1 message
-kind, and group-communication health.  Everything is collected from live
-objects — no instrumentation hooks needed — so it can be sampled at any
-simulated time.
+kind, and group-communication health.  It is a thin *read-side view*
+over the engine's :class:`~repro.obs.registry.MetricsRegistry` (plus a
+few live objects for membership/placement), so it can be sampled at any
+simulated time without its own instrumentation hooks.
 
 Example::
 
@@ -84,10 +85,17 @@ class ClusterMetrics:
         epoch = None
         if daemons and daemons[0].gm.view is not None:
             epoch = daemons[0].gm.view.epoch
+        reg = sf.engine.metrics
         fabrics = [
-            FabricSnapshot(name=f.spec.name, frames=f.frames_sent,
-                           bytes=f.bytes_sent, dropped=f.frames_dropped,
-                           by_kind=dict(f.kind_counts))
+            FabricSnapshot(
+                name=f.spec.name,
+                frames=int(reg.sum("net.frames_sent", fabric=f.spec.name)),
+                bytes=int(reg.sum("net.bytes_sent", fabric=f.spec.name)),
+                dropped=int(reg.sum("net.frames_dropped",
+                                    fabric=f.spec.name)),
+                by_kind={k: int(v) for k, v in
+                         reg.group_by("net.frames_sent", "kind",
+                                      fabric=f.spec.name).items() if v})
             for f in (sf.cluster.ethernet, sf.cluster.myrinet)]
         return ClusterSnapshot(
             time=sf.engine.now,
@@ -97,9 +105,9 @@ class ClusterMetrics:
             group_epoch=epoch,
             apps=apps,
             fabrics=fabrics,
-            store_writes=sf.store.stats["writes"],
-            store_reads=sf.store.stats["reads"],
-            store_bytes=sf.store.stats["bytes_written"])
+            store_writes=int(reg.sum("ckpt.store.writes")),
+            store_reads=int(reg.sum("ckpt.store.reads")),
+            store_bytes=int(reg.sum("ckpt.store.bytes_written")))
 
     def _app_snapshot(self, record) -> AppSnapshot:
         sf = self.sf

@@ -31,6 +31,7 @@ from repro.core.program import ProgramContext, ViewInfo
 from repro.errors import CheckpointError, Interrupt, MpiError
 from repro.mpi import MpiApi, MpiEndpoint
 from repro.mpi.api import RuntimeServices
+from repro.obs.registry import get_registry
 from repro.sim.events import Event
 
 
@@ -102,9 +103,28 @@ class AppProcess:
         self._disturb: Optional[Event] = None
         self._spawn_waiters: List[Tuple[int, Event]] = []
         self._tickers: List = []
-        self.stats = {"steps": 0, "aborted_steps": 0, "views": 0}
+        # Per-process series; a restarted rank is a new AppProcess, so the
+        # series reset here to keep the seed's fresh-instance semantics.
+        reg = get_registry(self.engine)
+        labels = dict(app=record.app_id, rank=str(rank))
+        self._m_steps = reg.counter("app.steps", **labels,
+                                    help="committed program steps")
+        self._m_aborted = reg.counter(
+            "app.aborted_steps", **labels,
+            help="steps rolled back by a view change mid-step")
+        self._m_views = reg.counter("app.views", **labels,
+                                    help="view changes applied")
+        for m in (self._m_steps, self._m_aborted, self._m_views):
+            m.reset()
 
         self.bus.subscribe(ShutdownEvent, self._on_shutdown_event)
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Legacy counter view (read side of the registry instruments)."""
+        return {"steps": int(self._m_steps.value),
+                "aborted_steps": int(self._m_aborted.value),
+                "views": int(self._m_views.value)}
 
     # ------------------------------------------------------------------
     # handle protocol (what the daemon drives)
@@ -316,7 +336,7 @@ class AppProcess:
                 continue
         self._disturb = None
         if aborted:
-            self.stats["aborted_steps"] += 1
+            self._m_aborted.inc()
             self.endpoint.matching.fail_all_posted(
                 MpiError("step aborted by view change"))
             return
@@ -324,7 +344,7 @@ class AppProcess:
 
     def _commit_step(self) -> None:
         self.steps_completed += 1
-        self.stats["steps"] += 1
+        self._m_steps.inc()
 
     def _pause_eligible(self) -> bool:
         return (self._pause_req > 0
@@ -384,7 +404,7 @@ class AppProcess:
             return
 
     def _apply_view(self, info: ViewInfo):
-        self.stats["views"] += 1
+        self._m_views.inc()
         if info.new_world != self.mpi.world.group:
             self.mpi._refresh_world(info.new_world, info.world_version)
         self.mpi.world_version = info.world_version

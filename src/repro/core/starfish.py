@@ -110,11 +110,14 @@ class StarfishCluster:
     def build(cls, nodes: int = 4, seed: int = 0,
               archs: Optional[Sequence[Architecture]] = None,
               gcs_config: Optional[GcsConfig] = None,
-              settle: bool = True, loss_prob: float = 0.0) -> "StarfishCluster":
+              settle: bool = True, loss_prob: float = 0.0,
+              trace: bool = False,
+              telemetry: bool = True) -> "StarfishCluster":
         """Create a cluster, boot all daemons, and (by default) run the
         simulation until the Starfish group has converged."""
         cluster = Cluster.build(nodes=nodes, seed=seed, archs=archs,
-                                loss_prob=loss_prob)
+                                loss_prob=loss_prob, trace=trace,
+                                telemetry=telemetry)
         sf = cls(cluster, gcs_config=gcs_config)
         if settle:
             sf.settle()

@@ -35,6 +35,7 @@ from repro.gcs import CastEvent, GcsConfig, GroupMember, ViewEvent
 from repro.gcs.endpoint import EndpointId
 from repro.lwg import LwgCast, LwgManager, LwgView
 from repro.net.conn import Listener
+from repro.obs.registry import get_registry
 
 CTL_PORT = "starfish-ctl"
 
@@ -76,12 +77,47 @@ class StarfishDaemon:
         self._lwg_pumps: Set[str] = set()
         self._submit_seq = itertools.count(1)
         self.log: List[Tuple[float, str]] = []
-        #: Local daemon<->application-process messages by Table 1 kind.
-        self.local_msgs: Dict[str, int] = {}
+        # Daemon telemetry, one series per (node, kind) / (node) / (app).
+        self._registry = get_registry(engine)
+        self._m_local: Dict[str, Any] = {}
+        self._m_restarts: Dict[str, Any] = {}
+        self._m_view_changes = self._registry.counter(
+            "daemon.view_changes", node=node.node_id,
+            help="main-group view changes handled")
+        self._m_view_changes.reset()
         self._absorbed = False
         #: App ids submitted here whose replicated record is still in
         #: flight (duplicate-submission guard).
         self._pending_submits: Set[str] = set()
+
+    @property
+    def local_msgs(self) -> Dict[str, int]:
+        """Local daemon<->application-process messages by Table 1 kind
+        (read side of ``daemon.local_msgs{node,kind}``)."""
+        return {k: int(m.value) for k, m in self._m_local.items()
+                if m.value}
+
+    def _count_local(self, kind: str, n: int = 1) -> None:
+        counter = self._m_local.get(kind)
+        if counter is None:
+            counter = self._registry.counter(
+                "daemon.local_msgs", node=self.node.node_id, kind=kind,
+                help="daemon<->local-process messages by Table 1 kind")
+            counter.reset()   # fresh daemon instance on this node
+            self._m_local[kind] = counter
+        counter.inc(n)
+
+    def _count_restart(self, app_id: str) -> None:
+        counter = self._m_restarts.get(app_id)
+        if counter is None:
+            counter = self._registry.counter(
+                "daemon.restarts", app=app_id,
+                help="rollback restarts coordinated for this application")
+            self._m_restarts[app_id] = counter
+        counter.inc()
+        self._registry.events.emit(
+            self.engine.now, "daemon.restart", node=self.node.node_id,
+            app=app_id)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -219,6 +255,7 @@ class StarfishDaemon:
         record.placement = dict(placement)
         record.world_version = world_version
         record.restarts += 1
+        self._count_restart(app_id)
         record.status = AppStatus.RUNNING
         # The rollback re-executes every rank from the recovery line, so
         # "done" bookkeeping from the rolled-back execution is void.
@@ -372,8 +409,7 @@ class StarfishDaemon:
             # Initialization configuration messages (Table 1).
             handle.deliver_config("app.params", dict(record.params))
             handle.deliver_config("app.transport", record.transport)
-            self.local_msgs["configuration"] = \
-                self.local_msgs.get("configuration", 0) + 2
+            self._count_local("configuration", 2)
             self.node.spawn(self._watch(record.app_id, rank, handle),
                             name=f"watch:{record.app_id}:{rank}")
 
@@ -448,8 +484,7 @@ class StarfishDaemon:
                        if n in alive_nodes)
         for (aid, _r), handle in list(self.handles.items()):
             if aid == record.app_id:
-                self.local_msgs["lightweight membership"] = \
-                    self.local_msgs.get("lightweight membership", 0) + 1
+                self._count_local("lightweight membership")
                 handle.deliver_membership(tuple(world), record.world_version,
                                           dict(record.placement))
 
@@ -495,6 +530,7 @@ class StarfishDaemon:
     # ------------------------------------------------------------------
 
     def _on_main_view(self, ev: ViewEvent):
+        self._m_view_changes.inc()
         if not ev.left:
             return
         dead_nodes = {m.node for m in ev.left}

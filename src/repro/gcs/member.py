@@ -29,6 +29,7 @@ from repro.gcs.events import CastEvent, P2pEvent, ViewEvent
 from repro.gcs.messages import (Announce, CastReq, Flush, FlushOk, Hb, Join,
                                 Leave, Msg, Ordered, P2p, Sync, ViewMsg)
 from repro.net.message import Frame
+from repro.obs.registry import get_registry
 from repro.sim.channel import Channel
 
 
@@ -104,8 +105,24 @@ class GroupMember:
         self.known_endpoints: Set[EndpointId] = set()
 
         # --- metrics ---
-        self.stats = {"casts": 0, "delivered": 0, "duplicates": 0,
-                      "views": 0, "flushes": 0, "p2p": 0}
+        # Per-member series (labelled by node); a member is recreated when
+        # its node restarts, so the series reset here to keep the seed's
+        # fresh-instance semantics.
+        self._registry = get_registry(engine)
+        _mk = lambda what, h: self._registry.counter(
+            "gcs." + what, node=node.node_id, help=h)
+        self._m = {
+            "casts": _mk("casts", "multicasts initiated"),
+            "delivered": _mk("delivered", "ordered messages delivered"),
+            "duplicates": _mk("duplicates",
+                              "re-deliveries suppressed by key"),
+            "views": _mk("views", "views installed"),
+            "flushes": _mk("flushes", "flush rounds started"),
+            "p2p": _mk("p2p", "point-to-point messages delivered"),
+            "heartbeats": _mk("heartbeats", "heartbeats sent"),
+        }
+        for m in self._m.values():
+            m.reset()
         self._delivered_keys: Set[Tuple[EndpointId, int]] = set()
         self._procs: List = []
         self._started = False
@@ -123,6 +140,12 @@ class GroupMember:
             Announce: self._on_announce,
             P2p: self._on_p2p,
         }
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Legacy counter view (read side of the registry instruments)."""
+        return {k: int(m.value) for k, m in self._m.items()
+                if k != "heartbeats"}
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -195,7 +218,7 @@ class GroupMember:
         lseq = self._next_lseq
         self._next_lseq += 1
         self._pending[lseq] = (payload, size)
-        self.stats["casts"] += 1
+        self._m["casts"].inc()
         if self.view is not None and not self.blocked:
             self._sendto(self.view.coordinator,
                          CastReq(group=self.group, sender=self.endpoint,
@@ -309,6 +332,7 @@ class GroupMember:
                 # Heartbeats to everybody in the view.
                 for m in self.view.members:
                     if m != self.endpoint:
+                        self._m["heartbeats"].inc()
                         self._sendto(m, Hb(group=self.group,
                                            sender=self.endpoint,
                                            epoch=self.view.epoch))
@@ -386,7 +410,7 @@ class GroupMember:
         self.max_epoch = epoch
         self._active_flush = _FlushState(epoch=epoch, survivors=survivors,
                                          started=self.engine.now)
-        self.stats["flushes"] += 1
+        self._m["flushes"].inc()
         for m in survivors:
             self._sendto(m, Flush(group=self.group, sender=self.endpoint,
                                   epoch=epoch, survivors=survivors))
@@ -500,7 +524,10 @@ class GroupMember:
         self._flush_accepted = None
         self._active_flush = None
         self._joiners -= set(msg.members)
-        self.stats["views"] += 1
+        self._m["views"].inc()
+        self._registry.events.emit(
+            self.engine.now, "gcs.view", node=self.node.node_id,
+            epoch=msg.epoch, members=len(msg.members))
         joined = tuple(sorted(set(msg.members) - prev))
         left = tuple(sorted(prev - set(msg.members)))
         self.events.put(ViewEvent(view=self.view, joined=joined, left=left,
@@ -555,10 +582,10 @@ class GroupMember:
         if o.origin == self.endpoint:
             self._pending.pop(o.lseq, None)
         if o.key in self._delivered_keys:
-            self.stats["duplicates"] += 1
+            self._m["duplicates"].inc()
         else:
             self._delivered_keys.add(o.key)
-        self.stats["delivered"] += 1
+        self._m["delivered"].inc()
         self.events.put(CastEvent(source=o.origin, payload=o.payload,
                                   epoch=o.epoch, gseq=o.gseq))
 
@@ -617,7 +644,7 @@ class GroupMember:
         self.max_epoch = max(self.max_epoch, msg.epoch)
 
     def _on_p2p(self, msg: P2p) -> None:
-        self.stats["p2p"] += 1
+        self._m["p2p"].inc()
         self.events.put(P2pEvent(source=msg.sender, payload=msg.payload))
 
     def __repr__(self) -> str:

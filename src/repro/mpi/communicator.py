@@ -14,6 +14,7 @@ late-90s MPICH-style implementation.
 
 from __future__ import annotations
 
+import functools
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import CommunicatorError, InvalidRank, InvalidTag, MpiError
@@ -25,6 +26,26 @@ from repro.mpi.matching import PostedRecv
 from repro.mpi.reduce_ops import SUM, ReduceOp, apply_op
 from repro.mpi.request import Request
 from repro.mpi.status import Status
+
+
+def _timed_collective(fn):
+    """Wrap a collective generator so its simulated wall-to-wall duration
+    lands in the ``mpi.collective.latency_seconds{op}`` histogram.
+
+    Composite collectives (allreduce = reduce + bcast, barrier =
+    allreduce) record at every level, so the histograms mirror the call
+    tree rather than double-count a single series.
+    """
+    @functools.wraps(fn)
+    def wrapper(self, *args, **kwargs):
+        t0 = self.endpoint.engine.now
+        try:
+            result = yield from fn(self, *args, **kwargs)
+        finally:
+            self.endpoint.observe_collective(
+                fn.__name__, self.endpoint.engine.now - t0)
+        return result
+    return wrapper
 
 
 class Communicator:
@@ -121,12 +142,14 @@ class Communicator:
              with_status: bool = False):
         """Process generator: blocking receive; returns the data (or
         ``(data, status)`` with ``with_status=True``)."""
+        t0 = self.endpoint.engine.now
         req = self.irecv(source=source, tag=tag)
         if not self.endpoint.polling:
             # No polling thread: the receiver itself drains the NIC.
             while not req.done:
                 yield from self.endpoint.pump_blocking()
         data = yield from req.wait()
+        self.endpoint.observe_recv(self.endpoint.engine.now - t0)
         yield self.endpoint.engine.timeout(self.endpoint.layers.app_recv)
         if with_status:
             return data, req.status
@@ -176,6 +199,7 @@ class Communicator:
         out = yield from self.recv(source=comm_rank, tag=tag)
         return out
 
+    @_timed_collective
     def bcast(self, data: Any, root: int = 0):
         """Process generator: binomial-tree broadcast; returns the data."""
         self._check_rank(root)
@@ -197,6 +221,7 @@ class Communicator:
             mask >>= 1
         return data
 
+    @_timed_collective
     def reduce(self, data: Any, op: ReduceOp = SUM, root: int = 0):
         """Process generator: binomial-tree reduction to ``root``.
 
@@ -220,16 +245,19 @@ class Communicator:
             mask <<= 1
         return result
 
+    @_timed_collective
     def allreduce(self, data: Any, op: ReduceOp = SUM):
         """Process generator: reduce + broadcast; all ranks get the result."""
         partial = yield from self.reduce(data, op=op, root=0)
         result = yield from self.bcast(partial, root=0)
         return result
 
+    @_timed_collective
     def barrier(self):
         """Process generator: no rank leaves before all have entered."""
         yield from self.allreduce(0, op=SUM)
 
+    @_timed_collective
     def gather(self, data: Any, root: int = 0):
         """Process generator: root returns the list by rank, others None."""
         self._check_rank(root)
@@ -245,6 +273,7 @@ class Communicator:
             out[status.source] = msg
         return out
 
+    @_timed_collective
     def scatter(self, data: Optional[List[Any]], root: int = 0):
         """Process generator: root distributes ``data[i]`` to rank i."""
         self._check_rank(root)
@@ -260,12 +289,14 @@ class Communicator:
         out = yield from self._vrecv(root, tag)
         return out
 
+    @_timed_collective
     def allgather(self, data: Any):
         """Process generator: every rank returns the full by-rank list."""
         gathered = yield from self.gather(data, root=0)
         out = yield from self.bcast(gathered, root=0)
         return out
 
+    @_timed_collective
     def alltoall(self, data: List[Any]):
         """Process generator: rank i's ``data[j]`` ends at rank j's slot i."""
         if len(data) != self.size:
@@ -284,6 +315,7 @@ class Communicator:
             yield from req.wait()
         return out
 
+    @_timed_collective
     def scan(self, data: Any, op: ReduceOp = SUM):
         """Process generator: inclusive prefix reduction by rank order."""
         tag = self._next_coll_tag()

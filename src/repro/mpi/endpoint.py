@@ -11,6 +11,7 @@ matching engine.
 
 from __future__ import annotations
 
+from collections import defaultdict
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.calibration import LayerCosts
@@ -19,6 +20,7 @@ from repro.mpi.constants import CKPT_TAG_BASE, MSG_HEADER, PROC_NULL
 from repro.mpi.datatypes import nbytes_of
 from repro.mpi.matching import InboundMsg, MatchingEngine
 from repro.mpi.request import Request
+from repro.obs.registry import get_registry
 from repro.vni.interface import Vni
 
 #: Wire packet: ("mpi", comm_id, src_comm_rank, tag, data, nbytes, src_world)
@@ -58,9 +60,21 @@ class MpiEndpoint:
         self.polling = polling
         self.matching = MatchingEngine()
         #: Data messages sent to / received from each peer world rank —
-        #: per-channel counters used by the C/R protocols.
-        self.sent_count: Dict[int, int] = {}
-        self.recv_count: Dict[int, int] = {}
+        #: per-channel *protocol state* (quiescence detection, channel
+        #: recording), checkpointed and restored; deliberately NOT registry
+        #: instruments.
+        self.sent_count: Dict[int, int] = defaultdict(int)
+        self.recv_count: Dict[int, int] = defaultdict(int)
+        # Simulated-latency distributions of the MPI layer (Figure 5 / 6
+        # material); shared per-engine series, cached here off the hot path.
+        self._registry = get_registry(engine)
+        self._h_send = self._registry.histogram(
+            "mpi.p2p.latency_seconds", op="send",
+            help="simulated seconds from send() entry to wire handoff")
+        self._h_recv = self._registry.histogram(
+            "mpi.p2p.latency_seconds", op="recv",
+            help="simulated seconds a recv() waits for its message")
+        self._h_collectives: Dict[str, Any] = {}
         #: Hook intercepting control messages (tag <= CKPT_TAG_BASE);
         #: installed by the C/R module (e.g. Chandy–Lamport markers).
         self.control_hook: Optional[Callable[[InboundMsg, int], Any]] = None
@@ -93,11 +107,11 @@ class MpiEndpoint:
             raise MpiError(f"rank {dest_world} has no address "
                            f"(app {self.app_id})")
         nbytes = nbytes if nbytes is not None else nbytes_of(data)
+        t0 = self.engine.now
         yield self.engine.timeout(self.layers.mpi_send)
         pb = None
         if tag > CKPT_TAG_BASE:  # control messages don't move the counters
-            self.sent_count[dest_world] = \
-                self.sent_count.get(dest_world, 0) + 1
+            self.sent_count[dest_world] += 1
             if self.piggyback_provider is not None:
                 pb = self.piggyback_provider()
         packet = (_PKT_TAG, comm_id, src_comm_rank, tag, data, nbytes,
@@ -110,6 +124,23 @@ class MpiEndpoint:
             # Peer (or our NIC) died mid-send: eager sends complete locally;
             # failure surfaces through the daemons' failure detection.
             pass
+        finally:
+            self._h_send.observe(self.engine.now - t0)
+
+    def observe_recv(self, dt: float) -> None:
+        """Record how long a blocking receive waited (called by the
+        communicator, which owns the wait)."""
+        self._h_recv.observe(dt)
+
+    def observe_collective(self, op: str, dt: float) -> None:
+        """Record one collective's wall-to-wall simulated duration."""
+        hist = self._h_collectives.get(op)
+        if hist is None:
+            hist = self._registry.histogram(
+                "mpi.collective.latency_seconds", op=op,
+                help="simulated seconds per collective call, by operation")
+            self._h_collectives[op] = hist
+        hist.observe(dt)
 
     def isend(self, dest_world: int, comm_id: str, src_comm_rank: int,
               tag: int, data: Any, nbytes: Optional[int] = None) -> Request:
@@ -158,7 +189,7 @@ class MpiEndpoint:
                 if result is not None and hasattr(result, "__next__"):
                     yield from result
             return True
-        self.recv_count[src_world] = self.recv_count.get(src_world, 0) + 1
+        self.recv_count[src_world] += 1
         inbound = InboundMsg(comm_id=comm_id, source=src_rank, tag=tag,
                              data=data, nbytes=nbytes)
         if self.data_tap is not None:
@@ -192,8 +223,8 @@ class MpiEndpoint:
         }
 
     def import_state(self, state: dict) -> None:
-        self.sent_count = dict(state["sent_count"])
-        self.recv_count = dict(state["recv_count"])
+        self.sent_count = defaultdict(int, state["sent_count"])
+        self.recv_count = defaultdict(int, state["recv_count"])
         self.matching.restore_unexpected(state["unexpected"])
 
     def in_flight_to(self, peer_sent: Dict[int, int]) -> int:

@@ -19,15 +19,19 @@ and ``recv()`` returns an event (``msg = yield conn.recv()``).
 from __future__ import annotations
 
 import itertools
+from collections import defaultdict
 from typing import Any, Dict, Optional, Tuple
 
 from repro.calibration import LOCAL_TCP_HOP
 from repro.errors import ConnectionClosed, NetworkError
 from repro.net.message import Frame
 from repro.net.nic import Nic
+from repro.obs.instruments import Counter as ObsCounter
+from repro.obs.registry import get_registry
 from repro.sim.channel import Channel
 
 _port_ids = itertools.count(1)
+_pipe_ids = itertools.count(1)
 
 #: Modelled wire size of connection control frames (SYN/ACK/FIN).
 CTRL_SIZE = 64
@@ -103,7 +107,10 @@ class Connection:
         self._next_rx_seq = 0
         self._ooo: Dict[int, Tuple[Any, str]] = {}   # seq -> (payload, kind)
         self._unacked: Dict[int, Frame] = {}
-        self._retrans_count: Dict[int, int] = {}
+        self._retrans_count: Dict[int, int] = defaultdict(int)
+        self._m_retransmits = get_registry(engine).counter(
+            "net.conn.retransmits", fabric=nic.fabric.spec.name,
+            help="ARQ retransmissions across all connections")
         self._retransmitter = None
         self._closed = False
         self._pump = engine.process(self._run(), name=f"conn:{self.local_port}")
@@ -200,7 +207,8 @@ class Connection:
             for seq, frame in sorted(list(self._unacked.items())):
                 if seq not in self._unacked or self._closed:
                     continue
-                self._retrans_count[seq] = self._retrans_count.get(seq, 0) + 1
+                self._retrans_count[seq] += 1
+                self._m_retransmits.inc()
                 if self._retrans_count[seq] > MAX_RETRANSMITS:
                     self._teardown(ConnectionClosed(
                         f"gave up retransmitting to {self.peer_node}"))
@@ -284,8 +292,7 @@ class PipeEnd:
         """Process generator: deliver to the peer after the local-TCP hop."""
         if self.closed or self._peer is None or self._peer.closed:
             raise ConnectionClosed(f"pipe {self.name} is closed")
-        self._pipe.messages += 1
-        self._pipe.by_kind[kind] = self._pipe.by_kind.get(kind, 0) + 1
+        self._pipe._count(kind)
         arrival = self.engine.timeout(LOCAL_TCP_HOP, value=payload)
         peer = self._peer
 
@@ -321,12 +328,33 @@ class LocalPipe:
     def __init__(self, engine, name: str = "local"):
         self.engine = engine
         self.name = name
-        self.messages = 0
-        self.by_kind: Dict[str, int] = {}
+        self._registry = get_registry(engine)
+        #: Unique series per pipe instance: a restarted pipe reusing a
+        #: name must start its counts from zero (seed semantics).
+        self._pipe_label = f"{name}#{next(_pipe_ids)}"
+        self._m_by_kind: Dict[str, ObsCounter] = {}
         self.a = PipeEnd(engine, self, f"{name}.a")
         self.b = PipeEnd(engine, self, f"{name}.b")
         self.a._peer = self.b
         self.b._peer = self.a
+
+    def _count(self, kind: str) -> None:
+        counter = self._m_by_kind.get(kind)
+        if counter is None:
+            counter = self._registry.counter(
+                "net.pipe.messages", pipe=self._pipe_label, kind=kind,
+                help="local daemon<->module messages by Table 1 kind")
+            self._m_by_kind[kind] = counter
+        counter.inc()
+
+    @property
+    def messages(self) -> int:
+        return int(sum(c.value for c in self._m_by_kind.values()))
+
+    @property
+    def by_kind(self) -> Dict[str, int]:
+        return {k: int(c.value) for k, c in self._m_by_kind.items()
+                if c.value}
 
     def close(self, exc: Optional[BaseException] = None) -> None:
         self.a.close(exc)

@@ -21,6 +21,8 @@ from repro.calibration import (BIP_BANDWIDTH, BIP_LAYERS, LayerCosts,
                                TCP_BANDWIDTH, TCP_LAYERS)
 from repro.errors import Unreachable
 from repro.net.message import Frame
+from repro.obs.instruments import Counter
+from repro.obs.registry import get_registry
 
 
 @dataclass(frozen=True)
@@ -64,12 +66,53 @@ class Fabric:
         self.loss_prob = loss_prob
         self._nics: Dict[str, "Nic"] = {}          # node_id -> Nic
         self._partitions: Optional[Dict[str, int]] = None
-        self.frames_sent = 0
-        self.frames_dropped = 0
-        self.bytes_sent = 0
-        #: Frames per Table 1 message kind ("data", "control", ...).
-        self.kind_counts: Dict[str, int] = {}
-        self.kind_bytes: Dict[str, int] = {}
+        # Traffic telemetry: one registry series per Table 1 message kind
+        # (net.frames_sent{fabric=...,kind=...}); totals and the legacy
+        # attribute API (frames_sent, kind_counts, ...) are read-side
+        # aggregations over these instruments.
+        self._registry = get_registry(engine)
+        self._m_dropped = self._registry.counter(
+            "net.frames_dropped", fabric=spec.name,
+            help="frames lost to crash/partition/injected loss")
+        self._m_frames: Dict[str, Counter] = {}
+        self._m_bytes: Dict[str, Counter] = {}
+
+    def _kind_instruments(self, kind: str):
+        frames = self._m_frames.get(kind)
+        if frames is None:
+            frames = self._registry.counter(
+                "net.frames_sent", fabric=self.spec.name, kind=kind,
+                help="frames handed to the wire, by Table 1 message kind")
+            self._m_frames[kind] = frames
+            self._m_bytes[kind] = self._registry.counter(
+                "net.bytes_sent", fabric=self.spec.name, kind=kind,
+                help="payload bytes handed to the wire")
+        return frames, self._m_bytes[kind]
+
+    # -- traffic counters (read-side views over the registry) ---------------
+
+    @property
+    def frames_sent(self) -> int:
+        return int(sum(c.value for c in self._m_frames.values()))
+
+    @property
+    def bytes_sent(self) -> int:
+        return int(sum(c.value for c in self._m_bytes.values()))
+
+    @property
+    def frames_dropped(self) -> int:
+        return int(self._m_dropped.value)
+
+    @property
+    def kind_counts(self) -> Dict[str, int]:
+        """Frames per Table 1 message kind ("data", "control", ...)."""
+        return {k: int(c.value) for k, c in self._m_frames.items()
+                if c.value}
+
+    @property
+    def kind_bytes(self) -> Dict[str, int]:
+        return {k: int(c.value) for k, c in self._m_bytes.items()
+                if c.value}
 
     # -- attachment --------------------------------------------------------
 
@@ -122,19 +165,17 @@ class Fabric:
         if frame.src not in self._nics:
             raise Unreachable(
                 f"node {frame.src!r} is not attached to {self.spec.name}")
-        self.frames_sent += 1
-        self.bytes_sent += frame.size
-        self.kind_counts[frame.kind] = self.kind_counts.get(frame.kind, 0) + 1
-        self.kind_bytes[frame.kind] = \
-            self.kind_bytes.get(frame.kind, 0) + frame.size
+        frames, nbytes = self._kind_instruments(frame.kind)
+        frames.inc()
+        nbytes.inc(frame.size)
         frame.sent_at = self.engine.now
 
         if not self._reachable(frame.src, frame.dst):
-            self.frames_dropped += 1
+            self._m_dropped.inc()
             return
         if self.loss_prob > 0.0:
             if self.engine.rng.stream("net.loss").random() < self.loss_prob:
-                self.frames_dropped += 1
+                self._m_dropped.inc()
                 return
 
         # Serialization (size/bandwidth) was charged by the sending NIC;
@@ -148,7 +189,7 @@ class Fabric:
         nic = self._nics.get(frame.dst)
         if nic is None or not self._reachable(frame.src, frame.dst):
             # Destination crashed or was partitioned away mid-flight.
-            self.frames_dropped += 1
+            self._m_dropped.inc()
             return
         nic._receive(frame)
 

@@ -17,6 +17,7 @@ from typing import Callable, Dict, Optional
 from repro.errors import NodeDown
 from repro.net.fabric import Fabric
 from repro.net.message import Frame
+from repro.obs.registry import get_registry
 from repro.sim.channel import Channel
 from repro.sim.resources import Resource
 
@@ -28,6 +29,17 @@ class Nic:
         self.engine = engine
         self.node_id = node_id
         self.fabric = fabric
+        # Driver-layer telemetry, aggregated per fabric (get-or-create:
+        # all NICs of one fabric share the series).
+        reg = get_registry(engine)
+        name = fabric.spec.name
+        self._m_tx = reg.counter("net.nic.tx_frames", fabric=name,
+                                 help="frames through driver_send")
+        self._m_rx = reg.counter("net.nic.rx_frames", fabric=name,
+                                 help="frames through driver_recv")
+        self._m_rx_dropped = reg.counter(
+            "net.nic.rx_dropped", fabric=name,
+            help="frames to closed ports or downed NICs")
         self._tx = Resource(engine, capacity=1, name=f"tx:{node_id}")
         #: Per-port receive queues; ports are opened by the software above.
         self._ports: Dict[str, Channel] = {}
@@ -74,6 +86,7 @@ class Nic:
                                       + frame.size / spec.bandwidth)
             if not self._up:
                 raise NodeDown(f"NIC of {self.node_id} went down mid-send")
+            self._m_tx.inc()
             self.fabric.transmit(frame)
         finally:
             self._tx.release(req)
@@ -91,14 +104,19 @@ class Nic:
 
     def _enqueue(self, event) -> None:
         if not self._up:
+            self._m_rx_dropped.inc()
             return
         frame: Frame = event.value
         ch = self._ports.get(frame.port)
         if ch is not None and not ch.closed:
+            self._m_rx.inc()
             ch.put(frame)
         elif self.default_handler is not None:
+            self._m_rx.inc()
             self.default_handler(frame)
-        # else: no listener — frame dropped, like a closed UDP port.
+        else:
+            # No listener — frame dropped, like a closed UDP port.
+            self._m_rx_dropped.inc()
 
     # -- lifecycle ---------------------------------------------------------------
 

@@ -1,0 +1,82 @@
+"""Bounded structured event log.
+
+Counters answer "how many"; the event log answers "what happened when":
+view installations, application restarts, checkpoint commits, node
+crashes.  It is a ring buffer — old events fall off the back once
+``capacity`` is reached (the drop count is kept), so a long-running
+simulation cannot grow it without bound.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class ObsEvent:
+    """One structured event: a simulated timestamp, a dotted name, and a
+    sorted tuple of ``(key, value)`` fields."""
+
+    time: float
+    name: str
+    fields: Tuple[Tuple[str, Any], ...] = ()
+
+    @property
+    def field_dict(self) -> Dict[str, Any]:
+        return dict(self.fields)
+
+
+class EventLog:
+    """Ring buffer of :class:`ObsEvent` records."""
+
+    def __init__(self, capacity: int = 10_000):
+        if capacity < 1:
+            raise ValueError(f"event log capacity must be >= 1 "
+                             f"(got {capacity})")
+        self.capacity = capacity
+        self._events: deque = deque(maxlen=capacity)
+        self._emitted = 0
+
+    def emit(self, time: float, name: str, **fields: Any) -> ObsEvent:
+        event = ObsEvent(time=time, name=name,
+                         fields=tuple(sorted(fields.items())))
+        self._events.append(event)
+        self._emitted += 1
+        return event
+
+    def records(self, name: Optional[str] = None) -> List[ObsEvent]:
+        """Retained events in emission order, optionally filtered by
+        (prefix of the) dotted name."""
+        if name is None:
+            return list(self._events)
+        return [e for e in self._events
+                if e.name == name or e.name.startswith(name + ".")]
+
+    @property
+    def emitted(self) -> int:
+        """Total events ever emitted (including rotated-out ones)."""
+        return self._emitted
+
+    @property
+    def dropped(self) -> int:
+        """Events lost to ring-buffer rotation."""
+        return self._emitted - len(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+        self._emitted = 0
+
+
+class NullEventLog(EventLog):
+    """Do-nothing twin for disabled registries."""
+
+    def __init__(self):
+        super().__init__(capacity=1)
+
+    def emit(self, time: float, name: str, **fields: Any) -> ObsEvent:
+        return ObsEvent(time=time, name=name)

@@ -1,0 +1,169 @@
+"""The per-engine metrics registry.
+
+One :class:`MetricsRegistry` lives on every simulation
+:class:`~repro.sim.engine.Engine` (``engine.metrics``); subsystems obtain
+instruments by hierarchical name plus label set::
+
+    frames = registry.counter("net.frames_sent",
+                              fabric="bip-myrinet", kind="data")
+    frames.inc()
+
+``counter``/``gauge``/``histogram`` are get-or-create: the same
+``(name, labels)`` always returns the same instrument object, so hot paths
+fetch their handles once at construction time and pay only an attribute
+bump per event afterwards.  Aggregation happens on the read side
+(:meth:`sum`, :meth:`group_by`, :meth:`series`) — writers never maintain
+roll-ups.
+
+A registry built with ``enabled=False`` hands out shared no-op
+instruments and an inert event log: the zero-cost-ish telemetry-off path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.events import EventLog, NullEventLog
+from repro.obs.instruments import (Counter, Gauge, Histogram, Instrument,
+                                   LabelPairs, NULL_COUNTER, NULL_GAUGE,
+                                   NULL_HISTOGRAM)
+
+
+class MetricsRegistry:
+    """Owns every instrument of one engine, keyed by (name, labels)."""
+
+    def __init__(self, enabled: bool = True,
+                 event_log_capacity: int = 10_000):
+        self.enabled = enabled
+        self._instruments: Dict[Tuple[str, LabelPairs], Instrument] = {}
+        #: Lazily-evaluated gauges: (name, labels) -> zero-arg callable.
+        #: Bridges live values (engine event count, queue depths) into the
+        #: exporters with zero hot-path cost.
+        self._gauge_fns: Dict[Tuple[str, LabelPairs], Callable[[], float]] \
+            = {}
+        self.events: EventLog = (EventLog(event_log_capacity) if enabled
+                                 else NullEventLog())
+
+    # ------------------------------------------------------------------
+    # instrument creation (get-or-create)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _label_key(labels: Dict[str, Any]) -> LabelPairs:
+        return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+    def _get_or_create(self, cls, name: str, labels: Dict[str, Any],
+                       help: str, **kwargs) -> Instrument:
+        key = (name, self._label_key(labels))
+        inst = self._instruments.get(key)
+        if inst is None:
+            inst = cls(name, labels=key[1], help=help, **kwargs)
+            self._instruments[key] = inst
+        elif not isinstance(inst, cls) or type(inst) is not cls:
+            raise TypeError(f"metric {name}{dict(key[1])} already registered "
+                            f"as {inst.kind}, requested {cls.kind}")
+        return inst
+
+    def counter(self, name: str, help: str = "", **labels: Any) -> Counter:
+        if not self.enabled:
+            return NULL_COUNTER
+        return self._get_or_create(Counter, name, labels, help)
+
+    def gauge(self, name: str, help: str = "", **labels: Any) -> Gauge:
+        if not self.enabled:
+            return NULL_GAUGE
+        return self._get_or_create(Gauge, name, labels, help)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Optional[Sequence[float]] = None,
+                  **labels: Any) -> Histogram:
+        if not self.enabled:
+            return NULL_HISTOGRAM
+        return self._get_or_create(Histogram, name, labels, help,
+                                   buckets=buckets)
+
+    def gauge_fn(self, name: str, fn: Callable[[], float],
+                 **labels: Any) -> None:
+        """Register a lazily-read gauge (sampled at collect time)."""
+        if not self.enabled:
+            return
+        self._gauge_fns[(name, self._label_key(labels))] = fn
+
+    # ------------------------------------------------------------------
+    # read side
+    # ------------------------------------------------------------------
+
+    def get(self, name: str, **labels: Any) -> Optional[Instrument]:
+        return self._instruments.get((name, self._label_key(labels)))
+
+    def value(self, name: str, **labels: Any) -> float:
+        """Value of one counter/gauge series (0 if never written)."""
+        inst = self.get(name, **labels)
+        return inst.value if inst is not None else 0
+
+    def series(self, name: str,
+               **where: Any) -> List[Tuple[Dict[str, str], Instrument]]:
+        """All series of ``name`` whose labels match the ``where`` filter."""
+        want = {k: str(v) for k, v in where.items()}
+        out = []
+        for (n, _labels), inst in sorted(self._instruments.items()):
+            if n != name:
+                continue
+            ld = inst.label_dict
+            if all(ld.get(k) == v for k, v in want.items()):
+                out.append((ld, inst))
+        return out
+
+    def sum(self, name: str, **where: Any) -> float:
+        """Total over matching counter/gauge series."""
+        return sum(inst.value for _labels, inst in self.series(name, **where))
+
+    def group_by(self, name: str, label: str,
+                 **where: Any) -> Dict[str, float]:
+        """Per-label-value totals over matching counter/gauge series."""
+        out: Dict[str, float] = {}
+        for labels, inst in self.series(name, **where):
+            key = labels.get(label, "")
+            out[key] = out.get(key, 0) + inst.value
+        return out
+
+    def instruments(self) -> List[Instrument]:
+        """Every registered instrument, sorted by (name, labels)."""
+        return [inst for _key, inst in sorted(self._instruments.items())]
+
+    def sampled_gauges(self) -> List[Tuple[str, LabelPairs, float]]:
+        """Evaluate every ``gauge_fn`` now."""
+        return [(name, labels, float(fn()))
+                for (name, labels), fn in sorted(self._gauge_fns.items())]
+
+    def collect(self) -> Dict[str, float]:
+        """Flat snapshot of every series (see :func:`repro.obs.flatten`)."""
+        from repro.obs.export import flatten
+        return flatten(self)
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Zero every instrument and clear the event log (series and
+        ``gauge_fn`` registrations survive)."""
+        for inst in self._instruments.values():
+            inst.reset()
+        self.events.clear()
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return (f"<MetricsRegistry {state} series={len(self._instruments)} "
+                f"events={len(self.events)}>")
+
+
+#: Shared disabled registry: the fallback for engines (or test doubles)
+#: that never attached one.
+NULL_REGISTRY = MetricsRegistry(enabled=False)
+
+
+def get_registry(engine: Any) -> MetricsRegistry:
+    """The engine's registry, or the shared no-op one."""
+    reg = getattr(engine, "metrics", None)
+    return reg if reg is not None else NULL_REGISTRY

@@ -14,6 +14,7 @@ from heapq import heappop, heappush
 from typing import Any, Generator, Optional
 
 from repro.errors import SimulationError, StopSimulation
+from repro.obs.registry import MetricsRegistry
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process
 from repro.sim.rng import RngStreams
@@ -36,9 +37,15 @@ class Engine:
     trace:
         When true, every processed event is recorded by a
         :class:`~repro.sim.trace.Tracer` (used by the Figure 6 bench).
+    telemetry:
+        When true (default) the engine carries an enabled
+        :class:`~repro.obs.registry.MetricsRegistry` that every subsystem
+        emits instruments into; when false the registry hands out no-op
+        instruments (the zero-cost-ish ablation path).
     """
 
-    def __init__(self, seed: int = 0, trace: bool = False):
+    def __init__(self, seed: int = 0, trace: bool = False,
+                 telemetry: bool = True):
         self._now: float = 0.0
         self._queue: list = []
         self._seq: int = 0
@@ -46,6 +53,15 @@ class Engine:
         self.rng = RngStreams(seed)
         self.tracer: Optional[Tracer] = Tracer() if trace else None
         self._nprocessed = 0
+        self.metrics = MetricsRegistry(enabled=telemetry)
+        # Live engine internals surface as sampled gauges: no per-event
+        # registry work on the hot path, always-current at collect time.
+        self.metrics.gauge_fn("sim.events_processed",
+                              lambda: self._nprocessed)
+        self.metrics.gauge_fn("sim.queue_depth", lambda: len(self._queue))
+        self.metrics.gauge_fn(
+            "sim.trace.events_dropped",
+            lambda: self.tracer.events_dropped if self.tracer else 0)
 
     # -- clock & queue ---------------------------------------------------
 
@@ -91,7 +107,10 @@ class Engine:
     # -- execution ---------------------------------------------------------
 
     def step(self) -> None:
-        """Process exactly one event; raise ``IndexError`` if queue empty."""
+        """Process exactly one event; raise
+        :class:`~repro.errors.SimulationError` if the queue is empty."""
+        if not self._queue:
+            raise SimulationError("event queue is empty")
         when, _prio, _seq, event = heappop(self._queue)
         if when < self._now:
             raise SimulationError("event queue went back in time")

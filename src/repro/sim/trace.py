@@ -4,12 +4,24 @@ The tracer records ``(time, event-name, event-type)`` triples for every
 processed event.  The Figure 6 benchmark uses a higher-level span API —
 :meth:`Tracer.span_start` / :meth:`Tracer.span_end` — to time how long a
 message spends inside each software layer (application, MPI, VNI, driver).
+
+Memory is bounded: event records live in a ring buffer (``max_events``,
+default 100k) — once full, the oldest records rotate out and
+:attr:`Tracer.events_dropped` counts the loss.  Spans that are opened but
+never closed are *leaks*; they are never silently discarded —
+:meth:`Tracer.open_spans` lists them and :meth:`Tracer.clear` returns
+them.  Chrome ``trace_event`` export over the collected spans/records
+lives in :func:`repro.obs.export.chrome_trace`.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
+
+#: Default ring-buffer capacity for raw event records.
+DEFAULT_MAX_EVENTS = 100_000
 
 
 @dataclass(frozen=True)
@@ -38,18 +50,34 @@ class Span:
 class Tracer:
     """Collects event records and layer spans."""
 
-    def __init__(self, keep_events: bool = True):
+    def __init__(self, keep_events: bool = True,
+                 max_events: int = DEFAULT_MAX_EVENTS):
+        if max_events < 1:
+            raise ValueError(f"max_events must be >= 1 (got {max_events})")
         self.keep_events = keep_events
-        self.events: List[TraceRecord] = []
+        self.max_events = max_events
+        self._events: deque = deque(maxlen=max_events)
+        self._recorded = 0
         self.spans: List[Span] = []
         self._open: Dict[Tuple[str, Any], Span] = {}
 
     # -- raw event tracing ------------------------------------------------
 
+    @property
+    def events(self) -> List[TraceRecord]:
+        """Retained records, oldest first (ring-buffer view)."""
+        return list(self._events)
+
+    @property
+    def events_dropped(self) -> int:
+        """Records lost to ring-buffer rotation."""
+        return self._recorded - len(self._events)
+
     def record(self, time: float, event: Any) -> None:
         if self.keep_events:
-            self.events.append(TraceRecord(
+            self._events.append(TraceRecord(
                 time, type(event).__name__, getattr(event, "name", None)))
+            self._recorded += 1
 
     # -- layer spans (Figure 6) -------------------------------------------
 
@@ -58,12 +86,18 @@ class Tracer:
         self._open[(layer, key)] = Span(layer, now, attrs=dict(attrs))
 
     def span_end(self, layer: str, key: Any, now: float) -> Optional[Span]:
-        """Close the span; returns it (or ``None`` if it was never opened)."""
+        """Close the span; returns it (or ``None`` if it was never opened —
+        leaked opens stay visible through :meth:`open_spans`)."""
         span = self._open.pop((layer, key), None)
         if span is not None:
             span.end = now
             self.spans.append(span)
         return span
+
+    def open_spans(self) -> List[Span]:
+        """Spans started but not yet ended (in start order) — a non-empty
+        result after a workload finishes means someone leaked a span."""
+        return sorted(self._open.values(), key=lambda s: s.start)
 
     def spans_by_layer(self) -> Dict[str, List[Span]]:
         out: Dict[str, List[Span]] = {}
@@ -71,7 +105,12 @@ class Tracer:
             out.setdefault(span.layer, []).append(span)
         return out
 
-    def clear(self) -> None:
-        self.events.clear()
+    def clear(self) -> List[Span]:
+        """Drop all records and spans; *returns* the still-open spans that
+        were discarded so leaks surface instead of vanishing."""
+        leaked = self.open_spans()
+        self._events.clear()
+        self._recorded = 0
         self.spans.clear()
         self._open.clear()
+        return leaked

@@ -9,6 +9,7 @@ from typing import Any, Optional
 from repro.calibration import BLOCKING_RECV_SYSCALL, POLL_PERIOD
 from repro.errors import Interrupt, NetworkError, NodeDown
 from repro.net.message import Frame
+from repro.obs.registry import get_registry
 from repro.sim.channel import Channel
 
 _msg_ids = itertools.count(1)
@@ -56,8 +57,23 @@ class Vni:
         self._rx = self.nic.open_port(port)
         self.recv_q = Channel(engine, name=f"vni-rq:{port}")
         self._poller = None
-        self.stats = {"sent": 0, "received": 0, "bytes_sent": 0,
-                      "bytes_received": 0}
+        # Per-port VNI telemetry.  The path label separates the fast data
+        # path (BIP/Myrinet) from the control path (TCP/Ethernet).  A
+        # restarted process reuses its port, so the series reset to zero
+        # here to keep per-instance semantics.
+        path = "fast" if transport == "bip-myrinet" else "control"
+        reg = get_registry(engine)
+        self._m_sent = reg.counter("vni.sent", port=port, path=path,
+                                   help="messages handed to the driver")
+        self._m_received = reg.counter("vni.received", port=port, path=path,
+                                       help="messages delivered upward")
+        self._m_bytes_sent = reg.counter("vni.bytes_sent", port=port,
+                                         path=path)
+        self._m_bytes_received = reg.counter("vni.bytes_received", port=port,
+                                             path=path)
+        for m in (self._m_sent, self._m_received,
+                  self._m_bytes_sent, self._m_bytes_received):
+            m.reset()
         if polling:
             self._poller = node.spawn(self._poll_loop(),
                                       name=f"poll:{port}")
@@ -65,6 +81,14 @@ class Vni:
     @property
     def layers(self):
         return self.nic.fabric.spec.layers
+
+    @property
+    def stats(self):
+        """Legacy counter view (read side of the registry instruments)."""
+        return {"sent": int(self._m_sent.value),
+                "received": int(self._m_received.value),
+                "bytes_sent": int(self._m_bytes_sent.value),
+                "bytes_received": int(self._m_bytes_received.value)}
 
     # ------------------------------------------------------------------
     # send path
@@ -76,8 +100,8 @@ class Vni:
         yield self.engine.timeout(self.layers.vni_send)
         frame = Frame(src=self.node.node_id, dst=dst_node, port=dst_port,
                       payload=payload, size=size, kind=kind)
-        self.stats["sent"] += 1
-        self.stats["bytes_sent"] += size
+        self._m_sent.inc()
+        self._m_bytes_sent.inc(size)
         yield from self.nic.send(frame)
 
     # ------------------------------------------------------------------
@@ -104,8 +128,8 @@ class Vni:
             return
 
     def _wrap(self, frame: Frame) -> VniMessage:
-        self.stats["received"] += 1
-        self.stats["bytes_received"] += frame.size
+        self._m_received.inc()
+        self._m_bytes_received.inc(frame.size)
         return VniMessage(src_node=frame.src, src_port=frame.port,
                           payload=frame.payload, size=frame.size,
                           msg_id=next(_msg_ids), recv_time=self.engine.now)

@@ -19,6 +19,36 @@ def test_status(capsys):
     assert "stop-and-sync" in out
 
 
+def test_metrics_text(capsys):
+    assert main(["metrics", "--nodes", "2", "--seconds", "1.0"]) == 0
+    out = capsys.readouterr().out
+    assert "net.frames_sent{fabric=tcp-ethernet,kind=control}" in out
+    assert "sim.events_processed" in out
+    assert "gcs.views{node=n0}" in out
+
+
+def test_metrics_prometheus(capsys):
+    assert main(["metrics", "--nodes", "2", "--seconds", "1.0",
+                 "--format", "prom"]) == 0
+    out = capsys.readouterr().out
+    assert "# TYPE net_frames_sent counter" in out
+    assert 'net_frames_sent{fabric="tcp-ethernet",kind="control"}' in out
+    assert 'mpi_p2p_latency_seconds_bucket' in out
+
+
+def test_trace_chrome_export(tmp_path, capsys):
+    import json
+    out_path = tmp_path / "trace.json"
+    assert main(["trace", "--nodes", "2", "--seconds", "1.0",
+                 "--chrome", str(out_path)]) == 0
+    assert "wrote" in capsys.readouterr().out
+    doc = json.loads(out_path.read_text())
+    events = doc["traceEvents"]
+    assert len(events) > 10
+    assert all({"name", "ph", "pid", "tid"} <= set(e) for e in events)
+    assert any(e["ph"] == "i" for e in events)
+
+
 def test_rtt(capsys):
     assert main(["rtt", "--reps", "3"]) == 0
     out = capsys.readouterr().out

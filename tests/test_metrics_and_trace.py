@@ -51,6 +51,50 @@ def test_span_duration_requires_end():
         _ = span.duration
 
 
+def test_tracer_ring_buffer_caps_memory():
+    tr = Tracer(max_events=10)
+    eng = Engine()
+    for i in range(25):
+        tr.record(float(i), eng.timeout(0, name=f"e{i}"))
+    assert len(tr.events) == 10
+    assert tr.events_dropped == 15
+    assert tr.events[0].name == "e15"        # oldest rotated out
+    assert tr.events[-1].name == "e24"
+
+
+def test_tracer_rejects_bad_capacity():
+    with pytest.raises(ValueError):
+        Tracer(max_events=0)
+
+
+def test_open_spans_surface_leaks():
+    tr = Tracer()
+    tr.span_start("vni", key=2, now=1.0)
+    tr.span_start("mpi", key=1, now=0.5)
+    tr.span_end("mpi", key=1, now=0.7)
+    leaked = tr.open_spans()
+    assert [s.layer for s in leaked] == ["vni"]
+    # clear() must return (not swallow) still-open spans.
+    assert tr.clear() == leaked
+    assert tr.open_spans() == [] and tr.spans == []
+    assert tr.events_dropped == 0
+
+
+def test_engine_traced_run_counts_drops():
+    eng = Engine(trace=True)
+    eng.tracer = Tracer(max_events=5)
+
+    def proc():
+        for _ in range(20):
+            yield eng.timeout(0.1)
+
+    eng.run(eng.process(proc()))
+    assert len(eng.tracer.events) == 5
+    assert eng.tracer.events_dropped > 0
+    assert eng.metrics.collect()["sim.trace.events_dropped"] == \
+        eng.tracer.events_dropped
+
+
 # ---------------------------------------------------------------------------
 # ClusterMetrics
 # ---------------------------------------------------------------------------
@@ -86,6 +130,22 @@ def test_snapshot_counts_crash_effects():
     snap = ClusterMetrics(sf).snapshot()
     assert snap.nodes_up == 2
     assert snap.daemons == 2
+
+
+def test_registry_latency_histograms_fill_under_collectives():
+    from repro.apps import MonteCarloPi
+    sf = StarfishCluster.build(nodes=2)
+    sf.run(AppSpec(program=MonteCarloPi, nprocs=2,
+                   params={"shots": 2000}))
+    reg = sf.engine.metrics
+    series = reg.series("mpi.collective.latency_seconds")
+    assert series, "no collective latency recorded"
+    assert sum(inst.count for _l, inst in series) > 0
+    assert all(inst.sum >= 0 for _l, inst in series)
+    p2p = reg.series("mpi.p2p.latency_seconds", op="send")
+    assert p2p and p2p[0][1].count > 0
+    # Fast path carried the data frames.
+    assert reg.sum("net.frames_sent", fabric="bip-myrinet", kind="data") > 0
 
 
 def test_format_report_mentions_everything():
