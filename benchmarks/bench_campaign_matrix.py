@@ -1,0 +1,60 @@
+"""Fault-campaign matrix — the standard campaign across every C/R
+protocol and fault-tolerance policy (ISSUE 2 acceptance gate).
+
+The same declarative :data:`standard` campaign (app-host crash, recovery,
+spare-node partition window, Ethernet frame-loss window) is replayed
+against all 4 checkpoint/restart protocols x 3 FT policies.  Every cell
+must come back green — completed with zero invariant violations (under
+the kill policy, green means the failure *surfaced* cleanly) — and one
+cell is run twice to prove the same-seed byte-identity guarantee.
+"""
+
+from repro.faults import CampaignRunner
+
+from bench_helpers import print_table
+
+PROTOCOLS = ("stop-and-sync", "chandy-lamport", "uncoordinated", "diskless")
+POLICIES = ("kill", "view-notify", "restart")
+SEED = 7
+
+
+def run_cell(protocol, policy):
+    report = CampaignRunner("standard", seed=SEED, protocol=protocol,
+                            policy=policy).run(raise_on_error=False)
+    d = report.data
+    return {"protocol": protocol, "policy": policy, "ok": report.ok,
+            "status": d["status"],
+            "violations": sum(len(c["violations"]) for c in d["checks"]),
+            "actions": len(d["actions"]),
+            "restarts": d["app"]["restarts"],
+            "app_status": d["app"]["status"],
+            "final_t": d["engine"]["final_time"]}
+
+
+def run_matrix():
+    cells = [run_cell(pr, po) for pr in PROTOCOLS for po in POLICIES]
+    # Same seed, same cell => byte-identical report.
+    j1 = CampaignRunner("standard", seed=SEED, protocol="uncoordinated",
+                        policy="restart").run().to_json()
+    j2 = CampaignRunner("standard", seed=SEED, protocol="uncoordinated",
+                        policy="restart").run().to_json()
+    return cells, j1 == j2
+
+
+def test_campaign_matrix(benchmark):
+    cells, identical = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+
+    print_table(
+        "Standard fault campaign x C/R protocol x FT policy",
+        ["protocol", "policy", "app status", "restarts", "actions",
+         "violations", "sim s", "verdict"],
+        [[c["protocol"], c["policy"], c["app_status"],
+          c["restarts"] if c["restarts"] is not None else "-",
+          c["actions"], c["violations"], f"{c['final_t']:.2f}",
+          "green" if c["ok"] else "RED"] for c in cells])
+    print(f"\nsame-seed byte-identical reports: {identical}")
+
+    red = [(c["protocol"], c["policy"], c["status"], c["violations"])
+           for c in cells if not c["ok"]]
+    assert not red, f"red campaign cells: {red}"
+    assert identical, "same-seed campaign reports differ"

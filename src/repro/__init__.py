@@ -35,7 +35,10 @@ _LAZY = {
     "FaultPolicy": "repro.core.policies",
     "CheckpointConfig": "repro.core.appspec",
     "ClusterMetrics": "repro.core.metrics",
+    "ClusterSpec": "repro.cluster.spec",
     "Engine": "repro.sim.engine",
+    "FaultPlan": "repro.faults",
+    "CampaignRunner": "repro.faults",
 }
 
 

@@ -9,7 +9,7 @@ messages ride the application's lightweight group through the daemons
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Tuple
+from typing import Any, List, Optional, Set, Tuple
 
 from repro.errors import CheckpointError, Interrupt
 from repro.obs.instruments import (NULL_COUNTER, NULL_HISTOGRAM)
@@ -84,6 +84,8 @@ class CrProtocol:
         self._proc = None
         self._waiters: List[Tuple[int, Event]] = []
         self.last_committed: Optional[int] = None
+        self._live_hint: Optional[Set[int]] = None
+        self._commit_started: Optional[int] = None
         # Instruments materialize in start() (that's when we learn the
         # engine); until then the no-op twins keep stats readable.
         self._m_checkpoints = NULL_COUNTER
@@ -131,6 +133,40 @@ class CrProtocol:
         """Runtime feeds incoming C/R messages here (total order)."""
         if self.inbox is not None and not self.inbox.closed:
             self.inbox.put((payload, source_rank))
+
+    def on_membership_change(self, live_ranks) -> None:
+        """Synchronous upcall from the runtime when the app's world
+        changes.
+
+        Deliberately NOT routed through the inbox: a coordinated wave
+        holds the application paused while it waits for protocol messages
+        from every peer, and the world refresh that would shrink
+        ``ctx.peers()`` only happens at the next safe point — which the
+        pause prevents the app from reaching.  Messages from a lost peer
+        will never arrive, so without this upcall the wave (and the app)
+        would hang forever.  Base behaviour: remember the fresh membership
+        so :meth:`live_peers` stops waiting on the dead.
+        """
+        self._live_hint = set(live_ranks)
+
+    def live_peers(self) -> Set[int]:
+        """World ranks believed alive: the MPI world (refreshed at safe
+        points) intersected with the latest membership upcall, which is
+        fresher while the app is paused mid-wave."""
+        peers = set(self.ctx.peers())
+        if self._live_hint is not None:
+            peers &= self._live_hint
+        return peers
+
+    def _abort_wave_waiters(self) -> None:
+        """Fire pending completion events after an aborted wave (with
+        ``None``, not a version): every rank's checkpoint ticker blocks on
+        its event, and an abort hits all ranks at once — leaving the
+        events untriggered would stop checkpointing for good."""
+        for _v, ev in self._waiters:
+            if not ev.triggered:
+                ev.succeed(None)
+        self._waiters = []
 
     # -- main loop ------------------------------------------------------------
 

@@ -82,13 +82,32 @@ class ChandyLamportProtocol(CrProtocol):
     # snapshot initiation (from begin notice OR from an early marker)
     # ------------------------------------------------------------------
 
+    def on_membership_change(self, live_ranks) -> None:
+        """The app keeps running under Chandy–Lamport (only the marker
+        wave stalls on a lost peer), so the clean-up can ride the inbox:
+        close the dead peer's channels and re-run the commit check that
+        its ``cl-done`` would have triggered."""
+        super().on_membership_change(live_ranks)
+        if self._active is not None:
+            self.deliver(("cl-prune", tuple(live_ranks)), self.ctx.rank)
+
+    def on_cl_prune(self, payload, source):
+        _, live = payload
+        version = self._active
+        if version is None:
+            return None
+        self._recording &= set(live)
+        if self._pending_state is not None and not self._recording:
+            return self._finish(version)  # own cl-done cast rechecks commit
+        return self._maybe_commit(version)
+
     def _take_snapshot(self, version: int, target: Optional[int] = None):
         self._version = version
         self._active = version
         self._done = set()
         self._recorded = []
         ctx = self.ctx
-        peers = [r for r in ctx.peers() if r != ctx.rank]
+        peers = [r for r in self.live_peers() if r != ctx.rank]
 
         # Momentary pause: capture local state at the common step boundary.
         yield from ctx.pause(target)
@@ -166,12 +185,16 @@ class ChandyLamportProtocol(CrProtocol):
     def on_cl_done(self, payload, source):
         _, version, rank = payload
         if version != self._active:
-            return
+            return None
         self._done.add(rank)
-        peers = self.ctx.peers()
-        if len(self._done) < len(peers):
+        return self._maybe_commit(version)
+
+    def _maybe_commit(self, version: int):
+        peers = self.live_peers()
+        if not peers or not peers <= self._done:
             return
-        if self.ctx.rank == min(peers):
+        if self.ctx.rank == min(peers) and self._commit_started != version:
+            self._commit_started = version
             yield self.ctx.engine.timeout(
                 commit_barrier_cost(self.ctx.checkpointer.level, len(peers)))
             self.ctx.store.commit(self.ctx.app_id, version)

@@ -44,6 +44,10 @@ class DisklessProtocol(StopAndSyncProtocol):
         super().__init__()
         self._acks_pending = 0
 
+    def on_membership_change(self, live_ranks) -> None:
+        super().on_membership_change(live_ranks)
+        self._acks_pending = 0       # dl-acks from a lost buddy never come
+
     def start(self, ctx) -> None:
         super().start(ctx)
         prev_hook = ctx.endpoint.control_hook
@@ -66,7 +70,7 @@ class DisklessProtocol(StopAndSyncProtocol):
         survive a single node crash (Plank-style diskless checkpointing
         uses parity; mirroring is the simple variant).
         """
-        peers = sorted(self.ctx.peers())
+        peers = sorted(self.live_peers())
         if len(peers) < 2:
             return []
         idx = peers.index(self.ctx.rank)
@@ -88,13 +92,18 @@ class DisklessProtocol(StopAndSyncProtocol):
     def _drain_and_dump(self, version: int):
         ctx = self.ctx
         me = ctx.rank
+        live = self.live_peers()
         expected = {r: counts.get(me, 0) for r, counts in
-                    self._counts.items() if r != me}
+                    self._counts.items() if r != me and r in live}
         t0 = ctx.engine.now
         while any(ctx.endpoint.recv_count.get(r, 0) < n
                   for r, n in expected.items()):
+            if self._active != version:
+                return               # wave aborted by a membership change
             yield ctx.engine.timeout(DRAIN_POLL)
         self.record_sync(ctx.engine.now - t0)
+        if self._active != version:
+            return
 
         state = ctx.snapshot_state()
         image, nbytes = ctx.checkpointer.capture(state, ctx.arch)

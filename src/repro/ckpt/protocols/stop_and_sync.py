@@ -63,6 +63,24 @@ class StopAndSyncProtocol(CrProtocol):
         self._counts: Dict[int, Dict[int, int]] = {}   # rank -> sent map
         self._done: set = set()
         self._active: Optional[int] = None
+        self._dump_started: Optional[int] = None
+        self._floor = 0              # highest version known committed
+
+    def on_membership_change(self, live_ranks) -> None:
+        """A peer left (or joined) mid-wave: counts/done from a lost rank
+        can never arrive and the wave holds the app paused, so it can
+        never complete either — abort it.  The checkpoint tickers
+        initiate a fresh wave on the new world."""
+        super().on_membership_change(live_ranks)
+        if self._active is None:
+            return
+        self._active = None
+        self._counts = {}
+        self._done = set()
+        # _active was set, so this rank's on_ss_begin has requested its
+        # pause (it happens before control ever leaves the module).
+        self.ctx.resume()
+        self._abort_wave_waiters()
 
     def start(self, ctx) -> None:
         super().start(ctx)
@@ -71,13 +89,20 @@ class StopAndSyncProtocol(CrProtocol):
         # all ranks must agree (app-wide max — a rank that died mid-
         # checkpoint stored fewer versions than its peers).
         self._version = max(self._version, ctx.store.max_version(ctx.app_id))
+        committed = ctx.store.committed_versions(ctx.app_id)
+        self._floor = max([self._floor, *committed]) if committed else \
+            self._floor
 
     def request_checkpoint(self) -> Event:
         version = self._version + 1
         ev = self._completion_event(version)
         # Target boundary: one step past the initiator's progress, so all
         # (globally synchronizing) ranks stop at the same step count.
-        self.ctx.cast(("ss-begin", self.ctx.current_step() + 1))
+        # The version rides the cast: restarted ranks can observe
+        # different store contents (a late in-flight mirror from the dead
+        # incarnation), so local ``_version + 1`` does not agree across
+        # ranks — the totally-ordered proposal does.
+        self.ctx.cast(("ss-begin", self.ctx.current_step() + 1, version))
         return ev
 
     # ------------------------------------------------------------------
@@ -88,33 +113,48 @@ class StopAndSyncProtocol(CrProtocol):
         if self._active is not None:
             return                      # already checkpointing: coalesce
         target = payload[1] if len(payload) > 1 else None
-        self._version += 1
-        self._active = self._version
+        proposed = payload[2] if len(payload) > 2 else self._version + 1
+        if proposed <= self._floor:
+            return        # that line committed while the begin was queued
+        self._version = max(self._version, proposed)
+        self._active = proposed
         self._counts = {}
         self._done = set()
         yield from self.ctx.pause(target)
+        if self._active != proposed:
+            return            # aborted by a membership change mid-pause
         sent, _ = self.ctx.endpoint.channel_counters()
-        self.ctx.cast(("ss-counts", self._version, self.ctx.rank, sent))
+        self.ctx.cast(("ss-counts", proposed, self.ctx.rank, sent))
 
     def on_ss_counts(self, payload, source):
         _, version, rank, sent = payload
         if version != self._active:
             return
         self._counts[rank] = sent
-        if len(self._counts) == len(self.ctx.peers()):
+        # Subset (not count equality): _counts may hold a rank that died
+        # after publishing, and live_peers() may be smaller than the
+        # world the wave started on.
+        if self._dump_started != version \
+                and self.live_peers() <= set(self._counts):
+            self._dump_started = version
             yield from self._drain_and_dump(version)
 
     def _drain_and_dump(self, version: int):
         ctx = self.ctx
         me = ctx.rank
+        live = self.live_peers()
         expected = {r: counts.get(me, 0) for r, counts in
-                    self._counts.items() if r != me}
+                    self._counts.items() if r != me and r in live}
         # Sync: wait until every message sent to us has been ingested.
         t0 = ctx.engine.now
         while any(ctx.endpoint.recv_count.get(r, 0) < n
                   for r, n in expected.items()):
+            if self._active != version:
+                return               # wave aborted by a membership change
             yield ctx.engine.timeout(DRAIN_POLL)
         self.record_sync(ctx.engine.now - t0)
+        if self._active != version:
+            return
         # Dump.
         state = ctx.snapshot_state()
         image, nbytes = ctx.checkpointer.capture(state, ctx.arch)
@@ -134,10 +174,11 @@ class StopAndSyncProtocol(CrProtocol):
         if version != self._active:
             return
         self._done.add(rank)
-        peers = self.ctx.peers()
-        if len(self._done) < len(peers):
+        peers = self.live_peers()
+        if not peers or not peers <= self._done:
             return
-        if self.ctx.rank == min(peers):
+        if self.ctx.rank == min(peers) and self._commit_started != version:
+            self._commit_started = version
             # Commit coordinator: stable-storage barrier, then release.
             yield self.ctx.engine.timeout(self._commit_barrier(len(peers)))
             self.ctx.store.commit(self.ctx.app_id, version)
@@ -150,6 +191,7 @@ class StopAndSyncProtocol(CrProtocol):
 
     def on_ss_commit(self, payload, source):
         _, version = payload
+        self._floor = max(self._floor, version)
         if version != self._active:
             return None
         self._active = None

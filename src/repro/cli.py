@@ -6,6 +6,7 @@ A thin operational front end for trying the system without writing code:
 * ``status`` — boot a cluster with a workload and print the metrics report;
 * ``metrics [--format text|prom]`` — same workload, raw telemetry dump;
 * ``trace --chrome OUT.json`` — run traced, export Chrome trace JSON;
+* ``chaos --campaign NAME`` — run a deterministic fault campaign;
 * ``examples`` — list the bundled example scripts;
 * ``rtt [--transport ...]`` — quick Figure-5-style latency probe.
 """
@@ -81,6 +82,42 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    from repro.errors import CampaignError
+    from repro.faults import CampaignRunner, get_campaign
+    try:
+        campaign = get_campaign(args.campaign)
+    except CampaignError as exc:
+        print(f"repro chaos: {exc}", file=sys.stderr)
+        return 2
+    fh = None
+    if args.json is not None:
+        try:
+            fh = open(args.json, "w")  # fail on a bad path *before* the run
+        except OSError as exc:
+            print(f"repro chaos: cannot write {args.json}: {exc.strerror}",
+                  file=sys.stderr)
+            return 1
+    runner = CampaignRunner(campaign, seed=args.seed, protocol=args.protocol,
+                            policy=args.policy, nodes=args.nodes)
+    try:
+        report = runner.run(raise_on_error=False)
+    except Exception:
+        if fh is not None:
+            fh.close()
+        raise
+    if fh is not None:
+        with fh:
+            fh.write(report.to_json())
+    print(report.summary())
+    if not campaign.expect_completion:
+        # Failure campaigns are green when they fail *cleanly* (a typed
+        # StarfishError recorded in the report, not a hang or a crash).
+        aborted_cleanly = report.status == "aborted" and report.data["error"]
+        return 0 if aborted_cleanly else 1
+    return 0 if report.ok else 1
+
+
 def cmd_rtt(args) -> int:
     from repro.apps import PingPong
     from repro.core import AppSpec, StarfishCluster
@@ -142,6 +179,22 @@ def main(argv=None) -> int:
     trace.add_argument("--chrome", required=True, metavar="OUT.json",
                        help="output path for the trace JSON")
     trace.set_defaults(fn=cmd_trace)
+
+    chaos = sub.add_parser("chaos", help="run a deterministic fault "
+                                         "campaign with invariant checks")
+    chaos.add_argument("--campaign", required=True, metavar="NAME",
+                       help="campaign name (see repro.faults.CAMPAIGNS)")
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--nodes", type=int, default=None,
+                       help="override the campaign's cluster size")
+    chaos.add_argument("--protocol", default="stop-and-sync",
+                       choices=["stop-and-sync", "chandy-lamport",
+                                "uncoordinated", "diskless"])
+    chaos.add_argument("--policy", default="restart",
+                       choices=["kill", "view-notify", "restart"])
+    chaos.add_argument("--json", default=None, metavar="OUT.json",
+                       help="write the full campaign report as JSON")
+    chaos.set_defaults(fn=cmd_chaos)
 
     rtt = sub.add_parser("rtt", help="quick Figure-5-style latency probe")
     rtt.add_argument("--transport", default="bip-myrinet",

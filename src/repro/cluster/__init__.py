@@ -12,12 +12,14 @@ from repro.cluster.arch import (Architecture, BIG_ENDIAN, LITTLE_ENDIAN,
                                 TABLE2_MACHINES, DEFAULT_ARCH, arch_by_name)
 from repro.cluster.disk import Disk
 from repro.cluster.node import Node, NodeState
+from repro.cluster.spec import ClusterSpec
 from repro.cluster.cluster import Cluster
 
 __all__ = [
     "Architecture",
     "BIG_ENDIAN",
     "Cluster",
+    "ClusterSpec",
     "DEFAULT_ARCH",
     "Disk",
     "LITTLE_ENDIAN",

@@ -1,50 +1,85 @@
-"""The cluster: nodes + the two fabrics + fault-injection campaigns."""
+"""The cluster: nodes + the two fabrics, built from a ClusterSpec."""
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+import warnings
+from typing import Callable, Dict, Iterable, List, Optional
 
-from repro.cluster.arch import Architecture, DEFAULT_ARCH
+from repro.cluster.arch import DEFAULT_ARCH, Architecture
 from repro.cluster.node import Node, NodeState
+from repro.cluster.spec import _UNSET, ClusterSpec
 from repro.errors import ClusterError
 from repro.net.fabric import BIP_MYRINET, Fabric, TCP_ETHERNET, TransportSpec
 from repro.sim.engine import Engine
+
+_LOSS_DEPRECATION = (
+    "loss_prob= is deprecated; pass spec=ClusterSpec(loss_prob=...) or "
+    "schedule a repro.faults.FrameLossWindow")
 
 
 class Cluster:
     """A cluster of workstations connected by Ethernet and Myrinet.
 
     This is the hardware substrate only; the Starfish *system* on top of it
-    lives in :mod:`repro.core.starfish`.
+    lives in :mod:`repro.core.starfish`.  All construction paths funnel
+    through one :class:`~repro.cluster.spec.ClusterSpec`; all fault
+    injection funnels through one :class:`~repro.faults.plan.FaultInjector`
+    (the :attr:`faults` property).
     """
 
-    def __init__(self, engine: Optional[Engine] = None, seed: int = 0,
-                 loss_prob: float = 0.0, trace: bool = False,
-                 telemetry: bool = True):
-        self.engine = engine or Engine(seed=seed, trace=trace,
-                                       telemetry=telemetry)
-        self.ethernet = Fabric(self.engine, TCP_ETHERNET, loss_prob=loss_prob)
-        self.myrinet = Fabric(self.engine, BIP_MYRINET, loss_prob=loss_prob)
+    def __init__(self, engine: Optional[Engine] = None, seed=_UNSET,
+                 loss_prob=_UNSET, trace=_UNSET, telemetry=_UNSET, *,
+                 spec: Optional[ClusterSpec] = None):
+        if loss_prob is not _UNSET:
+            warnings.warn(_LOSS_DEPRECATION, DeprecationWarning, stacklevel=2)
+        spec = ClusterSpec.coalesce(spec=spec, seed=seed, loss_prob=loss_prob,
+                                    trace=trace, telemetry=telemetry)
+        self.spec = spec
+        self.engine = engine or Engine.from_spec(spec)
+        self.ethernet = Fabric(self.engine, TCP_ETHERNET)
+        self.myrinet = Fabric(self.engine, BIP_MYRINET)
         self.nodes: Dict[str, Node] = {}
         #: Callbacks invoked with (node_id, event) on crash/recover/add/remove;
         #: the Starfish daemons' failure detector confirms these through
         #: heartbeats — the callbacks exist for tests and metrics.
         self.watchers: List[Callable[[str, str], None]] = []
+        self._faults = None
+        if spec.loss_prob:
+            # The builder's ambient loss is just an open-ended loss window,
+            # logged like any other fault action.
+            from repro.faults.actions import FrameLossWindow
+            self.faults.fire(FrameLossWindow(prob=spec.loss_prob,
+                                             duration=None, fabric="both"))
 
     # -- construction --------------------------------------------------------
 
     @classmethod
-    def build(cls, nodes: int = 4, seed: int = 0,
-              archs: Optional[Sequence[Architecture]] = None,
-              loss_prob: float = 0.0, trace: bool = False,
-              telemetry: bool = True) -> "Cluster":
-        """Convenience: a cluster of ``nodes`` homogeneous (or given) nodes."""
-        cluster = cls(seed=seed, loss_prob=loss_prob, trace=trace,
-                      telemetry=telemetry)
-        for i in range(nodes):
-            arch = archs[i % len(archs)] if archs else DEFAULT_ARCH
+    def build(cls, nodes=_UNSET, seed=_UNSET, archs=_UNSET, loss_prob=_UNSET,
+              trace=_UNSET, telemetry=_UNSET, *,
+              spec: Optional[ClusterSpec] = None) -> "Cluster":
+        """A cluster of ``spec.nodes`` homogeneous (or ``spec.archs``-cycled)
+        nodes.  Legacy keyword arguments are folded into a spec."""
+        if loss_prob is not _UNSET:
+            warnings.warn(_LOSS_DEPRECATION, DeprecationWarning, stacklevel=2)
+        spec = ClusterSpec.coalesce(spec=spec, nodes=nodes, seed=seed,
+                                    archs=archs, loss_prob=loss_prob,
+                                    trace=trace, telemetry=telemetry)
+        cluster = cls(spec=spec)
+        for i in range(spec.nodes):
+            arch = spec.archs[i % len(spec.archs)] if spec.archs \
+                else DEFAULT_ARCH
             cluster.add_node(f"n{i}", arch=arch)
         return cluster
+
+    # -- fault injection ------------------------------------------------------
+
+    @property
+    def faults(self):
+        """The cluster's single :class:`~repro.faults.plan.FaultInjector`."""
+        if self._faults is None:
+            from repro.faults.plan import FaultInjector
+            self._faults = FaultInjector(self)
+        return self._faults
 
     def add_node(self, node_id: str,
                  arch: Architecture = DEFAULT_ARCH) -> Node:
@@ -81,7 +116,7 @@ class Cluster:
         """Nodes eligible for new application processes."""
         return [n for n in self.nodes.values() if n.state is NodeState.UP]
 
-    # -- fault injection ----------------------------------------------------------
+    # -- fault mechanisms (used by repro.faults actions) ----------------------
 
     def crash_node(self, node_id: str, cause: str = "fault-injection") -> None:
         self.node(node_id).crash(cause=cause)
@@ -95,33 +130,37 @@ class Cluster:
         self._notify(node_id, "recover")
         return node
 
+    # -- deprecated scheduling shims (use repro.faults.FaultPlan) -------------
+
+    def _deprecated(self, old: str, new: str) -> None:
+        warnings.warn(f"Cluster.{old} is deprecated; use repro.faults: {new}",
+                      DeprecationWarning, stacklevel=3)
+
     def crash_at(self, time: float, node_id: str,
                  cause: str = "fault-injection") -> None:
-        """Schedule a crash at an absolute simulated time."""
-        ev = self.engine.timeout(time - self.engine.now)
-        ev.callbacks.append(lambda _e: self.crash_node(node_id, cause=cause))
+        """Deprecated: ``faults.at(t, CrashNode(node=...))``."""
+        self._deprecated("crash_at", "faults.at(t, CrashNode(node=...))")
+        from repro.faults.actions import CrashNode
+        self.faults.at(time, CrashNode(node=node_id, cause=cause))
 
     def recover_at(self, time: float, node_id: str) -> None:
-        ev = self.engine.timeout(time - self.engine.now)
-        ev.callbacks.append(lambda _e: self.recover_node(node_id))
+        """Deprecated: ``faults.at(t, RecoverNode(node=...))``."""
+        self._deprecated("recover_at", "faults.at(t, RecoverNode(node=...))")
+        from repro.faults.actions import RecoverNode
+        self.faults.at(time, RecoverNode(node=node_id))
 
     def partition_at(self, time: float, *groups: Iterable[str]) -> None:
-        """Schedule a partition of BOTH fabrics (a switch failure)."""
-        groups = tuple(tuple(g) for g in groups)
-        ev = self.engine.timeout(time - self.engine.now)
-
-        def _do(_e):
-            self.ethernet.partition(*groups)
-            self.myrinet.partition(*groups)
-        ev.callbacks.append(_do)
+        """Deprecated: ``faults.at(t, Partition(groups=...))``."""
+        self._deprecated("partition_at", "faults.at(t, Partition(groups=...))")
+        from repro.faults.actions import Partition
+        self.faults.at(time, Partition(
+            groups=tuple(tuple(g) for g in groups)))
 
     def heal_at(self, time: float) -> None:
-        ev = self.engine.timeout(time - self.engine.now)
-
-        def _do(_e):
-            self.ethernet.heal()
-            self.myrinet.heal()
-        ev.callbacks.append(_do)
+        """Deprecated: ``faults.at(t, Heal())``."""
+        self._deprecated("heal_at", "faults.at(t, Heal())")
+        from repro.faults.actions import Heal
+        self.faults.at(time, Heal())
 
     def _notify(self, node_id: str, event: str) -> None:
         for cb in self.watchers:

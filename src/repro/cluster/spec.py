@@ -1,0 +1,92 @@
+"""The one cluster-construction surface: :class:`ClusterSpec`.
+
+Historically the three builders — ``Engine(...)``, ``Cluster.build(...)``
+and ``StarfishCluster.build(...)`` — each grew their own positional/kwarg
+signature, and they drifted.  A :class:`ClusterSpec` is the single
+keyword-only description of a simulated cluster that all three consume:
+
+    spec = ClusterSpec(nodes=8, seed=42)
+    sf = StarfishCluster.build(spec=spec)          # system
+    cluster = Cluster.build(spec=spec)             # bare hardware
+    engine = Engine.from_spec(spec)                # just the kernel
+
+The legacy kwarg forms keep working but funnel through a spec internally,
+so there is exactly one place where defaults and validation live.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
+
+if TYPE_CHECKING:  # avoid a cluster -> gcs import at runtime (layering)
+    from repro.cluster.arch import Architecture
+
+
+@dataclass(frozen=True, kw_only=True)
+class ClusterSpec:
+    """Everything needed to build a simulated cluster, in one place.
+
+    The fields cover all three construction layers: the simulation kernel
+    (``seed``, ``trace``, ``telemetry``), the hardware substrate
+    (``nodes``, ``archs``, ``loss_prob``) and the Starfish system on top
+    (``gcs_config``, ``settle``, ``users`` — ignored by the lower layers).
+    """
+
+    #: Number of workstations (named ``n0`` .. ``n{nodes-1}``).
+    nodes: int = 4
+    #: Master seed of the engine's named RNG streams.
+    seed: int = 0
+    #: Architecture cycle for heterogeneous clusters (``None`` = all
+    #: :data:`~repro.cluster.arch.DEFAULT_ARCH`).
+    archs: Optional[Tuple["Architecture", ...]] = None
+    #: Ambient frame-loss probability on both fabrics (seeded stream
+    #: ``net.loss``).  For a *windowed* loss fault, prefer
+    #: :class:`repro.faults.FrameLossWindow`.
+    loss_prob: float = 0.0
+    #: Record a per-event trace (``repro.obs`` Chrome export).
+    trace: bool = False
+    #: Enable the metrics registry (``False`` swaps in no-op instruments).
+    telemetry: bool = True
+    #: Group-communication tunables (``None`` = ``GcsConfig()`` defaults).
+    gcs_config: Optional[Any] = None
+    #: Run the simulation until the daemon group converges after boot.
+    settle: bool = True
+    #: Client accounts as ``{user: (password, is_mgmt)}`` (``None`` =
+    #: :data:`repro.daemon.daemon.DEFAULT_USERS`).
+    users: Optional[Dict[str, Tuple[str, bool]]] = None
+
+    def __post_init__(self):
+        if self.nodes < 1:
+            raise ValueError(f"ClusterSpec.nodes must be >= 1, got {self.nodes}")
+        if not 0.0 <= self.loss_prob < 1.0:
+            raise ValueError(
+                f"ClusterSpec.loss_prob must be in [0, 1), got {self.loss_prob}")
+        if self.archs is not None and not isinstance(self.archs, tuple):
+            object.__setattr__(self, "archs", tuple(self.archs))
+
+    def with_(self, **overrides) -> "ClusterSpec":
+        """A copy with some fields replaced (specs are frozen)."""
+        return replace(self, **overrides)
+
+    @classmethod
+    def coalesce(cls, spec: Optional["ClusterSpec"] = None,
+                 **legacy) -> "ClusterSpec":
+        """Funnel a legacy kwarg call into a spec.
+
+        ``spec`` wins if given (any explicitly passed legacy kwargs are an
+        error then — mixing the two forms is ambiguous); otherwise the
+        legacy kwargs override the defaults.
+        """
+        legacy = {k: v for k, v in legacy.items() if v is not _UNSET}
+        if spec is not None:
+            if legacy:
+                raise TypeError(
+                    "pass either spec= or legacy kwargs, not both "
+                    f"(got spec and {sorted(legacy)})")
+            return spec
+        return cls(**legacy)
+
+
+#: Sentinel distinguishing "kwarg not passed" from an explicit default.
+_UNSET = object()

@@ -14,6 +14,7 @@
 * :mod:`repro.core.policies` — the fault-tolerance policies of §3.2.2.
 """
 
+from repro.cluster.spec import ClusterSpec
 from repro.core.appspec import AppSpec, CheckpointConfig
 from repro.core.metrics import ClusterMetrics
 from repro.core.policies import FaultPolicy
@@ -25,6 +26,7 @@ __all__ = [
     "AppSpec",
     "CheckpointConfig",
     "ClusterMetrics",
+    "ClusterSpec",
     "FaultPolicy",
     "ProgramContext",
     "StarfishCluster",

@@ -204,6 +204,11 @@ class AppProcess:
         # otherwise never reach the safe point that refreshes its world.
         if self._disturb is not None and not self._disturb.triggered:
             self._disturb.succeed("view-change")
+        # The C/R module needs the fresh membership NOW, not at the next
+        # safe point: a coordinated wave waiting on a lost peer holds the
+        # app paused, which is exactly what prevents the safe point.
+        if self.protocol is not None:
+            self.protocol.on_membership_change(tuple(world_ranks))
 
     # ------------------------------------------------------------------
     # the scheduler (main loop)
@@ -425,6 +430,13 @@ class AppProcess:
             if self._resume_evt is not None \
                     and not self._resume_evt.triggered:
                 self._resume_evt.succeed()
+            # No pause outstanding: anyone still waiting for one to take
+            # hold (a checkpoint wave aborted before the rank stopped)
+            # would otherwise wait for an ack that can no longer come.
+            for ev in self._pause_waiters:
+                if not ev.triggered:
+                    ev.succeed()
+            self._pause_waiters = []
 
     def _on_shutdown_event(self, event: ShutdownEvent) -> None:
         self.kill(event.reason or "shutdown")

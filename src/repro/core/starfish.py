@@ -7,29 +7,32 @@ injection, and result collection.
 
 Typical use::
 
-    sf = StarfishCluster.build(nodes=4)
+    sf = StarfishCluster.build(spec=ClusterSpec(nodes=4))
     spec = AppSpec(program=MonteCarloPi, nprocs=4,
                    params={"shots": 100_000},
                    ft_policy=FaultPolicy.RESTART,
                    checkpoint=CheckpointConfig(protocol="stop-and-sync"))
     handle = sf.submit(spec)
-    sf.crash_node_at(5.0, "n2")          # fault injection
+    FaultPlan().at(5.0, CrashNode("n2")).apply_to(sf)   # fault injection
     result = sf.run_to_completion(handle)
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+import warnings
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.ckpt import CheckpointStore
-from repro.cluster import Architecture, Cluster
+from repro.cluster import Architecture, Cluster, ClusterSpec
+from repro.cluster.spec import _UNSET
 from repro.core.appspec import AppSpec
 from repro.core.policies import FaultPolicy
 from repro.core.runtime import AppProcess
 from repro.daemon import AppStatus, Client, StarfishDaemon
 from repro.daemon.registry import AppRecord
-from repro.errors import DaemonError, UnknownApplication
+from repro.errors import (ConvergenceTimeout, DaemonError, MajorityLost,
+                          UnknownApplication)
 from repro.gcs import GcsConfig
 
 _app_ids = itertools.count(1)
@@ -107,19 +110,24 @@ class StarfishCluster:
     # ------------------------------------------------------------------
 
     @classmethod
-    def build(cls, nodes: int = 4, seed: int = 0,
-              archs: Optional[Sequence[Architecture]] = None,
-              gcs_config: Optional[GcsConfig] = None,
-              settle: bool = True, loss_prob: float = 0.0,
-              trace: bool = False,
-              telemetry: bool = True) -> "StarfishCluster":
+    def build(cls, nodes=_UNSET, seed=_UNSET, archs=_UNSET, gcs_config=_UNSET,
+              settle=_UNSET, loss_prob=_UNSET, trace=_UNSET, telemetry=_UNSET,
+              *, spec: Optional[ClusterSpec] = None) -> "StarfishCluster":
         """Create a cluster, boot all daemons, and (by default) run the
-        simulation until the Starfish group has converged."""
-        cluster = Cluster.build(nodes=nodes, seed=seed, archs=archs,
-                                loss_prob=loss_prob, trace=trace,
-                                telemetry=telemetry)
-        sf = cls(cluster, gcs_config=gcs_config)
-        if settle:
+        simulation until the Starfish group has converged.  Prefer passing
+        one ``spec=ClusterSpec(...)``; the legacy kwargs funnel into one."""
+        if loss_prob is not _UNSET:
+            warnings.warn(
+                "loss_prob= is deprecated; pass spec=ClusterSpec(loss_prob="
+                "...) or schedule a repro.faults.FrameLossWindow",
+                DeprecationWarning, stacklevel=2)
+        spec = ClusterSpec.coalesce(spec=spec, nodes=nodes, seed=seed,
+                                    archs=archs, gcs_config=gcs_config,
+                                    settle=settle, loss_prob=loss_prob,
+                                    trace=trace, telemetry=telemetry)
+        cluster = Cluster.build(spec=spec)
+        sf = cls(cluster, gcs_config=spec.gcs_config, users=spec.users)
+        if spec.settle:
             sf.settle()
         return sf
 
@@ -171,14 +179,25 @@ class StarfishCluster:
     def any_daemon(self) -> StarfishDaemon:
         daemons = self.live_daemons()
         if not daemons:
-            raise DaemonError("no live daemons")
+            raise MajorityLost(
+                f"no live daemons (all {len(self.daemons)} are down)")
         return daemons[0]
 
     def settle(self, timeout: float = 30.0) -> None:
-        """Run until every live daemon shares one full view."""
+        """Run until every live daemon shares one full view.
+
+        Raises :class:`~repro.errors.MajorityLost` immediately if no
+        daemon is left to converge, and
+        :class:`~repro.errors.ConvergenceTimeout` (both are
+        :class:`~repro.errors.StarfishError` subclasses) on the deadline —
+        the caller gets a typed error, never a silent hang."""
         deadline = self.engine.now + timeout
         while self.engine.now < deadline:
             live = self.live_daemons()
+            if not live:
+                raise MajorityLost(
+                    f"no live daemons (all {len(self.daemons)} are down); "
+                    "the group can never converge")
             views = {tuple(d.gm.view.members) if d.gm.view else None
                      for d in live}
             if len(views) == 1 and None not in views:
@@ -187,7 +206,9 @@ class StarfishCluster:
                                                  for d in live}:
                     return
             self.engine.run(until=self.engine.now + 0.25)
-        raise DaemonError("Starfish group failed to converge")
+        raise ConvergenceTimeout(
+            f"Starfish group failed to converge within {timeout}s "
+            f"({len(self.live_daemons())} live daemons)")
 
     # ------------------------------------------------------------------
     # submission & running
@@ -217,6 +238,10 @@ class StarfishCluster:
         returns its per-rank results."""
         deadline = self.engine.now + timeout
         while self.engine.now < deadline:
+            if not self.live_daemons():
+                raise MajorityLost(
+                    f"all {len(self.daemons)} daemons are dead; app "
+                    f"{handle.app_id!r} can never finish")
             try:
                 if handle.finished:
                     break
@@ -256,11 +281,26 @@ class StarfishCluster:
         self.cluster.add_node(node_id, arch=arch or DEFAULT_ARCH)
         return self._boot_daemon(node_id)
 
+    @property
+    def faults(self):
+        """The system's :class:`~repro.faults.plan.FaultInjector` (shared
+        with the underlying cluster, bound to this Starfish system so
+        actions can resolve app placement and reboot daemons)."""
+        injector = self.cluster.faults
+        injector.starfish = self
+        return injector
+
     def crash_node(self, node_id: str) -> None:
         self.cluster.crash_node(node_id)
 
     def crash_node_at(self, time: float, node_id: str) -> None:
-        self.cluster.crash_at(time, node_id)
+        """Deprecated: ``faults.at(t, CrashNode(node=...))``."""
+        warnings.warn(
+            "StarfishCluster.crash_node_at is deprecated; use repro.faults: "
+            "faults.at(t, CrashNode(node=...))",
+            DeprecationWarning, stacklevel=2)
+        from repro.faults.actions import CrashNode
+        self.faults.at(time, CrashNode(node=node_id))
 
     def recover_node(self, node_id: str) -> StarfishDaemon:
         """Bring a crashed node back and boot a fresh daemon on it."""
@@ -268,8 +308,13 @@ class StarfishCluster:
         return self._boot_daemon(node_id)
 
     def recover_node_at(self, time: float, node_id: str) -> None:
-        ev = self.engine.timeout(time - self.engine.now)
-        ev.callbacks.append(lambda _e: self.recover_node(node_id))
+        """Deprecated: ``faults.at(t, RecoverNode(node=...))``."""
+        warnings.warn(
+            "StarfishCluster.recover_node_at is deprecated; use repro.faults:"
+            " faults.at(t, RecoverNode(node=...))",
+            DeprecationWarning, stacklevel=2)
+        from repro.faults.actions import RecoverNode
+        self.faults.at(time, RecoverNode(node=node_id))
 
     def migrate(self, handle: AppHandle, rank: int, target_node: str) -> None:
         """Move one rank to ``target_node`` by rolling the application back

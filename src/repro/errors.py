@@ -113,6 +113,44 @@ class PlacementError(DaemonError):
     """The scheduler could not place all processes of an application."""
 
 
+class RequestTimeout(NetworkError):
+    """A bounded wait for a reply expired (client command, connect...)."""
+
+
+# ---------------------------------------------------------------------------
+# System-level degradation (the Starfish facade)
+# ---------------------------------------------------------------------------
+
+class StarfishError(DaemonError):
+    """System-level failures of the Starfish facade.
+
+    Raised (instead of hanging or surfacing a confusing low-level error)
+    when a fault schedule pushes the cluster past what the protocols can
+    absorb.  Subclass of :class:`DaemonError` so existing ``except
+    DaemonError`` call sites keep working.
+    """
+
+
+class ConvergenceTimeout(StarfishError):
+    """The Starfish group failed to agree on a view within the deadline."""
+
+
+class MajorityLost(StarfishError):
+    """Too few daemons survive for the requested operation to ever finish."""
+
+
+# ---------------------------------------------------------------------------
+# Fault campaigns
+# ---------------------------------------------------------------------------
+
+class CampaignError(StarfishError):
+    """A fault campaign could not be set up or driven to its end."""
+
+
+class InvariantViolation(CampaignError):
+    """An invariant checker found a violated system property."""
+
+
 # ---------------------------------------------------------------------------
 # MPI
 # ---------------------------------------------------------------------------

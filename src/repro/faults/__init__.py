@@ -1,0 +1,69 @@
+"""Deterministic fault-campaign engine (the one fault-injection surface).
+
+The paper's evaluation method — and this repo's (ReStore-style) way of
+stressing every FT-policy x C/R-protocol combination — is a *scripted*
+failure schedule replayed against a workload, with invariants checked
+after every recovery.  This package provides exactly that:
+
+* typed fault actions (:class:`CrashNode`, :class:`RecoverNode`,
+  :class:`Partition`, :class:`Heal`, :class:`FrameLossWindow`,
+  :class:`DiskSlowdown`, :class:`DaemonPause`);
+* virtual-time triggers (:class:`At`, :class:`Every`, :class:`Randomly` —
+  the random one draws from the engine's seeded RNG streams, so a
+  campaign is a pure function of its seed);
+* a :class:`FaultPlan` that schedules actions onto a cluster through one
+  :class:`FaultInjector`, which keeps a deterministic action log and
+  emits ``fault.*`` telemetry through ``repro.obs``;
+* pluggable invariant checkers (:mod:`repro.faults.invariants`);
+* a :class:`CampaignRunner` that drives a workload under a plan,
+  compares against a fault-free *golden run*, and produces a
+  JSON-serializable :class:`CampaignReport`;
+* a registry of named campaigns (:data:`CAMPAIGNS`, ``repro chaos``).
+
+Quickstart::
+
+    from repro.faults import At, CrashNode, FaultPlan
+    plan = FaultPlan().at(5.0, CrashNode("n2"))
+    plan.apply_to(sf)                      # sf = StarfishCluster.build(...)
+    sf.run_to_completion(handle)
+
+The legacy entry points (``StarfishCluster.crash_node_at``,
+``Cluster.partition_at``, ``Fabric.partition``, builder ``loss_prob``
+kwargs) still work but are deprecated thin wrappers over these actions.
+"""
+
+from repro.faults.actions import (CrashNode, DaemonPause, DiskSlowdown,
+                                  FaultAction, FrameLossWindow, Heal,
+                                  Partition, RecoverNode)
+from repro.faults.campaign import CampaignReport, CampaignRunner
+from repro.faults.campaigns import CAMPAIGNS, Campaign, get_campaign
+from repro.faults.invariants import (ALL_CHECKERS, InvariantChecker,
+                                     MetricsSane, NoLostResult,
+                                     RecoveryLineConsistent, ViewAgreement)
+from repro.faults.plan import At, Every, FaultInjector, FaultPlan, Randomly
+
+__all__ = [
+    "ALL_CHECKERS",
+    "At",
+    "CAMPAIGNS",
+    "Campaign",
+    "CampaignReport",
+    "CampaignRunner",
+    "CrashNode",
+    "DaemonPause",
+    "DiskSlowdown",
+    "Every",
+    "FaultAction",
+    "FaultInjector",
+    "FaultPlan",
+    "FrameLossWindow",
+    "Heal",
+    "InvariantChecker",
+    "MetricsSane",
+    "NoLostResult",
+    "Partition",
+    "RecoveryLineConsistent",
+    "Randomly",
+    "ViewAgreement",
+    "get_campaign",
+]

@@ -1,0 +1,276 @@
+"""Typed fault actions.
+
+Each action is a frozen dataclass describing *what* to do to the cluster;
+*when* is a trigger's business (:mod:`repro.faults.plan`) and *doing it*
+goes through the :class:`~repro.faults.plan.FaultInjector`, which resolves
+symbolic targets, applies the mechanism, logs the action, and schedules
+the automatic revert of windowed actions (``duration=...``).
+
+Target selection: actions that name no explicit node pick one at fire
+time via ``pick``:
+
+* ``"random"`` — uniformly among schedulable nodes (seeded stream
+  ``faults.pick`` — deterministic per engine seed);
+* ``"app-host"`` — the highest node currently hosting a rank of
+  ``app_id`` (requires a Starfish system and the app to exist);
+* ``"spare"`` — the highest schedulable node hosting *no* rank of
+  ``app_id``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.errors import CampaignError
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """Base class; subclasses define ``name`` and :meth:`apply`."""
+
+    name = "fault"
+
+    def apply(self, inj) -> Dict[str, object]:
+        """Execute against ``inj`` (a FaultInjector); returns log detail."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class CrashNode(FaultAction):
+    """Fail-stop a workstation (NICs detach, hosted processes die)."""
+
+    node: Optional[str] = None
+    pick: str = "random"
+    app_id: Optional[str] = None
+    cause: str = "fault-campaign"
+
+    name = "crash-node"
+
+    def apply(self, inj) -> Dict[str, object]:
+        nid = inj.resolve_node(self.node, self.pick, self.app_id)
+        hosts_app = (self.app_id is not None
+                     and nid in inj.app_nodes(self.app_id))
+        inj.cluster.crash_node(nid, cause=self.cause)
+        inj.note_crash(nid)
+        detail: Dict[str, object] = {"node": nid}
+        if self.app_id is not None:
+            detail["hosts_app"] = hosts_app
+        return detail
+
+
+@dataclass(frozen=True)
+class RecoverNode(FaultAction):
+    """Bring a crashed node back (re-attach NICs; reboot its daemon when
+    the injector is attached to a Starfish system)."""
+
+    node: Optional[str] = None        # None = most recently crashed
+
+    name = "recover-node"
+
+    def apply(self, inj) -> Dict[str, object]:
+        nid = self.node if self.node is not None else inj.pop_crashed()
+        if nid is None:
+            raise CampaignError("RecoverNode: no crashed node to recover")
+        if inj.starfish is not None:
+            inj.starfish.recover_node(nid)
+        else:
+            inj.cluster.recover_node(nid)
+        return {"node": nid}
+
+
+@dataclass(frozen=True)
+class Partition(FaultAction):
+    """Split BOTH fabrics (a switch failure).
+
+    Either give explicit ``groups`` (iterables of node ids; unlisted
+    nodes form one implicit extra group) or ``isolate`` one node (an id
+    or a ``pick`` spec) from everything else.  With ``duration`` the
+    partition heals itself after that many simulated seconds.
+    """
+
+    groups: Optional[Tuple[Tuple[str, ...], ...]] = None
+    isolate: Optional[str] = None
+    app_id: Optional[str] = None
+    duration: Optional[float] = None
+
+    name = "partition"
+
+    def __post_init__(self):
+        if (self.groups is None) == (self.isolate is None):
+            raise ValueError("Partition: give exactly one of groups/isolate")
+        if self.groups is not None and not isinstance(self.groups, tuple):
+            object.__setattr__(
+                self, "groups", tuple(tuple(g) for g in self.groups))
+
+    def apply(self, inj) -> Dict[str, object]:
+        if self.isolate is not None:
+            if self.isolate in inj.cluster.nodes:
+                nid = self.isolate
+            else:
+                nid = inj.resolve_node(None, self.isolate, self.app_id)
+            rest = tuple(sorted(n for n in inj.cluster.nodes if n != nid))
+            groups: Tuple[Tuple[str, ...], ...] = ((nid,), rest)
+        else:
+            groups = self.groups
+        for fabric in (inj.cluster.ethernet, inj.cluster.myrinet):
+            fabric.set_partition(*groups)
+        inj.partition_depth += 1
+        if self.duration is not None:
+            inj.schedule_revert(self.duration, Heal())
+        return {"groups": "|".join(",".join(g) for g in groups)}
+
+
+@dataclass(frozen=True)
+class Heal(FaultAction):
+    """Remove any partition from both fabrics."""
+
+    name = "heal"
+
+    def apply(self, inj) -> Dict[str, object]:
+        for fabric in (inj.cluster.ethernet, inj.cluster.myrinet):
+            fabric.clear_partition()
+        inj.partition_depth = max(0, inj.partition_depth - 1)
+        return {}
+
+
+@dataclass(frozen=True)
+class FrameLossWindow(FaultAction):
+    """Silent frame loss on a fabric for a bounded window.
+
+    Defaults to the Ethernet control path, which is loss-tolerant (ARQ
+    connections; retransmitting GCS sublayer).  The Myrinet data path
+    models hardware the paper treats as reliable — injecting loss there
+    stalls MPI traffic, so only do it deliberately.  ``duration=None``
+    means "until further notice" (the legacy builder ``loss_prob``).
+    """
+
+    prob: float = 0.05
+    duration: Optional[float] = None
+    fabric: str = "tcp-ethernet"      # "tcp-ethernet" | "bip-myrinet" | "both"
+
+    name = "frame-loss"
+
+    def apply(self, inj) -> Dict[str, object]:
+        fabrics = {"tcp-ethernet": [inj.cluster.ethernet],
+                   "bip-myrinet": [inj.cluster.myrinet],
+                   "both": [inj.cluster.ethernet, inj.cluster.myrinet]}
+        try:
+            targets = fabrics[self.fabric]
+        except KeyError:
+            raise CampaignError(
+                f"FrameLossWindow: unknown fabric {self.fabric!r}") from None
+        restores = [(f, f.set_loss(self.prob)) for f in targets]
+        inj.loss_depth += 1
+        if self.duration is not None:
+            inj.schedule_revert(self.duration, _LossRestore(
+                pairs=tuple((f.spec.name, prev) for f, prev in restores)))
+        return {"fabric": self.fabric, "prob": self.prob}
+
+
+@dataclass(frozen=True)
+class _LossRestore(FaultAction):
+    """Internal revert of a FrameLossWindow."""
+
+    pairs: Tuple[Tuple[str, float], ...] = ()
+
+    name = "frame-loss-end"
+
+    def apply(self, inj) -> Dict[str, object]:
+        by_name = {"tcp-ethernet": inj.cluster.ethernet,
+                   "bip-myrinet": inj.cluster.myrinet}
+        for fname, prev in self.pairs:
+            by_name[fname].set_loss(prev)
+        inj.loss_depth = max(0, inj.loss_depth - 1)
+        return {"fabric": "+".join(f for f, _ in self.pairs)}
+
+
+@dataclass(frozen=True)
+class DiskSlowdown(FaultAction):
+    """Degrade a node's disk bandwidth by ``factor`` for ``duration``."""
+
+    factor: float = 4.0
+    duration: Optional[float] = None
+    node: Optional[str] = None        # None = every up node
+
+    name = "disk-slowdown"
+
+    def apply(self, inj) -> Dict[str, object]:
+        if self.factor <= 0:
+            raise CampaignError("DiskSlowdown: factor must be > 0")
+        nodes = ([self.node] if self.node is not None
+                 else sorted(n.node_id for n in inj.cluster.up_nodes()))
+        saved = []
+        for nid in nodes:
+            disk = inj.cluster.node(nid).disk
+            saved.append((nid, disk.write_bandwidth, disk.read_bandwidth))
+            disk.write_bandwidth /= self.factor
+            disk.read_bandwidth /= self.factor
+        if self.duration is not None:
+            inj.schedule_revert(self.duration,
+                                _DiskRestore(saved=tuple(saved)))
+        return {"nodes": ",".join(nodes), "factor": self.factor}
+
+
+@dataclass(frozen=True)
+class _DiskRestore(FaultAction):
+    """Internal revert of a DiskSlowdown."""
+
+    saved: Tuple[Tuple[str, float, float], ...] = ()
+
+    name = "disk-slowdown-end"
+
+    def apply(self, inj) -> Dict[str, object]:
+        for nid, wbw, rbw in self.saved:
+            if nid in inj.cluster.nodes:
+                disk = inj.cluster.node(nid).disk
+                disk.write_bandwidth = wbw
+                disk.read_bandwidth = rbw
+        return {"nodes": ",".join(n for n, _, _ in self.saved)}
+
+
+@dataclass(frozen=True)
+class DaemonPause(FaultAction):
+    """Freeze one node's Starfish daemon (GC-pause / scheduler stall
+    model): its group member neither receives nor sends protocol traffic
+    for ``duration``, so the group suspects and excludes it; on resume it
+    rejoins via the gossip merge path.  Requires a Starfish system.
+    """
+
+    duration: float = 1.0
+    node: Optional[str] = None
+    pick: str = "random"
+    app_id: Optional[str] = None
+
+    name = "daemon-pause"
+
+    def apply(self, inj) -> Dict[str, object]:
+        if inj.starfish is None:
+            raise CampaignError("DaemonPause needs a StarfishCluster target")
+        nid = inj.resolve_node(self.node, self.pick, self.app_id)
+        daemon = inj.starfish.daemons.get(nid)
+        if daemon is None:
+            raise CampaignError(f"DaemonPause: no daemon on {nid!r}")
+        daemon.gm.paused = True
+        inj.paused_nodes.add(nid)
+        inj.schedule_revert(self.duration, _DaemonResume(node=nid))
+        return {"node": nid, "duration": self.duration}
+
+
+@dataclass(frozen=True)
+class _DaemonResume(FaultAction):
+    """Internal revert of a DaemonPause."""
+
+    node: str = ""
+
+    name = "daemon-resume"
+
+    def apply(self, inj) -> Dict[str, object]:
+        daemon = inj.starfish.daemons.get(self.node)
+        if daemon is not None:
+            daemon.gm.paused = False
+        inj.paused_nodes.discard(self.node)
+        return {"node": self.node}

@@ -1,0 +1,139 @@
+"""Named, ready-to-run fault campaigns (the ``repro chaos`` registry).
+
+A :class:`Campaign` bundles a default cluster size, a workload factory
+and a plan factory.  Plans are *campaign-relative*: time 0 is the moment
+the runner applies the plan (right after the booted group settles).
+
+The ``standard`` campaign is the acceptance gate exercised across every
+C/R protocol x FT policy pair by ``benchmarks/bench_campaign_matrix.py``:
+a crash of an app-hosting node, recovery, a partition that isolates a
+spare node (healing itself), and a frame-loss window on the Ethernet
+control path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from repro.core.appspec import AppSpec, CheckpointConfig
+from repro.core.policies import FaultPolicy
+from repro.errors import CampaignError
+from repro.faults.actions import (CrashNode, DaemonPause, FrameLossWindow,
+                                  Partition, RecoverNode)
+from repro.faults.plan import FaultPlan
+
+
+def _default_workload(protocol: Optional[str], policy, nodes: int) -> AppSpec:
+    """A deterministic, crash-spanning workload: ComputeSleep stretches
+    virtual time well past the last fault, and its per-rank results (the
+    number of steps each rank executed) make golden-run comparison
+    exact."""
+    from repro.apps import ComputeSleep
+    checkpoint = (CheckpointConfig(protocol=protocol, level="vm",
+                                   interval=0.8)
+                  if protocol is not None else CheckpointConfig())
+    return AppSpec(program=ComputeSleep, nprocs=3,
+                   params={"steps": 30, "step_time": 0.25,
+                           "state_bytes": 4096},
+                   ft_policy=FaultPolicy.of(policy),
+                   checkpoint=checkpoint)
+
+
+@dataclass(frozen=True)
+class Campaign:
+    """A named fault schedule + workload combination."""
+
+    name: str
+    description: str
+    plan: Callable[[str, int], FaultPlan]       # (app_id, nodes) -> plan
+    workload: Callable[[Optional[str], Any, int], AppSpec] = _default_workload
+    nodes: int = 5
+    #: Optional base ClusterSpec (runner overrides nodes/seed).
+    cluster_spec: Optional[Any] = None
+    #: False for campaigns that are *supposed* to kill the system (the
+    #: runner/bench then expects a typed StarfishError, not completion).
+    expect_completion: bool = True
+
+
+def _standard_plan(app_id: str, nodes: int) -> FaultPlan:
+    return (FaultPlan()
+            .at(1.0, CrashNode(pick="app-host", app_id=app_id))
+            .at(2.5, RecoverNode())
+            .at(4.0, Partition(isolate="spare", app_id=app_id,
+                               duration=1.0))
+            .at(6.0, FrameLossWindow(prob=0.05, duration=1.0,
+                                     fabric="tcp-ethernet")))
+
+
+def _crash_recover_plan(app_id: str, nodes: int) -> FaultPlan:
+    return (FaultPlan()
+            .at(1.0, CrashNode(pick="app-host", app_id=app_id))
+            .at(3.0, RecoverNode()))
+
+
+def _partition_flap_plan(app_id: str, nodes: int) -> FaultPlan:
+    return (FaultPlan()
+            .at(1.0, Partition(isolate="spare", app_id=app_id, duration=0.8))
+            .at(3.0, Partition(isolate="spare", app_id=app_id, duration=0.8)))
+
+
+def _loss_soak_plan(app_id: str, nodes: int) -> FaultPlan:
+    return (FaultPlan()
+            .randomly(2, 0.5, 4.0,
+                      FrameLossWindow(prob=0.08, duration=0.75,
+                                      fabric="tcp-ethernet")))
+
+
+def _pause_plan(app_id: str, nodes: int) -> FaultPlan:
+    return (FaultPlan()
+            .at(1.0, DaemonPause(duration=1.0, pick="spare",
+                                 app_id=app_id)))
+
+
+def _blackout_plan(app_id: str, nodes: int) -> FaultPlan:
+    plan = FaultPlan()
+    for i in range(nodes):
+        plan.at(1.0 + 0.1 * i, CrashNode(node=f"n{i}", cause="blackout"))
+    return plan
+
+
+CAMPAIGNS: Dict[str, Campaign] = {c.name: c for c in (
+    Campaign(
+        name="standard",
+        description="crash an app host, recover it, isolate+heal a spare "
+                    "node, then a 1s Ethernet loss window",
+        plan=_standard_plan),
+    Campaign(
+        name="crash-recover",
+        description="crash one app-hosting node, recover it 2s later",
+        plan=_crash_recover_plan),
+    Campaign(
+        name="partition-flap",
+        description="twice isolate a spare node for 0.8s (merge-on-heal)",
+        plan=_partition_flap_plan),
+    Campaign(
+        name="loss-soak",
+        description="two seeded-random 0.75s Ethernet loss windows",
+        plan=_loss_soak_plan),
+    Campaign(
+        name="daemon-pause",
+        description="freeze a spare node's daemon for 1s (suspect, "
+                    "exclude, gossip re-merge)",
+        plan=_pause_plan),
+    Campaign(
+        name="blackout",
+        description="crash every node; the run must fail with a typed "
+                    "MajorityLost, never hang",
+        plan=_blackout_plan,
+        expect_completion=False),
+)}
+
+
+def get_campaign(name: str) -> Campaign:
+    try:
+        return CAMPAIGNS[name]
+    except KeyError:
+        known = ", ".join(sorted(CAMPAIGNS))
+        raise CampaignError(
+            f"unknown campaign {name!r} (known: {known})") from None

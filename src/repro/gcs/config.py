@@ -36,3 +36,11 @@ class GcsConfig:
     sequencer_per_member: float = ENSEMBLE_PER_MEMBER
     #: Modelled wire size of protocol control frames.
     control_size: int = 192
+    #: Base retransmit timeout of the reliable-delivery (``Rel``) sublayer;
+    #: doubles per retry up to :attr:`rel_backoff_max`.
+    rel_retry: float = 0.1
+    #: Cap of the exponential retransmit backoff.
+    rel_backoff_max: float = 0.8
+    #: Retries before giving a destination up for dead (failure suspicion
+    #: and the next flush handle it from there).
+    rel_max_tries: int = 20

@@ -27,7 +27,8 @@ from repro.gcs.config import GcsConfig
 from repro.gcs.endpoint import EndpointId, View, fresh_incarnation
 from repro.gcs.events import CastEvent, P2pEvent, ViewEvent
 from repro.gcs.messages import (Announce, CastReq, Flush, FlushOk, Hb, Join,
-                                Leave, Msg, Ordered, P2p, Sync, ViewMsg)
+                                Leave, Msg, Ordered, P2p, Rel, RelAck, Sync,
+                                ViewMsg)
 from repro.net.message import Frame
 from repro.obs.registry import get_registry
 from repro.sim.channel import Channel
@@ -41,6 +42,22 @@ class _FlushState:
     survivors: Tuple[EndpointId, ...]
     started: float
     replies: Dict[EndpointId, FlushOk] = field(default_factory=dict)
+
+
+@dataclass
+class _RelOut:
+    """Per-destination sender state of the reliable-delivery sublayer."""
+
+    next_seq: int = 0
+    #: seq -> (Rel envelope, frame kind), awaiting cumulative ack.
+    unacked: Dict[int, Tuple[Rel, str]] = field(default_factory=dict)
+    last_tx: float = 0.0
+    tries: int = 0
+
+
+#: Message types that bypass the Rel sublayer: periodic ones (loss only
+#: delays the next round) and the sublayer's own envelopes.
+_UNRELIABLE = (Hb, Announce, Rel, RelAck)
 
 
 class GroupMember:
@@ -88,6 +105,15 @@ class GroupMember:
         self._joiners: Set[EndpointId] = set()
         self._contact: Optional[EndpointId] = None
         self._left = False
+        #: Fault-campaign freeze (DaemonPause): while True the member
+        #: neither receives nor sends protocol traffic.
+        self.paused = False
+
+        # --- reliable-delivery sublayer (per-destination ARQ) ---
+        self._rel_out: Dict[EndpointId, _RelOut] = {}
+        self._rel_in_next: Dict[EndpointId, int] = {}
+        self._rel_in_ooo: Dict[EndpointId, Dict[int, Msg]] = {}
+        self._resync_at = -1.0
 
         # --- multicast state (reset per view) ---
         self._global_next = 0                       # next gseq to deliver
@@ -123,6 +149,10 @@ class GroupMember:
         }
         for m in self._m.values():
             m.reset()
+        self._m_retx = self._registry.counter(
+            "gcs.rel_retransmits", node=node.node_id,
+            help="reliable-sublayer retransmission rounds")
+        self._m_retx.reset()
         self._delivered_keys: Set[Tuple[EndpointId, int]] = set()
         self._procs: List = []
         self._started = False
@@ -139,6 +169,8 @@ class GroupMember:
             ViewMsg: self._on_view,
             Announce: self._on_announce,
             P2p: self._on_p2p,
+            Rel: self._on_rel,
+            RelAck: self._on_rel_ack,
         }
 
     @property
@@ -249,12 +281,26 @@ class GroupMember:
 
     def _sendto(self, ep: EndpointId, msg: Msg,
                 kind: str = "control") -> None:
+        if self.paused:
+            return
         if ep == self.endpoint:
             self._post(msg)
-        else:
+        elif isinstance(msg, _UNRELIABLE):
             self._tx_q.put((ep, msg, kind))
+        else:
+            # Everything else rides the reliable sublayer: sequence it,
+            # remember it until the cumulative ack, ship the envelope.
+            out = self._rel_out.setdefault(ep, _RelOut())
+            rel = Rel(group=self.group, sender=self.endpoint,
+                      seq=out.next_seq, inner=msg)
+            out.unacked[out.next_seq] = (rel, kind)
+            out.next_seq += 1
+            out.last_tx = self.engine.now
+            self._tx_q.put((ep, rel, kind))
 
     def _frame_size(self, msg: Msg) -> int:
+        if isinstance(msg, Rel):
+            return self._frame_size(msg.inner)
         if isinstance(msg, (CastReq, Ordered, P2p)):
             return max(msg.size, self.cfg.control_size)
         if isinstance(msg, (FlushOk, Sync)):
@@ -266,6 +312,8 @@ class GroupMember:
         try:
             while True:
                 frame = yield self._rx_ch.get()
+                if self.paused:
+                    continue
                 if isinstance(frame.payload, Msg) and \
                         frame.payload.group == self.group:
                     self._post(frame.payload)
@@ -291,22 +339,75 @@ class GroupMember:
         try:
             while True:
                 msg = yield self._inbox.get()
-                if msg.sender != self.endpoint:
-                    self.last_heard[msg.sender] = self.engine.now
-                    self.known_endpoints.add(msg.sender)
-                # Learn the highest epoch in the system from any message, so
-                # a rebooted member's proposals are never stuck in the past.
-                epoch = getattr(msg, "epoch", 0)
-                if epoch > self.max_epoch:
-                    self.max_epoch = epoch
-                handler = self._handlers.get(type(msg))
-                if handler is None:
-                    continue
-                result = handler(msg)
-                if result is not None and hasattr(result, "__next__"):
-                    yield from result
+                yield from self._dispatch(msg)
         except Interrupt:
             return
+
+    def _dispatch(self, msg: Msg):
+        if msg.sender != self.endpoint:
+            self.last_heard[msg.sender] = self.engine.now
+            self.known_endpoints.add(msg.sender)
+        # Learn the highest epoch in the system from any message, so
+        # a rebooted member's proposals are never stuck in the past.
+        epoch = getattr(msg, "epoch", 0)
+        if epoch > self.max_epoch:
+            self.max_epoch = epoch
+        handler = self._handlers.get(type(msg))
+        if handler is None:
+            return
+        result = handler(msg)
+        if result is not None and hasattr(result, "__next__"):
+            yield from result
+
+    # -- reliable-delivery sublayer ------------------------------------
+
+    def _on_rel(self, msg: Rel):
+        """Receive side: per-sender reorder + dedup, cumulative ack."""
+        src = msg.sender
+        nxt = self._rel_in_next.get(src, 0)
+        if msg.seq >= nxt:
+            ooo = self._rel_in_ooo.setdefault(src, {})
+            ooo[msg.seq] = msg.inner
+            while nxt in ooo:
+                inner = ooo.pop(nxt)
+                nxt += 1
+                self._rel_in_next[src] = nxt
+                yield from self._dispatch(inner)
+        # Ack duplicates too: the original ack may have been the lost frame.
+        self._sendto(src, RelAck(group=self.group, sender=self.endpoint,
+                                 cum=self._rel_in_next.get(src, 0) - 1))
+
+    def _on_rel_ack(self, msg: RelAck) -> None:
+        out = self._rel_out.get(msg.sender)
+        if out is None:
+            return
+        acked = [s for s in out.unacked if s <= msg.cum]
+        for s in acked:
+            del out.unacked[s]
+        if acked:
+            out.tries = 0
+
+    def _rel_tick(self, now: float) -> None:
+        """Retransmit unacked envelopes with exponential backoff; give a
+        silent destination up after ``rel_max_tries`` (failure suspicion
+        and the next flush take it from there)."""
+        cfg = self.cfg
+        for ep in sorted(self._rel_out):
+            out = self._rel_out[ep]
+            if not out.unacked:
+                continue
+            rto = min(cfg.rel_retry * (2 ** out.tries), cfg.rel_backoff_max)
+            if now - out.last_tx < rto:
+                continue
+            out.tries += 1
+            if out.tries > cfg.rel_max_tries:
+                out.unacked.clear()
+                continue
+            self._m_retx.inc()
+            out.last_tx = now
+            for seq in sorted(out.unacked):
+                rel, kind = out.unacked[seq]
+                self._tx_q.put((ep, rel, kind))
 
     # ------------------------------------------------------------------
     # the ticker: heartbeats, suspicion, retries, gossip
@@ -322,6 +423,10 @@ class GroupMember:
                 now = self.engine.now
                 if self._left:
                     return
+                if self.paused:
+                    continue
+
+                self._rel_tick(now)
 
                 if self.view is None:
                     # Still joining: nag the contact (and anyone we heard of).
@@ -388,6 +493,12 @@ class GroupMember:
         return out
 
     def _post_join(self, contact: EndpointId) -> None:
+        # The Rel sublayer is already retrying an in-flight Join to this
+        # contact with backoff; don't pile a duplicate on top.
+        out = self._rel_out.get(contact)
+        if out is not None and any(isinstance(rel.inner, Join)
+                                   for rel, _k in out.unacked.values()):
+            return
         self._sendto(contact, Join(group=self.group, sender=self.endpoint))
 
     def _recast_pending(self) -> None:
@@ -642,6 +753,15 @@ class GroupMember:
 
     def _on_hb(self, msg: Hb) -> None:
         self.max_epoch = max(self.max_epoch, msg.epoch)
+        # Epoch resync backstop: a heartbeat from a newer view means we
+        # somehow missed its ViewMsg.  Re-join through the sender (the
+        # coordinator resends the current view to existing members);
+        # rate-limited to one nag per suspect window.
+        if (self.view is not None and msg.epoch > self.view.epoch
+                and self.engine.now - self._resync_at
+                >= self.cfg.suspect_timeout):
+            self._resync_at = self.engine.now
+            self._post_join(msg.sender)
 
     def _on_p2p(self, msg: P2p) -> None:
         self._m["p2p"].inc()

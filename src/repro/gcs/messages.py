@@ -115,3 +115,26 @@ class P2p(Msg):
 
     payload: Any
     size: int
+
+
+@dataclass(frozen=True)
+class Rel(Msg):
+    """Reliable-delivery envelope: per-destination FIFO sequence number
+    around an ``inner`` control message.
+
+    The fabric can silently drop frames; heartbeats and gossip are
+    periodic so loss only delays them, but a lost ``Ordered`` / ``Flush``
+    / ``ViewMsg`` would wedge the protocol.  Every unicast control send
+    except ``Hb``/``Announce`` therefore travels inside a ``Rel``; the
+    receiver reorders, de-duplicates and cumulatively acknowledges."""
+
+    seq: int
+    inner: Msg
+
+
+@dataclass(frozen=True)
+class RelAck(Msg):
+    """Cumulative acknowledgement: all of the sender's ``Rel`` envelopes
+    with ``seq <= cum`` were delivered."""
+
+    cum: int

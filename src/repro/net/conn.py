@@ -23,7 +23,7 @@ from collections import defaultdict
 from typing import Any, Dict, Optional, Tuple
 
 from repro.calibration import LOCAL_TCP_HOP
-from repro.errors import ConnectionClosed, NetworkError
+from repro.errors import ConnectionClosed, NetworkError, RequestTimeout
 from repro.net.message import Frame
 from repro.net.nic import Nic
 from repro.obs.instruments import Counter as ObsCounter
@@ -118,14 +118,18 @@ class Connection:
     # -- establishment -------------------------------------------------------
 
     @classmethod
-    def connect(cls, engine, nic: Nic, peer_node: str, peer_port: str):
+    def connect(cls, engine, nic: Nic, peer_node: str, peer_port: str,
+                timeout: Optional[float] = None):
         """Process generator: open a connection to a :class:`Listener`.
 
         Returns the connected :class:`Connection`.  Retries the SYN until
-        answered, so it tolerates frame loss; it does *not* time out on a
-        dead peer (callers that need that should race it with a timeout).
+        answered, so it tolerates frame loss.  With ``timeout=None`` it
+        retries forever (a dead peer hangs the caller); with a timeout it
+        tears the half-open connection down and raises
+        :class:`~repro.errors.RequestTimeout` at the deadline.
         """
         conn = cls(engine, nic, peer_node=peer_node, peer_port=peer_port)
+        deadline = engine.now + timeout if timeout is not None else None
         handshake = Channel(engine, name=f"hs:{conn.local_port}")
         conn._handshake = handshake
         # One persistent getter: a fresh get() per retry would leave stale
@@ -141,6 +145,11 @@ class Connection:
                 conn.peer_port = answer.value
                 conn._handshake = None
                 return conn
+            if deadline is not None and engine.now >= deadline:
+                conn.abort()
+                raise RequestTimeout(
+                    f"connect to {peer_node}:{peer_port} timed out "
+                    f"after {timeout}s")
 
     # -- internal receive pump --------------------------------------------------
 
@@ -259,6 +268,13 @@ class Connection:
         if not self._closed:
             yield from self._send_ctrl("FIN", None)
             self._teardown(ConnectionClosed("locally closed"))
+
+    def abort(self) -> None:
+        """Immediate local teardown (no FIN, not a generator).  Used when
+        a request deadline expires and the connection state can no longer
+        be trusted — e.g. a reply may arrive for a request the caller has
+        already given up on."""
+        self._teardown(ConnectionClosed("aborted"))
 
     def _teardown(self, exc: BaseException) -> None:
         if self._closed:

@@ -14,6 +14,7 @@ themselves (driver in :mod:`repro.net.nic`, VNI in :mod:`repro.vni`, MPI in
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Set
 
@@ -127,8 +128,10 @@ class Fabric:
         return node_id in self._nics
 
     # -- fault injection -----------------------------------------------------
+    # These are the *mechanisms*; the one scheduling/policy surface is
+    # repro.faults (FaultPlan actions call down into them).
 
-    def partition(self, *groups: Iterable[str]) -> None:
+    def set_partition(self, *groups: Iterable[str]) -> None:
         """Split the network: frames may only flow within a group.
 
         Nodes not named in any group form one implicit extra group.
@@ -139,9 +142,36 @@ class Fabric:
                 mapping[node] = gi
         self._partitions = mapping
 
-    def heal(self) -> None:
+    def clear_partition(self) -> None:
         """Remove any partition."""
         self._partitions = None
+
+    def set_loss(self, prob: float) -> float:
+        """Set the frame-loss probability; returns the previous value."""
+        if not 0.0 <= prob < 1.0:
+            raise ValueError(f"loss probability must be in [0, 1), got {prob}")
+        prev, self.loss_prob = self.loss_prob, prob
+        return prev
+
+    def partition(self, *groups: Iterable[str]) -> None:
+        """Deprecated alias of :meth:`set_partition`.
+
+        Use a :class:`repro.faults.Partition` action (scheduled, logged,
+        auto-healing) or :meth:`set_partition` for raw fabric surgery.
+        """
+        warnings.warn(
+            "Fabric.partition() is deprecated; use a repro.faults.Partition "
+            "action (or Fabric.set_partition for raw access)",
+            DeprecationWarning, stacklevel=2)
+        self.set_partition(*groups)
+
+    def heal(self) -> None:
+        """Deprecated alias of :meth:`clear_partition`."""
+        warnings.warn(
+            "Fabric.heal() is deprecated; use a repro.faults.Heal action "
+            "(or Fabric.clear_partition for raw access)",
+            DeprecationWarning, stacklevel=2)
+        self.clear_partition()
 
     def _reachable(self, src: str, dst: str) -> bool:
         if dst not in self._nics or src not in self._nics:

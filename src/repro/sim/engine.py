@@ -63,6 +63,15 @@ class Engine:
             "sim.trace.events_dropped",
             lambda: self.tracer.events_dropped if self.tracer else 0)
 
+    @classmethod
+    def from_spec(cls, spec) -> "Engine":
+        """Build an engine from a :class:`~repro.cluster.spec.ClusterSpec`.
+
+        Duck-typed on the kernel-relevant fields (``seed``, ``trace``,
+        ``telemetry``) so the sim layer does not import the cluster layer.
+        """
+        return cls(seed=spec.seed, trace=spec.trace, telemetry=spec.telemetry)
+
     # -- clock & queue ---------------------------------------------------
 
     @property

@@ -6,6 +6,7 @@ from repro.calibration import NATIVE_DISK_BANDWIDTH
 from repro.cluster import (Cluster, DEFAULT_ARCH, NodeState, TABLE2_MACHINES,
                            arch_by_name)
 from repro.errors import ClusterError, Interrupt, NodeDown
+from repro.faults import CrashNode
 
 
 def test_build_creates_wired_nodes():
@@ -70,7 +71,7 @@ def test_crash_interrupts_hosted_processes():
             return ("killed", str(exc.cause))
 
     p = node.spawn(worker())
-    cluster.crash_at(5, "n0")
+    cluster.faults.at(5, CrashNode(node="n0"))
     result = eng.run(p)
     assert result[0] == "killed"
     assert "n0" in result[1]
@@ -185,14 +186,42 @@ def test_disk_survives_crash_recover():
 
 
 def test_scheduled_partition_and_heal():
+    from repro.faults import FaultPlan, Heal, Partition
     cluster = Cluster.build(nodes=2)
     eng = cluster.engine
-    cluster.partition_at(1.0, ["n0"], ["n1"])
-    cluster.heal_at(2.0)
+    (FaultPlan()
+     .at(1.0, Partition(groups=(("n0",), ("n1",))))
+     .at(2.0, Heal())
+     .apply_to(cluster))
     eng.run(until=1.5)
     assert not cluster.ethernet._reachable("n0", "n1")
     eng.run(until=2.5)
     assert cluster.ethernet._reachable("n0", "n1")
+
+
+def test_deprecated_schedulers_still_work():
+    cluster = Cluster.build(nodes=2)
+    eng = cluster.engine
+    with pytest.deprecated_call():
+        cluster.partition_at(1.0, ["n0"], ["n1"])
+    with pytest.deprecated_call():
+        cluster.heal_at(2.0)
+    eng.run(until=1.5)
+    assert not cluster.ethernet._reachable("n0", "n1")
+    eng.run(until=2.5)
+    assert cluster.ethernet._reachable("n0", "n1")
+    with pytest.deprecated_call():
+        cluster.crash_at(3.0, "n1")
+    with pytest.deprecated_call():
+        cluster.recover_at(4.0, "n1")
+    eng.run(until=3.5)
+    assert not cluster.node("n1").is_up
+    eng.run(until=4.5)
+    assert cluster.node("n1").is_up
+    # The deprecated shims route through the one injector: all four
+    # scheduled actions show up in its log.
+    assert [name for _t, name, _d in cluster.faults.log] == [
+        "partition", "heal", "crash-node", "recover-node"]
 
 
 def test_live_processes_prunes_dead():

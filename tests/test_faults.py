@@ -1,0 +1,157 @@
+"""The fault-campaign engine: triggers, actions, injector determinism."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.errors import CampaignError
+from repro.faults import (At, CrashNode, DiskSlowdown, Every, FaultPlan,
+                          FrameLossWindow, Heal, Partition, Randomly,
+                          RecoverNode)
+from repro.sim.engine import Engine
+
+
+def build(nodes=3, seed=0):
+    return Cluster.build(spec=ClusterSpec(nodes=nodes, seed=seed))
+
+
+# -- triggers ---------------------------------------------------------------
+
+def test_at_and_every_expand_to_fixed_times():
+    eng = Engine()
+    assert At(2.5).times(eng) == (2.5,)
+    assert Every(period=1.0, count=3, start=0.5).times(eng) == (0.5, 1.5, 2.5)
+
+
+def test_randomly_is_seeded_and_sorted():
+    t1 = Randomly(count=4, start=1.0, end=5.0).times(Engine(seed=3))
+    t2 = Randomly(count=4, start=1.0, end=5.0).times(Engine(seed=3))
+    t3 = Randomly(count=4, start=1.0, end=5.0).times(Engine(seed=4))
+    assert t1 == t2
+    assert t1 != t3
+    assert list(t1) == sorted(t1)
+    assert all(1.0 <= t < 5.0 for t in t1)
+
+
+# -- injector log & telemetry ----------------------------------------------
+
+def test_fire_logs_and_counts():
+    cluster = build()
+    cluster.faults.fire(CrashNode(node="n1"))
+    assert [(n, d["node"]) for _t, n, d in cluster.faults.log] == \
+        [("crash-node", "n1")]
+    assert cluster.engine.metrics.sum("faults.injected") == 1
+    assert cluster.faults.log_lines() == ["t=0.000000000 crash-node node=n1"]
+
+
+def test_crash_pick_random_is_seed_deterministic():
+    picks = set()
+    for _ in range(3):
+        cluster = build(nodes=4, seed=42)
+        cluster.faults.fire(CrashNode())
+        picks.add(cluster.faults.log[0][2]["node"])
+    assert len(picks) == 1
+
+
+def test_recover_without_crash_is_a_campaign_error():
+    with pytest.raises(CampaignError, match="no crashed node"):
+        build().faults.fire(RecoverNode())
+
+
+def test_resolve_node_errors():
+    inj = build().faults
+    with pytest.raises(CampaignError, match="unknown node"):
+        inj.resolve_node("ghost", "random", None)
+    with pytest.raises(CampaignError, match="needs app_id"):
+        inj.resolve_node(None, "spare", None)
+    with pytest.raises(CampaignError, match="unknown pick"):
+        inj.resolve_node(None, "favourite", None)
+
+
+# -- windowed actions -------------------------------------------------------
+
+def test_partition_isolate_with_duration_heals_itself():
+    cluster = build()
+    eng = cluster.engine
+    FaultPlan().at(1.0, Partition(isolate="n2", duration=1.0)) \
+        .apply_to(cluster)
+    eng.run(until=1.5)
+    assert cluster.faults.partition_depth == 1
+    assert not cluster.ethernet._reachable("n0", "n2")
+    assert not cluster.myrinet._reachable("n0", "n2")
+    assert cluster.ethernet._reachable("n0", "n1")
+    eng.run(until=2.5)
+    assert cluster.faults.partition_depth == 0
+    assert cluster.ethernet._reachable("n0", "n2")
+
+
+def test_frame_loss_window_restores_previous_loss():
+    cluster = Cluster.build(spec=ClusterSpec(nodes=2, loss_prob=0.01))
+    eng = cluster.engine
+    FaultPlan().at(1.0, FrameLossWindow(prob=0.5, duration=2.0)) \
+        .apply_to(cluster)
+    eng.run(until=1.5)
+    assert cluster.ethernet.loss_prob == 0.5
+    assert cluster.faults.loss_depth == 2  # ambient window + this one
+    eng.run(until=3.5)
+    assert cluster.ethernet.loss_prob == 0.01
+    assert cluster.faults.loss_depth == 1
+
+
+def test_frame_loss_unknown_fabric():
+    with pytest.raises(CampaignError, match="unknown fabric"):
+        build().faults.fire(FrameLossWindow(prob=0.1, fabric="carrier-pigeon"))
+
+
+def test_disk_slowdown_divides_and_restores():
+    cluster = build(nodes=2)
+    eng = cluster.engine
+    disk = cluster.node("n0").disk
+    before = disk.write_bandwidth
+    FaultPlan().at(1.0, DiskSlowdown(factor=4.0, duration=1.0)) \
+        .apply_to(cluster)
+    eng.run(until=1.5)
+    assert disk.write_bandwidth == pytest.approx(before / 4)
+    eng.run(until=2.5)
+    assert disk.write_bandwidth == pytest.approx(before)
+
+
+# -- plan application -------------------------------------------------------
+
+def test_apply_to_with_offset_shifts_times():
+    cluster = build(nodes=2)
+    eng = cluster.engine
+    inj = FaultPlan().at(1.0, CrashNode(node="n1")).apply_to(
+        cluster, offset=2.0)
+    assert inj.scheduled == [3.0]
+    eng.run(until=2.5)
+    assert cluster.node("n1").is_up
+    eng.run(until=3.5)
+    assert not cluster.node("n1").is_up
+
+
+def test_plan_every_fires_count_times():
+    cluster = build(nodes=2)
+    eng = cluster.engine
+    FaultPlan().every(1.0, 3, FrameLossWindow(prob=0.2, duration=0.2),
+                      start=1.0).apply_to(cluster)
+    eng.run(until=5.0)
+    starts = [n for _t, n, _d in cluster.faults.log if n == "frame-loss"]
+    assert len(starts) == 3
+    assert cluster.faults.loss_depth == 0
+
+
+def test_injector_is_per_cluster_singleton():
+    cluster = build()
+    assert cluster.faults is cluster.faults
+
+
+# -- deprecated fabric wrappers --------------------------------------------
+
+def test_fabric_partition_heal_wrappers_warn_but_work():
+    cluster = build(nodes=2)
+    with pytest.deprecated_call():
+        cluster.ethernet.partition(["n0"], ["n1"])
+    assert not cluster.ethernet._reachable("n0", "n1")
+    with pytest.deprecated_call():
+        cluster.ethernet.heal()
+    assert cluster.ethernet._reachable("n0", "n1")

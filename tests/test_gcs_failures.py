@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.faults import CrashNode
 from repro.gcs import GcsConfig, GroupMember
 
 from tests.gcs_helpers import Harness, assert_common_prefix
@@ -60,7 +61,7 @@ def test_cast_concurrent_with_crash_not_lost_for_survivors():
             yield h.engine.timeout(0.001)
 
     h.engine.process(burster())
-    h.cluster.crash_at(2.004, "n2")
+    h.cluster.faults.at(2.004, CrashNode(node="n2"))
     h.run(until=6.0)
     for nid in ("n0", "n1"):
         bursts = [p for p in h.casts(nid) if isinstance(p, tuple)]
@@ -76,7 +77,7 @@ def test_virtual_synchrony_same_messages_before_view_change():
     h.run(until=2.0)
     for i in range(6):
         h.members["n0"].cast(("pre", i))
-    h.cluster.crash_at(2.02, "n3")
+    h.cluster.faults.at(2.02, CrashNode(node="n3"))
     h.run(until=5.0)
     for i in range(3):
         h.members["n1"].cast(("post", i))
@@ -152,7 +153,7 @@ def test_partition_forms_two_views():
     h = Harness(nodes=4)
     h.boot_all()
     h.run(until=2.0)
-    h.cluster.ethernet.partition(["n0", "n1"], ["n2", "n3"])
+    h.cluster.ethernet.set_partition(["n0", "n1"], ["n2", "n3"])
     h.run(until=5.0)
     assert h.member_ids("n0") == ["n0", "n1"]
     assert h.member_ids("n1") == ["n0", "n1"]
@@ -171,9 +172,9 @@ def test_partition_heal_merges_views():
     h = Harness(nodes=4)
     h.boot_all()
     h.run(until=2.0)
-    h.cluster.ethernet.partition(["n0", "n1"], ["n2", "n3"])
+    h.cluster.ethernet.set_partition(["n0", "n1"], ["n2", "n3"])
     h.run(until=5.0)
-    h.cluster.ethernet.heal()
+    h.cluster.ethernet.clear_partition()
     h.run(until=12.0)
     for nid in h.members:
         assert h.member_ids(nid) == ["n0", "n1", "n2", "n3"], nid
@@ -202,8 +203,8 @@ def test_cascading_crashes_leave_singleton():
     h = Harness(nodes=3)
     h.boot_all()
     h.run(until=2.0)
-    h.cluster.crash_at(2.5, "n0")
-    h.cluster.crash_at(3.5, "n1")
+    h.cluster.faults.at(2.5, CrashNode(node="n0"))
+    h.cluster.faults.at(3.5, CrashNode(node="n1"))
     h.run(until=7.0)
     assert h.member_ids("n2") == ["n2"]
     assert h.members["n2"].is_coordinator
@@ -217,9 +218,9 @@ def test_no_gossip_config_keeps_partitions_separate():
     h = Harness(nodes=2, config=GcsConfig(gossip=False))
     h.boot_all()
     h.run(until=2.0)
-    h.cluster.ethernet.partition(["n0"], ["n1"])
+    h.cluster.ethernet.set_partition(["n0"], ["n1"])
     h.run(until=4.0)
-    h.cluster.ethernet.heal()
+    h.cluster.ethernet.clear_partition()
     h.run(until=8.0)
     # Without gossip the two singleton views never merge.
     assert h.member_ids("n0") == ["n0"]

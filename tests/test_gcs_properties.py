@@ -13,6 +13,8 @@ synchrony invariants must hold on every schedule:
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from repro.faults import CrashNode
+
 from tests.gcs_helpers import Harness, assert_common_prefix
 
 # Schedules: a list of actions; each action is either
@@ -100,7 +102,8 @@ def test_sender_crash_mid_burst_consistency(n_casts, crash_after, seed):
             yield h.engine.timeout(0.002)
 
     h.engine.process(burst())
-    h.cluster.crash_at(2.0 + 0.002 * crash_after + 0.001, "n2")
+    h.cluster.faults.at(2.0 + 0.002 * crash_after + 0.001,
+                        CrashNode(node="n2"))
     h.run(until=8.0)
 
     seq0 = [p for p in h.casts("n0") if isinstance(p, tuple)]

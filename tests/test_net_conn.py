@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cluster import Cluster
+from repro.cluster import Cluster, ClusterSpec
 from repro.errors import ConnectionClosed
 from repro.net import Connection, Listener
 from repro.net.conn import LocalPipe
@@ -62,7 +62,7 @@ def test_messages_arrive_in_order():
 
 
 def test_reliable_under_heavy_loss():
-    cluster = Cluster.build(nodes=2, seed=3, loss_prob=0.3)
+    cluster = Cluster.build(spec=ClusterSpec(nodes=2, seed=3, loss_prob=0.3))
     eng = cluster.engine
     listener = setup_listener(cluster)
     n = 15
@@ -208,10 +208,10 @@ def test_connection_survives_transient_partition():
         conn = yield from connect(cluster)
         yield from conn.send(0)
         # Partition, send into the void, heal: ARQ must recover.
-        cluster.ethernet.partition(["n0"], ["n1"])
+        cluster.ethernet.set_partition(["n0"], ["n1"])
         yield from conn.send(1)
         yield eng.timeout(0.05)
-        cluster.ethernet.heal()
+        cluster.ethernet.clear_partition()
         yield from conn.send(2)
 
     p = eng.process(server())
@@ -278,3 +278,64 @@ def test_local_pipe_latency_is_local_hop():
 
     eng.process(sender())
     assert eng.run(eng.process(receiver())) == pytest.approx(LOCAL_TCP_HOP)
+
+
+def test_connect_timeout_to_dead_port_raises_typed_error():
+    from repro.errors import RequestTimeout
+    cluster = Cluster.build(nodes=2)
+    eng = cluster.engine
+
+    def client():
+        nic = cluster.node("n0").nic("tcp-ethernet")
+        try:
+            yield from Connection.connect(eng, nic, "n1", "nobody-listens",
+                                          timeout=0.5)
+        except RequestTimeout as exc:
+            return ("timeout", eng.now, str(exc))
+        return "connected"
+
+    kind, t, msg = eng.run(eng.process(client()))
+    assert kind == "timeout"
+    assert t == pytest.approx(0.5, abs=0.05)
+    assert "nobody-listens" in msg
+
+
+def test_connect_without_timeout_still_retries_forever():
+    # Legacy behaviour preserved: no deadline means keep retransmitting.
+    cluster = Cluster.build(nodes=2)
+    eng = cluster.engine
+    listener = setup_listener(cluster)
+    accepted = []
+
+    def server():
+        yield eng.timeout(0.2)       # listener exists, server is just slow
+        conn = yield listener.accept()
+        accepted.append(conn)
+
+    def client():
+        conn = yield from connect(cluster)
+        return conn
+
+    eng.process(server())
+    assert eng.run(eng.process(client())) is not None
+
+
+def test_abort_tears_down_without_fin():
+    cluster = Cluster.build(nodes=2)
+    eng = cluster.engine
+    listener = setup_listener(cluster)
+
+    def server():
+        conn = yield listener.accept()
+        yield conn.recv()
+
+    def client():
+        conn = yield from connect(cluster)
+        conn.abort()
+        assert conn.closed
+        with pytest.raises(ConnectionClosed):
+            yield from conn.send("x")
+        return True
+
+    eng.process(server())
+    assert eng.run(eng.process(client())) is True

@@ -4,7 +4,8 @@ import pytest
 
 from repro.calibration import (BIP_LAYERS, RTT_1BYTE_BIP, RTT_1BYTE_TCP,
                                TCP_LAYERS)
-from repro.cluster import Cluster
+from repro.cluster import Cluster, ClusterSpec
+from repro.faults import CrashNode
 from repro.errors import NodeDown, Unreachable
 from repro.net import BIP_MYRINET, Frame, TCP_ETHERNET
 from repro.net.message import MIN_WIRE_SIZE
@@ -138,7 +139,7 @@ def test_crash_mid_flight_drops_frame():
 
     eng.process(sender())
     # Crash n1 while the frame is in flight (wire time >> 10 us).
-    cluster.crash_at(0.00005, "n1")
+    cluster.faults.at(0.00005, CrashNode(node="n1"))
     eng.run()
     assert cluster.ethernet.frames_dropped >= 1
     assert len(rx.peek_all()) == 0
@@ -147,7 +148,7 @@ def test_crash_mid_flight_drops_frame():
 def test_partition_blocks_cross_group_traffic():
     cluster = Cluster.build(nodes=4)
     eng = cluster.engine
-    cluster.ethernet.partition(["n0", "n1"], ["n2", "n3"])
+    cluster.ethernet.set_partition(["n0", "n1"], ["n2", "n3"])
     rx_n1 = cluster.node("n1").nic("tcp-ethernet").open_port("p")
     rx_n2 = cluster.node("n2").nic("tcp-ethernet").open_port("p")
 
@@ -158,7 +159,7 @@ def test_partition_blocks_cross_group_traffic():
     assert [f.payload for f in rx_n1.peek_all()] == ["n1"]
     assert rx_n2.peek_all() == []
 
-    cluster.ethernet.heal()
+    cluster.ethernet.clear_partition()
     cluster.ethernet.transmit(
         Frame(src="n0", dst="n2", port="p", payload="again", size=32))
     eng.run()
@@ -167,7 +168,7 @@ def test_partition_blocks_cross_group_traffic():
 
 def test_loss_probability_drops_frames_deterministically():
     def run_once():
-        cluster = Cluster.build(nodes=2, seed=5, loss_prob=0.5)
+        cluster = Cluster.build(spec=ClusterSpec(nodes=2, seed=5, loss_prob=0.5))
         rx = cluster.node("n1").nic("tcp-ethernet").open_port("p")
         for i in range(100):
             cluster.ethernet.transmit(

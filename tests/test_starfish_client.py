@@ -280,3 +280,62 @@ def test_client_reconnects_to_another_daemon_after_crash():
     sf.engine.run(until=sf.engine.now + 60.0)
     assert proc.triggered and proc.ok
     assert proc.value.split()[1] == "done"
+
+
+# ---------------------------------------------------------------------------
+# timeouts & retry (graceful degradation instead of hangs)
+# ---------------------------------------------------------------------------
+
+def test_request_raises_typed_error_when_daemon_node_dies():
+    from repro.errors import NetworkError, RequestTimeout
+    sf = StarfishCluster.build(nodes=3)
+    client = sf.client(from_node="n0", to_node="n2")
+
+    def session():
+        yield from client.connect()
+        sf.cluster.crash_node("n2")
+        try:
+            yield from client.request("NODES", timeout=0.3, attempts=2,
+                                      backoff=0.05)
+        except (RequestTimeout, NetworkError) as exc:
+            return type(exc).__name__
+        return "no error"
+
+    proc = sf.engine.process(session())
+    sf.engine.run(until=sf.engine.now + 30.0)
+    assert proc.triggered, "request() hung instead of timing out"
+    assert proc.value in ("RequestTimeout", "ConnectionClosed")
+
+
+def test_connect_with_timeout_to_dead_daemon():
+    from repro.errors import RequestTimeout
+    sf = StarfishCluster.build(nodes=2)
+    sf.cluster.crash_node("n1")
+    client = sf.client(from_node="n0", to_node="n1")
+
+    def session():
+        with pytest.raises(RequestTimeout):
+            yield from client.connect(timeout=0.4, attempts=2)
+        return "typed"
+
+    proc = sf.engine.process(session())
+    sf.engine.run(until=sf.engine.now + 10.0)
+    assert proc.triggered and proc.value == "typed"
+
+
+def test_request_reconnects_and_relogs_in_after_drop():
+    sf = StarfishCluster.build(nodes=2)
+    client = sf.client(from_node="n0", to_node="n1")
+
+    def session():
+        yield from client.connect()
+        yield from client.login("admin", "adminpw", mgmt=True)
+        # Simulate a dropped control connection mid-session.
+        client.conn.abort()
+        reply = yield from client.request("NODES", timeout=2.0)
+        return reply
+
+    proc = sf.engine.process(session())
+    sf.engine.run(until=sf.engine.now + 30.0)
+    assert proc.triggered and proc.ok
+    assert proc.value.startswith("OK")

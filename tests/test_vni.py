@@ -5,6 +5,7 @@ import pytest
 from repro.calibration import BLOCKING_RECV_SYSCALL
 from repro.cluster import Cluster
 from repro.errors import NodeDown
+from repro.faults import CrashNode
 from repro.net import BIP_MYRINET, TCP_ETHERNET
 from repro.vni import Vni
 
@@ -112,7 +113,7 @@ def test_recv_fails_when_node_crashes():
         return True
 
     p = eng.process(receiver())
-    cluster.crash_at(0.01, "n1")
+    cluster.faults.at(0.01, CrashNode(node="n1"))
     assert eng.run(p)
 
 
