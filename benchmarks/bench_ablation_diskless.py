@@ -15,10 +15,10 @@ from repro.calibration import MB
 from repro.core import AppSpec, CheckpointConfig, FaultPolicy, StarfishCluster
 from repro.apps import ComputeSleep
 
-from bench_helpers import checkpoint_once, print_table, quiet_gcs, \
+from bench_helpers import checkpoint_once, fast_or, print_table, quiet_gcs, \
     start_checkpointed_app
 
-PAYLOADS = [0, 2 * MB, 8 * MB, 24 * MB]
+PAYLOADS = fast_or([0, 2 * MB], [0, 2 * MB, 8 * MB, 24 * MB])
 NPROCS = 4
 
 

@@ -19,6 +19,9 @@ from repro.core.program import StarfishProgram
 
 from bench_helpers import print_table, quiet_gcs
 
+# Fast mode (REPRO_BENCH_FAST=1): nothing to shrink — the workload is a
+# single message each way on a 2-node cluster, already smoke-sized.
+
 
 class PathRacer(StarfishProgram):
     """Rank 0 sends one message each way; ranks time the delivery."""

@@ -23,12 +23,12 @@ from repro.cluster import Cluster
 from repro.gcs import GcsConfig, GroupMember
 from repro.lwg import LwgManager
 
-from bench_helpers import print_table
+from bench_helpers import fast_or, print_table
 
 N_NODES = 8
 APP_SPAN = 2
-N_CASTS = 50
-WINDOW = 10.0      # seconds of steady state measured
+N_CASTS = fast_or(10, 50)
+WINDOW = fast_or(5.0, 10.0)      # seconds of steady state measured
 
 
 def build_main_group(cluster, cfg):

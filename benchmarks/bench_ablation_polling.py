@@ -17,9 +17,10 @@ from repro.apps import PingPong
 from repro.calibration import BLOCKING_RECV_SYSCALL, US
 from repro.core import AppSpec, StarfishCluster
 
-from bench_helpers import print_table, quiet_gcs
+from bench_helpers import fast_or, print_table, quiet_gcs
 
-SIZES = [1, 1024, 16384]
+SIZES = fast_or([1, 1024], [1, 1024, 16384])
+REPS = fast_or(5, 50)
 
 
 def run_ablation():
@@ -28,7 +29,7 @@ def run_ablation():
         for polling in (True, False):
             sf = StarfishCluster.build(nodes=2, gcs_config=quiet_gcs())
             results = sf.run(AppSpec(program=PingPong, nprocs=2,
-                                     params={"sizes": SIZES, "reps": 50},
+                                     params={"sizes": SIZES, "reps": REPS},
                                      transport=transport, polling=polling),
                              timeout=2000)
             out[(transport, polling)] = results[0]

@@ -17,9 +17,9 @@ import pytest
 from repro.apps import Jacobi1D
 from repro.core import AppSpec, CheckpointConfig, FaultPolicy, StarfishCluster
 
-from bench_helpers import print_table, quiet_gcs
+from bench_helpers import fast_or, print_table, quiet_gcs
 
-PARAMS = {"n": 512, "iterations": 300, "iters_per_step": 10,
+PARAMS = {"n": 512, "iterations": fast_or(100, 300), "iters_per_step": 10,
           "compute_ns_per_cell": 200_000}
 INTERVAL = 1.0
 

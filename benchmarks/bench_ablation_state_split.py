@@ -25,6 +25,9 @@ from repro.hetero import portable_nbytes
 from bench_helpers import checkpoint_once, print_table, quiet_gcs, \
     start_checkpointed_app
 
+# Fast mode (REPRO_BENCH_FAST=1): nothing to shrink — one empty-state
+# checkpoint on a 2-node cluster is already smoke-sized.
+
 #: Modelled size of the daemon's code + Ensemble + management image — the
 #: "most of the code" that Starfish keeps out of application processes.
 #: (The paper's own runtime is several MB of OCaml runtime + Ensemble.)

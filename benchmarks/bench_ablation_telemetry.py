@@ -25,12 +25,12 @@ import time
 from repro.apps import PingPong
 from repro.core import AppSpec, StarfishCluster
 
-from bench_helpers import print_table, quiet_gcs
+from bench_helpers import FAST, fast_or, print_table, quiet_gcs
 
-SIZES = [1, 64, 1024, 16384, 65536]
-OPCOUNT_REPS = 100   # per-size round-trips under the opcode tracer
-TIMED_REPS = 300     # per-size round-trips per wall-clock sample
-ROUNDS = 5           # interleaved on/off wall-clock pairs
+SIZES = fast_or([1, 1024], [1, 64, 1024, 16384, 65536])
+OPCOUNT_REPS = fast_or(10, 100)  # round-trips/size under the opcode tracer
+TIMED_REPS = fast_or(30, 300)    # round-trips/size per wall-clock sample
+ROUNDS = fast_or(2, 5)           # interleaved on/off wall-clock pairs
 MAX_OVERHEAD = 0.05  # deterministic interpreter-work bound
 MAX_WALL_OVERHEAD = 0.25  # noise-tolerant wall-clock sanity bound
 
@@ -117,7 +117,10 @@ def test_telemetry_overhead(benchmark):
         f"{MAX_OVERHEAD:.0%}")
     # Wall clock on a shared host is too noisy for a tight bound; this
     # only catches gross regressions (an accidental O(n) collect per
-    # event shows up as 2x, not 25%).
-    assert wall_overhead < MAX_WALL_OVERHEAD, (
-        f"telemetry wall-clock overhead {wall_overhead:.1%} exceeds "
-        f"{MAX_WALL_OVERHEAD:.0%}")
+    # event shows up as 2x, not 25%).  Fast mode runs too few rounds for
+    # even that to be stable, so only the deterministic opcode bound is
+    # asserted there.
+    if not FAST:
+        assert wall_overhead < MAX_WALL_OVERHEAD, (
+            f"telemetry wall-clock overhead {wall_overhead:.1%} exceeds "
+            f"{MAX_WALL_OVERHEAD:.0%}")

@@ -11,9 +11,11 @@ cell is run twice to prove the same-seed byte-identity guarantee.
 
 from repro.faults import CampaignRunner
 
-from bench_helpers import print_table
+from bench_helpers import fast_or, print_table
 
-PROTOCOLS = ("stop-and-sync", "chandy-lamport", "uncoordinated", "diskless")
+PROTOCOLS = fast_or(("uncoordinated",),
+                    ("stop-and-sync", "chandy-lamport", "uncoordinated",
+                     "diskless"))
 POLICIES = ("kill", "view-notify", "restart")
 SEED = 7
 

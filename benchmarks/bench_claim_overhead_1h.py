@@ -16,6 +16,10 @@ from repro.gcs import GcsConfig
 
 from bench_helpers import print_table
 
+# Fast mode (REPRO_BENCH_FAST=1): unchanged — the simulated hour is cheap
+# in wall-clock terms (coarse steps, slow heartbeats), and shrinking it
+# would invalidate the hourly-checkpoint <1% claim being measured.
+
 #: One simulated hour of computation: 360 steps x 10 s.
 STEPS, STEP_TIME = 360, 10.0
 #: Payload whose native dump is the paper's largest file (135 MB).

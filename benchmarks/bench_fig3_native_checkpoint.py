@@ -16,11 +16,15 @@ from repro.calibration import KB, MB, VM_PAYLOAD_FACTOR, \
     NATIVE_EMPTY_IMAGE, native_checkpoint_time
 from repro.core import StarfishCluster
 
-from bench_helpers import (checkpoint_once, fit_line, print_table, quiet_gcs,
-                           start_checkpointed_app)
+from bench_helpers import (FAST, checkpoint_once, fast_or, fit_line,
+                           print_table, quiet_gcs, start_checkpointed_app)
 
 #: Target checkpoint-file sizes (per process), spanning the paper's axis.
-FILE_SIZES = [632 * KB, 4 * MB, 16 * MB, 48 * MB, 96 * MB, 135 * MB]
+#: Fast mode keeps all node counts (the anchors need them) but trims the
+#: size axis.
+FILE_SIZES = fast_or([632 * KB, 4 * MB, 16 * MB],
+                     [632 * KB, 4 * MB, 16 * MB, 48 * MB, 96 * MB,
+                      135 * MB])
 NODE_COUNTS = [1, 2, 4]
 
 PAPER_ANCHORS = {1: 0.104061, 2: 0.131898, 4: 0.149219}
@@ -81,8 +85,10 @@ def test_fig3_native_checkpoint(benchmark):
         slope, _b, r2 = fit_line(xs, ys)
         assert r2 > 0.999, f"not linear for {nodes} nodes (R2={r2})"
         assert slope > 0
-    # Order seconds for the biggest files (paper: "order of seconds").
-    assert 5 < results[(4, FILE_SIZES[-1])][0] < 60
+    # Order seconds for the biggest files (paper: "order of seconds") —
+    # only meaningful on the full size axis.
+    if not FAST:
+        assert 5 < results[(4, FILE_SIZES[-1])][0] < 60
     # More nodes => slower (barrier/commit growth), at every size.
     for f in FILE_SIZES:
         assert (results[(1, f)][0] < results[(2, f)][0]

@@ -11,11 +11,12 @@ import pytest
 from repro.calibration import KB, MB, VM_EMPTY_IMAGE, vm_checkpoint_time
 from repro.core import StarfishCluster
 
-from bench_helpers import (checkpoint_once, fit_line, print_table, quiet_gcs,
-                           start_checkpointed_app)
+from bench_helpers import (FAST, checkpoint_once, fast_or, fit_line,
+                           print_table, quiet_gcs, start_checkpointed_app)
 
 #: Per-process payloads (numpy bytes); portable file = 260 KB + ~payload.
-PAYLOADS = [0, 4 * MB, 16 * MB, 48 * MB, 96 * MB]
+PAYLOADS = fast_or([0, 4 * MB, 16 * MB], [0, 4 * MB, 16 * MB, 48 * MB,
+                                          96 * MB])
 NODE_COUNTS = [1, 2, 4]
 
 PAPER_ANCHORS = {1: 0.0077, 2: 0.0205, 4: 0.052}
@@ -72,10 +73,12 @@ def test_fig4_vm_checkpoint(benchmark):
         assert r2 > 0.999 and slope > 0
 
     # VM-level is far faster than native at the same payload (Fig 3 vs 4):
-    # the dump bandwidth difference alone is > 5x.
-    vm_big = results[(2, 48 * MB)][0]
-    from repro.calibration import native_checkpoint_time
-    assert vm_big < native_checkpoint_time(48 * MB, 2) / 3
+    # the dump bandwidth difference alone is > 5x.  Fast mode trims the
+    # 48 MB point off the axis.
+    if not FAST:
+        vm_big = results[(2, 48 * MB)][0]
+        from repro.calibration import native_checkpoint_time
+        assert vm_big < native_checkpoint_time(48 * MB, 2) / 3
 
     # The same application checkpoints smaller at VM level than native:
     # 96 MB portable vs 135 MB native is a ~0.71 ratio.

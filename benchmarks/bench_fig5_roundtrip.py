@@ -13,10 +13,11 @@ from repro.calibration import (BIP_BANDWIDTH, RTT_1BYTE_BIP, RTT_1BYTE_TCP,
                                TCP_BANDWIDTH, US)
 from repro.core import AppSpec, StarfishCluster
 
-from bench_helpers import fit_line, print_table, quiet_gcs
+from bench_helpers import fast_or, fit_line, print_table, quiet_gcs
 
-SIZES = [1, 64, 256, 1024, 4096, 16384, 65536, 262144]
-REPS = 100  # as in the paper
+SIZES = fast_or([1, 1024, 65536],
+                [1, 64, 256, 1024, 4096, 16384, 65536, 262144])
+REPS = fast_or(10, 100)  # 100 as in the paper
 
 
 def run_fig5():

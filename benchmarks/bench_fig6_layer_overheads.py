@@ -22,6 +22,8 @@ from repro.mpi import MpiApi, MpiEndpoint
 
 from bench_helpers import print_table
 
+# Fast mode (REPRO_BENCH_FAST=1): nothing to shrink — eight one-message
+# measurements on a bare 2-node cluster, already smoke-sized.
 SIZES = [1, 1024, 65536, 1048576]
 
 LAYER_ROWS = [

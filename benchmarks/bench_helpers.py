@@ -11,10 +11,22 @@ them, or read ``bench_output.txt``.
 from __future__ import annotations
 
 import math
+import os
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core import AppSpec, CheckpointConfig, FaultPolicy, StarfishCluster
 from repro.gcs import GcsConfig
+
+#: Fast mode (``REPRO_BENCH_FAST=1``): every bench shrinks its workload to
+#: a seconds-scale smoke configuration.  The regenerated numbers are then
+#: *not* the paper's (fewer reps, smaller states, smaller sweeps) — fast
+#: mode exists so the CI can prove every bench still runs end to end.
+FAST = os.environ.get("REPRO_BENCH_FAST", "") == "1"
+
+
+def fast_or(fast_value, full_value):
+    """Pick the fast-mode or full-mode value for a workload parameter."""
+    return fast_value if FAST else full_value
 
 
 def quiet_gcs(heartbeat: float = 0.5) -> GcsConfig:

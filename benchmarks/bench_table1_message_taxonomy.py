@@ -21,7 +21,7 @@ import pytest
 from repro.apps import Jacobi1D, MonteCarloPi
 from repro.core import AppSpec, CheckpointConfig, FaultPolicy, StarfishCluster
 
-from bench_helpers import print_table, quiet_gcs
+from bench_helpers import fast_or, print_table, quiet_gcs
 
 
 class ChattyPi(MonteCarloPi):
@@ -43,15 +43,15 @@ def run_lifecycle():
     # App 1: tightly coupled, coordinated C/R, killed node -> restart.
     jacobi = sf.submit(AppSpec(
         program=Jacobi1D, nprocs=4,
-        params={"n": 256, "iterations": 200, "iters_per_step": 10,
-                "compute_ns_per_cell": 200_000},
+        params={"n": 256, "iterations": fast_or(100, 200),
+                "iters_per_step": 10, "compute_ns_per_cell": 200_000},
         ft_policy=FaultPolicy.RESTART,
         checkpoint=CheckpointConfig(protocol="chandy-lamport", level="vm",
                                     interval=1.0)))
     # App 2: trivially parallel, view-notify, sends coordination messages.
     pi = sf.submit(AppSpec(
         program=ChattyPi, nprocs=3,
-        params={"shots": 150_000, "chunk": 1000,
+        params={"shots": fast_or(90_000, 150_000), "chunk": 1000,
                 "compute_ns_per_shot": 120_000},
         ft_policy=FaultPolicy.VIEW_NOTIFY))
     sf.engine.run(until=sf.engine.now + 2.5)

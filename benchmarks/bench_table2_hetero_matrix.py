@@ -17,6 +17,9 @@ from repro.cluster import TABLE2_MACHINES
 
 from bench_helpers import print_table
 
+# Fast mode (REPRO_BENCH_FAST=1): nothing to shrink — the 6x6 matrix is
+# pure in-memory encode/decode with no cluster, already smoke-sized.
+
 STATE = {
     "iteration": 912,
     "residual": 3.0517578125e-05,

@@ -32,11 +32,47 @@ from repro.errors import CheckpointError, Interrupt, MpiError
 from repro.mpi import MpiApi, MpiEndpoint
 from repro.mpi.api import RuntimeServices
 from repro.obs.registry import get_registry
-from repro.sim.events import Event
+from repro.sim.events import _PENDING, Event
 
 
 class _StepAborted(Exception):
     """Internal: the current step was cancelled by a view change."""
+
+
+def _race(engine, a: Event, b: Event) -> Event:
+    """A lean two-way ``AnyOf``: fires when either event is processed.
+
+    The scheduler races every step event against the disturbance event, so
+    this runs once per awaited event of every step; the general
+    :class:`~repro.sim.events.AnyOf` machinery (evaluate closure, fired
+    set, value dict) costs real time there and its value is never used —
+    the caller inspects the constituents directly.  Failure semantics
+    match ``AnyOf``: the first processed event wins; a losing failure is
+    defused.
+    """
+    ev = Event(engine)
+
+    def _on(winner: Event) -> None:
+        if ev._value is _PENDING:
+            if winner._ok:
+                ev.succeed()
+            else:
+                winner._defused = True
+                ev.fail(winner._value)
+        elif not winner._ok:
+            winner._defused = True
+
+    cbs = a.callbacks
+    if cbs is None:
+        _on(a)
+    else:
+        cbs.append(_on)
+    cbs = b.callbacks
+    if cbs is None:
+        _on(b)
+    else:
+        cbs.append(_on)
+    return ev
 
 
 class AppProcess:
@@ -317,7 +353,7 @@ class AppProcess:
             throw_exc, send_val = None, None
             self._step_waiting = True
             try:
-                yield ev | self._disturb
+                yield _race(self.engine, ev, self._disturb)
             except Interrupt:
                 step.close()
                 raise

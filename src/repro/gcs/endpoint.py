@@ -24,11 +24,33 @@ class EndpointId:
 
     The ordering (node, name, inc) is the coordinator *rank*: the smallest
     live endpoint of a view is its coordinator.
+
+    Equality and hashing are hand-written: endpoint ids are compared and
+    hashed millions of times in view maintenance (heartbeat fan-out,
+    aliveness scans), and in-simulation messages carry them by reference,
+    so the identity fast path almost always hits; the hash is computed
+    once.
     """
 
     node: str
     name: str
     inc: int
+    _hash: int = field(init=False, repr=False, compare=False, default=0)
+
+    def __post_init__(self):
+        object.__setattr__(self, "_hash",
+                           hash((self.node, self.name, self.inc)))
+
+    def __eq__(self, other) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is not EndpointId:
+            return NotImplemented
+        return (self.inc == other.inc and self.node == other.node
+                and self.name == other.name)
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __str__(self) -> str:
         return f"{self.node}/{self.name}#{self.inc}"

@@ -321,11 +321,15 @@ class GroupMember:
             return
 
     def _tx(self):
+        ports: dict = {}     # EndpointId -> cached destination port string
         try:
             while True:
                 ep, msg, kind = yield self._tx_q.get()
+                port = ports.get(ep)
+                if port is None:
+                    port = ports[ep] = f"gcs:{self.group}:{ep.name}"
                 frame = Frame(src=self.node.node_id, dst=ep.node,
-                              port=f"gcs:{self.group}:{ep.name}",
+                              port=port,
                               payload=msg, size=self._frame_size(msg),
                               kind=kind)
                 try:
@@ -443,7 +447,9 @@ class GroupMember:
                                            epoch=self.view.epoch))
 
                 alive = self._alive_members(now)
-                stale = [m for m in self.view.members if m not in alive]
+                alive_set = set(alive)
+                stale = [m for m in self.view.members
+                         if m not in alive_set]
 
                 if self._active_flush is not None:
                     fl = self._active_flush

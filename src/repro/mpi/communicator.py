@@ -26,6 +26,7 @@ from repro.mpi.matching import PostedRecv
 from repro.mpi.reduce_ops import SUM, ReduceOp, apply_op
 from repro.mpi.request import Request
 from repro.mpi.status import Status
+from repro.sim.events import Timeout
 
 
 def _timed_collective(fn):
@@ -109,9 +110,11 @@ class Communicator:
     def _send_internal(self, data, dest, tag, size=None):
         if dest == PROC_NULL:
             return
-        yield self.endpoint.engine.timeout(self.endpoint.layers.app_send)
+        # app_send rides down as pre_delay: the whole software send stack
+        # (app + MPI + VNI layers) charges one merged timeout.
         yield from self.endpoint.send(self.group[dest], self.comm_id,
-                                      self._rank, tag, data, size)
+                                      self._rank, tag, data, size,
+                                      pre_delay=self.endpoint.layers.app_send)
 
     def isend(self, data: Any, dest: int, tag: int = 0,
               size: Optional[int] = None) -> Request:
@@ -150,7 +153,7 @@ class Communicator:
                 yield from self.endpoint.pump_blocking()
         data = yield from req.wait()
         self.endpoint.observe_recv(self.endpoint.engine.now - t0)
-        yield self.endpoint.engine.timeout(self.endpoint.layers.app_recv)
+        yield Timeout(self.endpoint.engine, self.endpoint.layers.app_recv)
         if with_status:
             return data, req.status
         return data

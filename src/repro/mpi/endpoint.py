@@ -21,6 +21,7 @@ from repro.mpi.datatypes import nbytes_of
 from repro.mpi.matching import InboundMsg, MatchingEngine
 from repro.mpi.request import Request
 from repro.obs.registry import get_registry
+from repro.sim.events import Timeout
 from repro.vni.interface import Vni
 
 #: Wire packet: ("mpi", comm_id, src_comm_rank, tag, data, nbytes, src_world)
@@ -98,8 +99,18 @@ class MpiEndpoint:
     # ------------------------------------------------------------------
 
     def send(self, dest_world: int, comm_id: str, src_comm_rank: int,
-             tag: int, data: Any, nbytes: Optional[int] = None):
-        """Process generator: eager-send one data message."""
+             tag: int, data: Any, nbytes: Optional[int] = None,
+             pre_delay: float = 0.0):
+        """Process generator: eager-send one data message.
+
+        ``pre_delay`` is software cost already owed by the caller (the
+        communicator's ``app_send``); it is folded — together with this
+        layer's ``mpi_send`` — into the VNI's single merged timeout, so
+        the whole software send stack costs one engine wakeup.  The
+        channel counter and piggyback are therefore sampled at send
+        *entry* rather than ``mpi_send`` later; the sending process is
+        suspended in between either way, and total latency is unchanged.
+        """
         if dest_world == PROC_NULL:
             return
         addr = self.addressbook.get(dest_world)
@@ -108,7 +119,6 @@ class MpiEndpoint:
                            f"(app {self.app_id})")
         nbytes = nbytes if nbytes is not None else nbytes_of(data)
         t0 = self.engine.now
-        yield self.engine.timeout(self.layers.mpi_send)
         pb = None
         if tag > CKPT_TAG_BASE:  # control messages don't move the counters
             self.sent_count[dest_world] += 1
@@ -119,7 +129,9 @@ class MpiEndpoint:
         node_id, port = addr
         try:
             yield from self.vni.send(node_id, port, packet,
-                                     size=nbytes + MSG_HEADER, kind="data")
+                                     size=nbytes + MSG_HEADER, kind="data",
+                                     pre_delay=pre_delay
+                                     + self.layers.mpi_send)
         except (NodeDown, NetworkError):
             # Peer (or our NIC) died mid-send: eager sends complete locally;
             # failure surfaces through the daemons' failure detection.
@@ -169,7 +181,7 @@ class MpiEndpoint:
                     vmsg = yield from self.vni.recv()
                 except (NodeDown, NetworkError):
                     return
-                yield self.engine.timeout(self.layers.mpi_recv)
+                yield Timeout(self.engine, self.layers.mpi_recv)
                 consumed = yield from self._ingest(vmsg.payload)
                 del consumed
         except Interrupt:

@@ -70,9 +70,18 @@ class MatchingEngine:
 
     def arrived(self, msg: InboundMsg) -> Optional[PostedRecv]:
         """Offer an arriving message; completes and returns the matched
-        posted receive, or queues the message as unexpected."""
+        posted receive, or queues the message as unexpected.
+
+        The match test is inlined (see :meth:`PostedRecv.matches` for the
+        reference semantics): both queues are scanned once per message on
+        the data fast path.
+        """
+        comm_id, source, tag = msg.comm_id, msg.source, msg.tag
         for i, recv in enumerate(self.posted):
-            if recv.matches(msg):
+            if (recv.comm_id == comm_id
+                    and recv.source in (ANY_SOURCE, source)
+                    and (tag >= 0 if recv.tag == ANY_TAG
+                         else recv.tag == tag)):
                 del self.posted[i]
                 recv.request.complete(msg.data, msg.status())
                 return recv
@@ -84,8 +93,13 @@ class MatchingEngine:
     def post(self, recv: PostedRecv) -> Optional[InboundMsg]:
         """Post a receive; if an unexpected message fits, consume it and
         complete immediately (returns it), else queue the receive."""
+        comm_id, source, tag = recv.comm_id, recv.source, recv.tag
+        any_src = source == ANY_SOURCE
         for i, msg in enumerate(self.unexpected):
-            if recv.matches(msg):
+            if (msg.comm_id == comm_id
+                    and (any_src or source == msg.source)
+                    and (msg.tag >= 0 if tag == ANY_TAG
+                         else tag == msg.tag)):
                 del self.unexpected[i]
                 recv.request.complete(msg.data, msg.status())
                 return msg

@@ -5,9 +5,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class Status:
-    """What a completed receive reports (MPI_Status)."""
+    """What a completed receive reports (MPI_Status).
+
+    Not frozen: one is built per completed receive, and the frozen
+    machinery (``object.__setattr__`` per field) triples construction
+    cost on the hot path.
+    """
 
     source: int
     tag: int

@@ -14,7 +14,7 @@ from heapq import heappop, heappush
 from typing import Any, Deque, List, Optional, Tuple
 
 from repro.errors import SimulationError
-from repro.sim.events import Event
+from repro.sim.events import _PENDING, Event
 
 
 class Channel:
@@ -23,7 +23,12 @@ class Channel:
     Items put while getters wait are handed to the oldest waiting getter.
     ``close()`` fails all pending and future gets with ``exc`` — used to
     model a peer crashing.
+
+    Get events only carry a name while the engine traces — one channel get
+    per delivered message makes the f-string a hot-path allocation.
     """
+
+    __slots__ = ("engine", "name", "_items", "_getters", "_closed")
 
     def __init__(self, engine, name: Optional[str] = None):
         self.engine = engine
@@ -45,14 +50,19 @@ class Channel:
             raise SimulationError(f"put() on closed channel {self.name!r}")
         while self._getters:
             getter = self._getters.popleft()
-            if not getter.triggered:      # skip interrupted/abandoned gets
+            # A pending get whose process was interrupted is detached and
+            # pre-defused (see Process._deliver_interrupt) — handing it the
+            # item would silently swallow it.  Skip to the next live getter.
+            if getter._value is _PENDING and not getter._defused:
                 getter.succeed(item)
                 return
         self._items.append(item)
 
     def get(self) -> Event:
         """Return an event that fires with the next item."""
-        ev = Event(self.engine, name=f"get:{self.name}")
+        ev = Event(self.engine,
+                   name=f"get:{self.name}"
+                   if self.engine.tracer is not None else None)
         if self._items:
             ev.succeed(self._items.popleft())
         elif self._closed is not None:
@@ -106,6 +116,8 @@ class PriorityChannel(Channel):
     (checkpoint requests, view changes) outrank background work.
     """
 
+    __slots__ = ("_heap", "_counter")
+
     def __init__(self, engine, name: Optional[str] = None):
         super().__init__(engine, name=name)
         self._heap: List[Tuple[int, int, Any]] = []
@@ -119,14 +131,16 @@ class PriorityChannel(Channel):
             raise SimulationError(f"put() on closed channel {self.name!r}")
         while self._getters:
             getter = self._getters.popleft()
-            if not getter.triggered:
+            if getter._value is _PENDING:
                 getter.succeed(item)
                 return
         self._counter += 1
         heappush(self._heap, (priority, self._counter, item))
 
     def get(self) -> Event:
-        ev = Event(self.engine, name=f"get:{self.name}")
+        ev = Event(self.engine,
+                   name=f"get:{self.name}"
+                   if self.engine.tracer is not None else None)
         if self._heap:
             ev.succeed(heappop(self._heap)[2])
         elif self._closed is not None:

@@ -6,6 +6,15 @@ number is a global insertion counter — two events scheduled for the same
 instant with the same priority are always processed in the order they were
 scheduled, which makes every simulation in this repository fully
 deterministic and reproducible.
+
+Hot-path layout: the heap entries are bare ``(time, priority, seq, event)``
+tuples, event triggering pushes them directly (see
+:mod:`repro.sim.events`), and :meth:`Engine.run` inlines the per-event work
+of :meth:`Engine.step` with the queue, clock, and tracer bound to locals —
+the tracer branch is hoisted out of the loop entirely by selecting the
+traced or untraced loop body once per :meth:`run` call.  :meth:`step`
+remains the single-event reference implementation; both must dispatch
+events identically.
 """
 
 from __future__ import annotations
@@ -43,6 +52,9 @@ class Engine:
         emits instruments into; when false the registry hands out no-op
         instruments (the zero-cost-ish ablation path).
     """
+
+    __slots__ = ("_now", "_queue", "_seq", "active_process", "rng",
+                 "tracer", "_nprocessed", "metrics")
 
     def __init__(self, seed: int = 0, trace: bool = False,
                  telemetry: bool = True):
@@ -86,11 +98,11 @@ class Engine:
 
     def _enqueue(self, event: Event, priority: Optional[int],
                  delay: float = 0.0) -> None:
-        self._seq += 1
+        self._seq = seq = self._seq + 1
         heappush(self._queue,
                  (self._now + delay,
                   NORMAL if priority is None else priority,
-                  self._seq, event))
+                  seq, event))
 
     # -- factories ---------------------------------------------------------
 
@@ -117,7 +129,11 @@ class Engine:
 
     def step(self) -> None:
         """Process exactly one event; raise
-        :class:`~repro.errors.SimulationError` if the queue is empty."""
+        :class:`~repro.errors.SimulationError` if the queue is empty.
+
+        Reference implementation of event dispatch — the inlined loop in
+        :meth:`run` must stay behaviorally identical to this.
+        """
         if not self._queue:
             raise SimulationError("event queue is empty")
         when, _prio, _seq, event = heappop(self._queue)
@@ -141,6 +157,9 @@ class Engine:
         ``until`` may be ``None`` (run until the queue drains), a number
         (run until that simulated time), or an :class:`Event` (run until it
         is processed; its value is returned — a failed event re-raises).
+
+        The tracer is sampled once on entry: assigning ``engine.tracer``
+        takes effect on the next :meth:`run` call, not mid-loop.
         """
         stop_at: Optional[float] = None
         if until is None:
@@ -161,17 +180,54 @@ class Engine:
                 raise SimulationError(
                     f"run(until={stop_at}) is in the past (now={self._now})")
 
+        queue = self._queue
+        pop = heappop
+        tracer = self.tracer
+        record = tracer.record if tracer is not None else None
+        nprocessed = self._nprocessed
         try:
-            while self._queue:
-                if stop_at is not None and self._queue[0][0] > stop_at:
-                    self._now = stop_at
-                    return None
-                self.step()
+            # Two copies of the dispatch loop: the run-to-event/drain case
+            # (no deadline) skips the per-event deadline peek entirely.
+            if stop_at is None:
+                while queue:
+                    when, _prio, _seq, event = pop(queue)
+                    if when < self._now:
+                        raise SimulationError("event queue went back in time")
+                    self._now = when
+                    callbacks, event.callbacks = event.callbacks, None
+                    nprocessed += 1
+                    if record is not None:
+                        record(when, event)
+                    for cb in callbacks:
+                        cb(event)
+                    if not event._ok and not event._defused:
+                        exc = event._value
+                        raise exc
+            else:
+                while queue:
+                    if queue[0][0] > stop_at:
+                        self._now = stop_at
+                        return None
+                    when, _prio, _seq, event = pop(queue)
+                    if when < self._now:
+                        raise SimulationError("event queue went back in time")
+                    self._now = when
+                    callbacks, event.callbacks = event.callbacks, None
+                    nprocessed += 1
+                    if record is not None:
+                        record(when, event)
+                    for cb in callbacks:
+                        cb(event)
+                    if not event._ok and not event._defused:
+                        exc = event._value
+                        raise exc
         except StopSimulation as stop:
             ev: Event = stop.value
             if not ev.ok:
                 raise ev.value from None
             return ev.value
+        finally:
+            self._nprocessed = nprocessed
         if isinstance(until, Event):
             raise SimulationError(
                 f"simulation ran dry before {until!r} triggered")

@@ -9,16 +9,29 @@ Events go through three states:
 ``pending``    created but not yet triggered;
 ``triggered``  scheduled on the engine's queue with a value or an exception;
 ``processed``  callbacks have run (waiting processes resumed).
+
+Hot-path note: triggering an event pushes the heap entry directly
+(``(time, priority, seq, event)`` tuples) instead of calling through
+``Engine._enqueue`` — events are created and triggered once per simulated
+hop, so the extra call and the ``triggered`` property lookups measurably
+tax large simulations.  The layout of the heap entry and the
+``(time, priority, seq)`` total order are part of the engine's contract
+and must match :mod:`repro.sim.engine`.
 """
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Any, Callable, Iterable, List, Optional
 
 from repro.errors import SimulationError
 
 #: Sentinel for "no value yet".
 _PENDING = object()
+
+#: Priority for ordinary events (the public name is ``engine.NORMAL``;
+#: duplicated here because the engine module imports this one).
+_NORMAL = 1
 
 
 class Event:
@@ -76,11 +89,15 @@ class Event:
 
     def succeed(self, value: Any = None, priority: Optional[int] = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.engine._enqueue(self, priority)
+        engine = self.engine
+        engine._seq = seq = engine._seq + 1
+        heappush(engine._queue,
+                 (engine._now, _NORMAL if priority is None else priority,
+                  seq, self))
         return self
 
     def fail(self, exc: BaseException, priority: Optional[int] = None) -> "Event":
@@ -91,11 +108,15 @@ class Event:
         """
         if not isinstance(exc, BaseException):
             raise SimulationError(f"fail() needs an exception, got {exc!r}")
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = False
         self._value = exc
-        self.engine._enqueue(self, priority)
+        engine = self.engine
+        engine._seq = seq = engine._seq + 1
+        heappush(engine._queue,
+                 (engine._now, _NORMAL if priority is None else priority,
+                  seq, self))
         return self
 
     def trigger_from(self, other: "Event") -> None:
@@ -129,7 +150,12 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires ``delay`` units of simulated time in the future."""
+    """An event that fires ``delay`` units of simulated time in the future.
+
+    The constructor is fully inlined (no ``super().__init__`` /
+    ``_enqueue`` calls): timeouts are the most-allocated object in any
+    simulation, one per modelled latency charge.
+    """
 
     __slots__ = ("delay",)
 
@@ -137,11 +163,15 @@ class Timeout(Event):
                  name: Optional[str] = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay!r}")
-        super().__init__(engine, name=name)
-        self.delay = delay
-        self._ok = True
+        self.engine = engine
+        self.name = name
+        self.callbacks = []
         self._value = value
-        engine._enqueue(self, None, delay=delay)
+        self._ok = True
+        self._defused = False
+        self.delay = delay
+        engine._seq = seq = engine._seq + 1
+        heappush(engine._queue, (engine._now + delay, _NORMAL, seq, self))
 
 
 class Condition(Event):
@@ -157,26 +187,36 @@ class Condition(Event):
 
     def __init__(self, engine, evaluate: Callable[[List[Event], int], bool],
                  events: Iterable[Event], name: Optional[str] = None):
-        super().__init__(engine, name=name)
-        self.events: List[Event] = list(events)
+        # Inlined Event.__init__: one condition per awaited step event in
+        # the runtime scheduler makes this a hot constructor.
+        self.engine = engine
+        self.name = name
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = None
+        self._defused = False
+        self.events = events = list(events)
         self._evaluate = evaluate
         self._done = 0
-        self._fired: set = set()
-        for ev in self.events:
+        self._fired = set()
+        for ev in events:
             if ev.engine is not engine:
                 raise SimulationError("condition mixes events of two engines")
 
         # Immediately-satisfiable conditions (e.g. AllOf([]) or AnyOf with an
         # already-processed event) must still go through the queue for
         # deterministic ordering.
-        if self._evaluate(self.events, 0) and not self.events:
-            self.succeed(self._collect())
+        if not events:
+            if evaluate(events, 0):
+                self.succeed(self._collect())
             return
-        for ev in self.events:
-            if ev.processed:
-                self._on_event(ev)
-            elif ev.callbacks is not None:
-                ev.callbacks.append(self._on_event)
+        on_event = self._on_event
+        for ev in events:
+            cbs = ev.callbacks
+            if cbs is None:
+                on_event(ev)
+            else:
+                cbs.append(on_event)
 
     def _collect(self):
         # Only events whose processing we have *observed* count as fired:

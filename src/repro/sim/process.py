@@ -6,6 +6,12 @@ processed; the event's value is sent back into the generator (or its
 exception thrown into it).  When the generator returns, the process's own
 event succeeds with the return value, so processes compose: one process can
 ``yield`` another to wait for its completion.
+
+Hot-path note: ``generator.send`` / ``generator.throw`` are bound once at
+construction, and the helper events a process creates (start/bounce/
+interrupt) only carry a name when the engine is tracing — names exist for
+traces and ``repr`` only, and the f-strings are a measurable cost at
+millions of resumptions.
 """
 
 from __future__ import annotations
@@ -14,28 +20,37 @@ from types import GeneratorType
 from typing import Any, Optional
 
 from repro.errors import Interrupt, SimulationError
-from repro.sim.events import Event
+from repro.sim.events import _PENDING, Event
 
 
 class Process(Event):
     """A running simulated process (also an event: fires on termination)."""
 
-    __slots__ = ("generator", "_target", "_interrupts")
+    __slots__ = ("generator", "_send", "_throw", "_target", "_interrupts")
 
     def __init__(self, engine, generator: GeneratorType,
                  name: Optional[str] = None):
-        if not isinstance(generator, GeneratorType):
+        if generator.__class__ is not GeneratorType:
             raise SimulationError(
                 f"Process needs a generator, got {generator!r} — did you "
                 "forget to call the process function?")
-        super().__init__(engine, name=name or generator.__name__)
+        # Inlined Event.__init__ (one process per isend makes this hot).
+        self.engine = engine
+        self.name = name or generator.__name__
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = None
+        self._defused = False
         self.generator = generator
+        self._send = generator.send
+        self._throw = generator.throw
         #: The event this process is currently waiting on (None when ready).
-        self._target: Optional[Event] = None
         self._interrupts: list = []
         # Kick the process off via an immediately-succeeding event so that
         # it starts inside the engine loop, in deterministic order.
-        start = Event(engine, name=f"start:{self.name}")
+        start = Event(engine,
+                      name=f"start:{self.name}"
+                      if engine.tracer is not None else None)
         start.callbacks.append(self._resume)
         start.succeed()
         self._target = start
@@ -57,7 +72,9 @@ class Process(Event):
             raise SimulationError(f"cannot interrupt dead process {self!r}")
         if self is self.engine.active_process:
             raise SimulationError("a process cannot interrupt itself")
-        hit = Event(self.engine, name=f"interrupt:{self.name}")
+        hit = Event(self.engine,
+                    name=f"interrupt:{self.name}"
+                    if self.engine.tracer is not None else None)
         self._interrupts.append(cause)
         hit.callbacks.append(self._deliver_interrupt)
         hit.succeed()
@@ -78,11 +95,11 @@ class Process(Event):
 
     def _resume(self, event: Event) -> None:
         self._target = None
-        if event.ok:
-            self._step(send=event.value)
+        if event._ok:
+            self._step(send=event._value)
         else:
-            event.defuse()
-            self._step(throw=event.value)
+            event._defused = True
+            self._step(throw=event._value)
 
     def _step(self, send: Any = None, throw: Optional[BaseException] = None):
         engine = self.engine
@@ -90,9 +107,9 @@ class Process(Event):
         engine.active_process = self
         try:
             if throw is not None:
-                target = self.generator.throw(throw)
+                target = self._throw(throw)
             else:
-                target = self.generator.send(send)
+                target = self._send(send)
         except StopIteration as stop:
             engine.active_process = prev
             self.succeed(stop.value)
@@ -114,15 +131,18 @@ class Process(Event):
             self._step(throw=SimulationError(
                 f"process {self.name!r} yielded an event of another engine"))
             return
-        if target.processed:
+        callbacks = target.callbacks
+        if callbacks is None:
             # Already over: resume immediately but through the queue, to
             # keep scheduling deterministic.
-            bounce = Event(engine, name=f"bounce:{self.name}")
+            bounce = Event(engine,
+                           name=f"bounce:{self.name}"
+                           if engine.tracer is not None else None)
             bounce.callbacks.append(self._resume)
             bounce.trigger_from(target)
             self._target = bounce
         else:
-            target.callbacks.append(self._resume)
+            callbacks.append(self._resume)
             self._target = target
 
     def __repr__(self) -> str:

@@ -28,6 +28,9 @@ class Resource:
             disk.release(req)
     """
 
+    __slots__ = ("engine", "capacity", "name", "_in_use", "_waiting",
+                 "_granted")
+
     def __init__(self, engine, capacity: int = 1, name: Optional[str] = None):
         if capacity < 1:
             raise SimulationError(f"capacity must be >= 1, got {capacity}")
@@ -48,7 +51,9 @@ class Resource:
 
     def request(self) -> Event:
         """Return an event that fires once a slot is granted."""
-        ev = Event(self.engine, name=f"req:{self.name}")
+        ev = Event(self.engine,
+                   name=f"req:{self.name}"
+                   if self.engine.tracer is not None else None)
         if self._in_use < self.capacity:
             self._in_use += 1
             self._granted.add(ev)

@@ -11,6 +11,7 @@ from repro.errors import Interrupt, NetworkError, NodeDown
 from repro.net.message import Frame
 from repro.obs.registry import get_registry
 from repro.sim.channel import Channel
+from repro.sim.events import Timeout
 
 _msg_ids = itertools.count(1)
 
@@ -95,9 +96,15 @@ class Vni:
     # ------------------------------------------------------------------
 
     def send(self, dst_node: str, dst_port: str, payload: Any, size: int,
-             kind: str = "data"):
-        """Process generator: charge the VNI layer and hand to the driver."""
-        yield self.engine.timeout(self.layers.vni_send)
+             kind: str = "data", pre_delay: float = 0.0):
+        """Process generator: charge the VNI layer and hand to the driver.
+
+        ``pre_delay`` folds the caller's already-owed software cost (MPI +
+        application send layers) into this layer's timeout: the stack above
+        charges one merged event instead of one per layer, which removes
+        two engine wakeups per message without changing any total latency.
+        """
+        yield Timeout(self.engine, pre_delay + self.layers.vni_send)
         frame = Frame(src=self.node.node_id, dst=dst_node, port=dst_port,
                       payload=payload, size=size, kind=kind)
         self._m_sent.inc()
@@ -121,7 +128,7 @@ class Vni:
                     return
                 # The polling thread's dequeue-and-enqueue cost; kernel
                 # interaction already charged by the NIC driver model.
-                yield self.engine.timeout(self.layers.vni_recv)
+                yield Timeout(self.engine, self.layers.vni_recv)
                 if not self.recv_q.closed:
                     self.recv_q.put(self._wrap(frame))
         except Interrupt:

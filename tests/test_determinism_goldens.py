@@ -1,0 +1,154 @@
+"""Determinism golden suite — the engine-overhaul safety net.
+
+Checked-in SHA-256 digests of campaign reports and telemetry snapshots
+for a seed sweep (5 seeds x 2 C/R protocols over the ``standard``
+campaign).  The digests were generated *before* the hot-path engine
+overhaul; any optimization that perturbs event order, timing, fault
+scheduling, or telemetry whitelisted series changes a digest and fails
+this suite.
+
+What is digested:
+
+* the full campaign report (actions, checks, per-rank results, series,
+  restart events, final simulated time) — normalized by dropping the one
+  engine *work measure* (``engine.events_processed``): collapsing
+  redundant event hops is exactly what the overhaul is allowed to do, so
+  the number of engine wake-ups is not part of the behavioral contract,
+  while everything the simulation *computed* is;
+* the telemetry snapshot (the report's label-stable metric series plus
+  the restart event log) separately, so a telemetry regression is
+  distinguishable from a scheduling regression.
+
+Regenerate (only when a PR deliberately changes simulated behavior)::
+
+    PYTHONPATH=src python tests/test_determinism_goldens.py --regen
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.faults import CampaignRunner
+
+GOLDEN_PATH = Path(__file__).parent / "goldens" / "determinism.json"
+
+CAMPAIGN = "standard"
+SEEDS = (0, 1, 2, 3, 4)
+PROTOCOLS = ("stop-and-sync", "chandy-lamport")
+POLICY = "restart"
+
+MATRIX = [(seed, protocol) for seed in SEEDS for protocol in PROTOCOLS]
+
+
+def _run_report(seed: int, protocol: str):
+    return CampaignRunner(CAMPAIGN, seed=seed, protocol=protocol,
+                          policy=POLICY, compare_golden=False).run()
+
+
+def normalize(data: dict) -> dict:
+    """The behavioral view of a campaign report: everything except the
+    engine's processed-event count (an implementation work measure that
+    legitimately shrinks when the engine batches redundant hops)."""
+    out = copy.deepcopy(data)
+    out.get("engine", {}).pop("events_processed", None)
+    return out
+
+
+def _digest(obj) -> str:
+    blob = json.dumps(obj, sort_keys=True, default=repr).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def report_digest(data: dict) -> str:
+    return _digest(normalize(data))
+
+
+def telemetry_digest(data: dict) -> str:
+    return _digest({"series": data["series"],
+                    "restart_events": data["restart_events"]})
+
+
+def _key(seed: int, protocol: str) -> str:
+    return f"{CAMPAIGN}/seed{seed}/{protocol}/{POLICY}"
+
+
+def _load_goldens() -> dict:
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def goldens():
+    assert GOLDEN_PATH.exists(), (
+        f"{GOLDEN_PATH} missing — regenerate with "
+        f"PYTHONPATH=src python {__file__} --regen")
+    return _load_goldens()
+
+
+@pytest.mark.parametrize("seed,protocol", MATRIX,
+                         ids=[_key(s, p) for s, p in MATRIX])
+def test_campaign_report_matches_golden(goldens, seed, protocol):
+    report = _run_report(seed, protocol)
+    entry = goldens["entries"][_key(seed, protocol)]
+    assert report_digest(report.data) == entry["report_sha256"], (
+        f"campaign report for {_key(seed, protocol)} diverged from the "
+        f"pre-overhaul golden — an engine change perturbed event order "
+        f"or timing.\n{report.summary()}")
+    assert telemetry_digest(report.data) == entry["telemetry_sha256"], (
+        f"telemetry series for {_key(seed, protocol)} diverged from the "
+        f"pre-overhaul golden")
+    # Spot-check stable scalars too, so a digest mismatch in the future
+    # comes with a human-readable first diff.
+    assert report.data["status"] == entry["status"]
+    assert report.data["engine"]["final_time"] == entry["final_time"]
+    assert len(report.data["actions"]) == entry["n_actions"]
+
+
+def test_same_process_rerun_is_byte_identical():
+    """Two same-seed runs in one process: identical bytes, including the
+    engine work measures (no process-global state leaks into reports)."""
+    a = _run_report(SEEDS[0], PROTOCOLS[0]).to_json()
+    b = _run_report(SEEDS[0], PROTOCOLS[0]).to_json()
+    assert a == b
+
+
+def test_normalization_only_drops_the_work_measure():
+    report = _run_report(SEEDS[0], PROTOCOLS[0])
+    norm = normalize(report.data)
+    assert "events_processed" not in norm["engine"]
+    assert norm["engine"]["final_time"] == report.data["engine"]["final_time"]
+    assert norm["actions"] == report.data["actions"]
+
+
+def regenerate() -> None:
+    entries = {}
+    for seed, protocol in MATRIX:
+        report = _run_report(seed, protocol)
+        entries[_key(seed, protocol)] = {
+            "report_sha256": report_digest(report.data),
+            "telemetry_sha256": telemetry_digest(report.data),
+            "status": report.data["status"],
+            "final_time": report.data["engine"]["final_time"],
+            "n_actions": len(report.data["actions"]),
+        }
+        print(f"  {_key(seed, protocol)}: "
+              f"{entries[_key(seed, protocol)]['report_sha256'][:16]}…")
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps(
+        {"campaign": CAMPAIGN, "policy": POLICY,
+         "note": "generated pre-engine-overhaul; regenerate only when a "
+                 "PR deliberately changes simulated behavior",
+         "entries": entries}, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    if "--regen" in sys.argv:
+        regenerate()
+    else:
+        print(__doc__)

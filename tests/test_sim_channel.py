@@ -207,3 +207,124 @@ def test_rng_streams_differ_by_seed():
     s1 = Engine(seed=1).rng.stream("x").integers(0, 10**9)
     s2 = Engine(seed=2).rng.stream("x").integers(0, 10**9)
     assert s1 != s2
+
+
+# -- channel edge semantics (pinned for the hot-path overhaul) ------------
+
+
+def test_channel_close_with_items_queued_still_drains():
+    """close() fails *getters*, not *items*: queued items stay readable."""
+    eng = Engine()
+    ch = Channel(eng)
+    ch.put("a")
+    ch.put("b")
+    ch.close(ConnectionClosed("peer died"))
+    assert ch.closed
+    assert ch.peek_all() == ["a", "b"]
+
+    def consumer():
+        first = yield ch.get()
+        second = yield ch.get()
+        return first, second
+
+    assert eng.run(eng.process(consumer())) == ("a", "b")
+
+
+def test_channel_get_after_close_and_drain_fails():
+    """Once closed *and* empty, get() fails with the close exception."""
+    eng = Engine()
+    ch = Channel(eng)
+    ch.put("last")
+    ch.close(ConnectionClosed("peer died"))
+
+    def consumer():
+        got = yield ch.get()
+        assert got == "last"
+        with pytest.raises(ConnectionClosed):
+            yield ch.get()
+        return "done"
+
+    assert eng.run(eng.process(consumer())) == "done"
+
+
+def test_channel_put_skips_interrupted_getter():
+    """An interrupted getter must not swallow the item — it goes to the
+    next live getter instead."""
+    from repro.errors import Interrupt
+
+    eng = Engine()
+    ch = Channel(eng)
+    got = []
+
+    def victim():
+        try:
+            got.append(("victim", (yield ch.get())))
+        except Interrupt:
+            got.append(("victim", "interrupted"))
+
+    def survivor():
+        got.append(("survivor", (yield ch.get())))
+
+    p1 = eng.process(victim())
+    eng.process(survivor())
+
+    def director():
+        yield eng.timeout(1)
+        p1.interrupt()
+        yield eng.timeout(1)
+        ch.put("payload")
+
+    eng.process(director())
+    eng.run()
+    assert ("victim", "interrupted") in got
+    assert ("survivor", "payload") in got
+    assert not ch._getters
+
+
+def test_channel_put_with_no_live_getters_queues_item():
+    """If every waiting getter was interrupted, the item is queued."""
+    from repro.errors import Interrupt
+
+    eng = Engine()
+    ch = Channel(eng)
+
+    def victim():
+        try:
+            yield ch.get()
+        except Interrupt:
+            pass
+
+    p = eng.process(victim())
+
+    def director():
+        yield eng.timeout(1)
+        p.interrupt()
+        yield eng.timeout(1)
+        ch.put("kept")
+
+    eng.process(director())
+    eng.run()
+    assert ch.peek_all() == ["kept"]
+
+
+def test_channel_put_after_close_raises():
+    eng = Engine()
+    ch = Channel(eng)
+    ch.close(ConnectionClosed("gone"))
+    with pytest.raises(SimulationError):
+        ch.put(1)
+
+
+def test_priority_channel_close_with_items_queued_still_drains():
+    eng = Engine()
+    ch = PriorityChannel(eng)
+    ch.put("low", priority=5)
+    ch.put("high", priority=1)
+    ch.close(ConnectionClosed("peer died"))
+
+    def consumer():
+        first = yield ch.get()
+        second = yield ch.get()
+        return first, second
+
+    assert eng.run(eng.process(consumer())) == ("high", "low")
