@@ -3,12 +3,15 @@ protocol and fault-tolerance policy (ISSUE 2 acceptance gate).
 
 The same declarative :data:`standard` campaign (app-host crash, recovery,
 spare-node partition window, Ethernet frame-loss window) is replayed
-against all 4 checkpoint/restart protocols x 3 FT policies.  Every cell
-must come back green — completed with zero invariant violations (under
-the kill policy, green means the failure *surfaced* cleanly) — and one
-cell is run twice to prove the same-seed byte-identity guarantee.
+against all 4 checkpoint/restart protocols x 3 FT policies, each over
+BOTH checkpoint stores — the legacy idealized single-copy store and the
+``repro.store`` replicated fabric at k=2.  Every cell must come back
+green — completed with zero invariant violations (under the kill policy,
+green means the failure *surfaced* cleanly) — and one cell per store is
+run twice to prove the same-seed byte-identity guarantee.
 """
 
+from repro.cluster import ClusterSpec
 from repro.faults import CampaignRunner
 
 from bench_helpers import fast_or, print_table
@@ -17,14 +20,20 @@ PROTOCOLS = fast_or(("uncoordinated",),
                     ("stop-and-sync", "chandy-lamport", "uncoordinated",
                      "diskless"))
 POLICIES = ("kill", "view-notify", "restart")
+#: Cluster-spec override per store column (None = the campaign default,
+#: i.e. the legacy idealized store).
+STORES = (("legacy", None),
+          ("replicated-k2", ClusterSpec(replication_factor=2)))
 SEED = 7
 
 
-def run_cell(protocol, policy):
+def run_cell(protocol, policy, store_name, spec):
     report = CampaignRunner("standard", seed=SEED, protocol=protocol,
-                            policy=policy).run(raise_on_error=False)
+                            policy=policy,
+                            cluster_spec=spec).run(raise_on_error=False)
     d = report.data
-    return {"protocol": protocol, "policy": policy, "ok": report.ok,
+    return {"protocol": protocol, "policy": policy, "store": store_name,
+            "ok": report.ok,
             "status": d["status"],
             "violations": sum(len(c["violations"]) for c in d["checks"]),
             "actions": len(d["actions"]),
@@ -34,29 +43,35 @@ def run_cell(protocol, policy):
 
 
 def run_matrix():
-    cells = [run_cell(pr, po) for pr in PROTOCOLS for po in POLICIES]
-    # Same seed, same cell => byte-identical report.
-    j1 = CampaignRunner("standard", seed=SEED, protocol="uncoordinated",
-                        policy="restart").run().to_json()
-    j2 = CampaignRunner("standard", seed=SEED, protocol="uncoordinated",
-                        policy="restart").run().to_json()
-    return cells, j1 == j2
+    cells = [run_cell(pr, po, sn, spec) for pr in PROTOCOLS
+             for po in POLICIES for sn, spec in STORES]
+    # Same seed, same cell => byte-identical report — per store column.
+    identical = True
+    for _name, spec in STORES:
+        j1 = CampaignRunner("standard", seed=SEED, protocol="uncoordinated",
+                            policy="restart", cluster_spec=spec
+                            ).run().to_json()
+        j2 = CampaignRunner("standard", seed=SEED, protocol="uncoordinated",
+                            policy="restart", cluster_spec=spec
+                            ).run().to_json()
+        identical = identical and j1 == j2
+    return cells, identical
 
 
 def test_campaign_matrix(benchmark):
     cells, identical = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
 
     print_table(
-        "Standard fault campaign x C/R protocol x FT policy",
-        ["protocol", "policy", "app status", "restarts", "actions",
+        "Standard fault campaign x C/R protocol x FT policy x store",
+        ["protocol", "policy", "store", "app status", "restarts", "actions",
          "violations", "sim s", "verdict"],
-        [[c["protocol"], c["policy"], c["app_status"],
+        [[c["protocol"], c["policy"], c["store"], c["app_status"],
           c["restarts"] if c["restarts"] is not None else "-",
           c["actions"], c["violations"], f"{c['final_t']:.2f}",
           "green" if c["ok"] else "RED"] for c in cells])
     print(f"\nsame-seed byte-identical reports: {identical}")
 
-    red = [(c["protocol"], c["policy"], c["status"], c["violations"])
-           for c in cells if not c["ok"]]
+    red = [(c["protocol"], c["policy"], c["store"], c["status"],
+            c["violations"]) for c in cells if not c["ok"]]
     assert not red, f"red campaign cells: {red}"
     assert identical, "same-seed campaign reports differ"

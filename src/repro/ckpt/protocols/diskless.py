@@ -30,6 +30,7 @@ from repro.ckpt.protocols.stop_and_sync import (DRAIN_POLL,
                                                 StopAndSyncProtocol)
 from repro.ckpt.storage import CheckpointRecord
 from repro.mpi.constants import CKPT_TAG_BASE
+from repro.store.placement import rotating_mirrors
 
 #: In-band tag for checkpoint-image transfers and their acks.
 DL_TAG = CKPT_TAG_BASE - 2
@@ -64,26 +65,17 @@ class DisklessProtocol(StopAndSyncProtocol):
         return hook
 
     def _buddies(self, version: int):
-        """Up to two distinct mirror targets, rotating with the version.
+        """Mirror targets, delegated to the storage fabric's placement.
 
-        Double mirroring is the redundancy that makes diskless lines
-        survive a single node crash (Plank-style diskless checkpointing
-        uses parity; mirroring is the simple variant).
+        The protocol is a thin client of ``repro.store``: the rotation
+        rule lives in :func:`repro.store.placement.rotating_mirrors` and
+        the copy count comes from the store (double mirroring on the
+        idealized store — Plank-style diskless checkpointing uses
+        parity; mirroring is the simple variant — and the configured
+        ``k`` on a :class:`~repro.store.ReplicatedStore`).
         """
-        peers = sorted(self.live_peers())
-        if len(peers) < 2:
-            return []
-        idx = peers.index(self.ctx.rank)
-        stride = 1 + (version - 1) % (len(peers) - 1)
-        first = peers[(idx + stride) % len(peers)]
-        out = [first]
-        if len(peers) > 2:
-            second = peers[(idx + stride + 1) % len(peers)]
-            if second == self.ctx.rank:
-                second = peers[(idx + stride + 2) % len(peers)]
-            if second != first:
-                out.append(second)
-        return out
+        return rotating_mirrors(self.live_peers(), self.ctx.rank, version,
+                                copies=self.ctx.store.mirror_fanout())
 
     # ------------------------------------------------------------------
     # the dump phase: stream to the buddy instead of writing locally

@@ -67,6 +67,19 @@ class CheckpointStore:
         self._records: Dict[Tuple[str, int, int], CheckpointRecord] = {}
         #: Committed coordinated versions per app (ascending).
         self._committed: Dict[str, List[int]] = {}
+        #: Read-pin refcounts: a record being read cannot be GCed from
+        #: under the reader (the GC defers; :meth:`_unpin` finishes it).
+        self._pins: Dict[Tuple[str, int, int], int] = {}
+        #: Last GC floor per app — versions below it are garbage the
+        #: moment their read-pins drain.
+        self._gc_floor: Dict[str, int] = {}
+        #: Optional node-liveness probe ``(node_id) -> bool``.  When set
+        #: (the Starfish layer wires it to the cluster's node table),
+        #: in-memory copies on a DOWN node stop counting as restorable in
+        #: the same sim instant as the crash — there is no window where
+        #: a volatile-only copy on a dead node looks usable just because
+        #: the drop_volatile watcher has not run yet.
+        self.node_liveness = None
         reg = get_registry(engine)
         self._m_writes = reg.counter(
             "ckpt.store.writes", help="checkpoint records stored")
@@ -154,12 +167,36 @@ class CheckpointStore:
         if len(committed) <= keep:
             return 0
         floor = sorted(committed)[-keep]
+        self._gc_floor[app_id] = max(floor, self._gc_floor.get(app_id, 0))
+        # Read-pinned records are skipped: a concurrent restart may be
+        # mid-read on an old version — collecting it would hand the
+        # reader a NoCheckpoint for a record it already located.  The
+        # pin's release sweeps them (same floor).
         victims = [k for k in self._records
-                   if k[0] == app_id and k[2] < floor]
+                   if k[0] == app_id and k[2] < floor
+                   and not self._pins.get(k)]
         for key in victims:
             del self._records[key]
         self._committed[app_id] = [v for v in committed if v >= floor]
         return len(victims)
+
+    # ------------------------------------------------------------------
+    # read pins (GC vs concurrent restart)
+    # ------------------------------------------------------------------
+
+    def _pin(self, key: Tuple[str, int, int]) -> None:
+        self._pins[key] = self._pins.get(key, 0) + 1
+
+    def _unpin(self, key: Tuple[str, int, int]) -> None:
+        count = self._pins.get(key, 0) - 1
+        if count > 0:
+            self._pins[key] = count
+            return
+        self._pins.pop(key, None)
+        # Finish any GC this pin deferred.
+        floor = self._gc_floor.get(key[0])
+        if floor is not None and key[2] < floor:
+            self._records.pop(key, None)
 
     # ------------------------------------------------------------------
     # reading
@@ -173,14 +210,20 @@ class CheckpointStore:
         records charge a fast-network fetch from the holder instead.
         """
         record = self.peek(app_id, rank, version)
-        if record.in_memory:
-            from repro.calibration import BIP_BANDWIDTH, US
-            yield self.engine.timeout(200 * US
-                                      + record.nbytes / BIP_BANDWIDTH)
-        else:
-            yield from node.disk.read(record.nbytes, bandwidth=bandwidth)
-        self._m_reads.inc()
-        return record
+        key = (app_id, rank, version)
+        self._pin(key)
+        try:
+            if record.in_memory:
+                from repro.calibration import BIP_BANDWIDTH, US
+                yield self.engine.timeout(200 * US
+                                          + record.nbytes / BIP_BANDWIDTH)
+            else:
+                yield from node.disk.read(record.nbytes,
+                                          bandwidth=bandwidth)
+            self._m_reads.inc()
+            return record
+        finally:
+            self._unpin(key)
 
     def peek(self, app_id: str, rank: int, version: int) -> CheckpointRecord:
         """Metadata access without IO cost (no image restore)."""
@@ -193,6 +236,35 @@ class CheckpointStore:
     def has(self, app_id: str, rank: int, version: int) -> bool:
         return (app_id, rank, version) in self._records
 
+    def record_available(self, app_id: str, rank: int, version: int,
+                         from_node: Optional[str] = None) -> bool:
+        """Is this record actually usable for a restore *right now*?
+
+        Disk records are (idealized global stable storage — the
+        replicated store overrides this with real holder/partition
+        checks).  In-memory records need a live holder: with the
+        liveness probe wired, a copy whose holder is DOWN stops counting
+        in the same instant the node does, independent of when the
+        drop_volatile watcher fires.
+        """
+        record = self._records.get((app_id, rank, version))
+        if record is None:
+            return False
+        if not record.in_memory:
+            return True
+        if self.node_liveness is None:
+            return bool(record.holder_nodes)
+        return any(self.node_liveness(h) for h in record.holder_nodes)
+
+    def mirror_fanout(self) -> int:
+        """Diskless in-memory copies per record.
+
+        The idealized store double-mirrors (Plank-style diskless
+        checkpointing's simple variant); the replicated store returns
+        its configured ``k``.
+        """
+        return 2
+
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
@@ -200,17 +272,22 @@ class CheckpointStore:
     def committed_versions(self, app_id: str) -> List[int]:
         return list(self._committed.get(app_id, []))
 
-    def latest_restorable(self, app_id: str, ranks) -> Optional[int]:
-        """Most recent committed version with every rank's record present.
+    def latest_restorable(self, app_id: str, ranks,
+                          from_node: Optional[str] = None) -> Optional[int]:
+        """Most recent committed version with every rank's record usable.
 
         For disk records this equals :meth:`latest_committed`; diskless
         records can have been wiped by the crash itself (their holders'
         memory), so recovery must fall back to an older intact line.
+        ``from_node`` names the prospective reader — the replicated
+        store only counts replicas reachable from its partition.
         """
         ranks = list(ranks)
         for version in sorted(self._committed.get(app_id, []),
                               reverse=True):
-            if all(self.has(app_id, r, version) for r in ranks):
+            if all(self.record_available(app_id, r, version,
+                                         from_node=from_node)
+                   for r in ranks):
                 return version
         return None
 

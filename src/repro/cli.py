@@ -7,6 +7,8 @@ A thin operational front end for trying the system without writing code:
 * ``metrics [--format text|prom]`` — same workload, raw telemetry dump;
 * ``trace --chrome OUT.json`` — run traced, export Chrome trace JSON;
 * ``chaos --campaign NAME`` — run a deterministic fault campaign;
+* ``store [--k 2 --crash]`` — run a replicated-store workload and dump
+  placement, the replica map, and repair status;
 * ``examples`` — list the bundled example scripts;
 * ``rtt [--transport ...]`` — quick Figure-5-style latency probe.
 """
@@ -118,6 +120,64 @@ def cmd_chaos(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_store(args) -> int:
+    from repro.apps import ComputeSleep
+    from repro.cluster.spec import ClusterSpec
+    from repro.core import (AppSpec, CheckpointConfig, FaultPolicy,
+                            StarfishCluster)
+    from repro.faults import CrashNode, FaultPlan, RecoverNode
+    spec = ClusterSpec(nodes=args.nodes, seed=args.seed,
+                       replication_factor=args.k,
+                       placement_policy=args.placement)
+    sf = StarfishCluster.build(spec=spec)
+    nprocs = min(3, args.nodes)
+    handle = sf.submit(AppSpec(
+        program=ComputeSleep, nprocs=nprocs,
+        params={"steps": 10, "step_time": 0.25, "state_bytes": 4096},
+        ft_policy=FaultPolicy.RESTART,
+        checkpoint=CheckpointConfig(protocol=args.protocol, level="vm",
+                                    interval=0.8)))
+    if args.crash:
+        plan = (FaultPlan()
+                .at(1.2, CrashNode(pick="app-host", app_id=handle.app_id))
+                .at(2.8, RecoverNode()))
+        plan.apply_to(sf, offset=sf.engine.now)
+    sf.run_to_completion(handle)
+    store, app_id = sf.store, handle.app_id
+    sections = (("placement", "replicas", "repair") if args.what == "all"
+                else (args.what,))
+
+    if "placement" in sections:
+        print(f"placement policy={store.policy.name} k={store.k} "
+              f"nodes={args.nodes}")
+        version = store.max_version(app_id)
+        for (key, rec, _avail) in store.replica_map(app_id):
+            if key[2] != version:
+                continue
+            primary = rec.holder_nodes[0] if rec.holder_nodes else "?"
+            extra = store.policy.replicas(key, primary,
+                                          store._candidates(primary),
+                                          store.k)
+            print(f"  rank {key[1]} v{key[2]}: primary {primary} "
+                  f"-> replicas {extra or '[]'}")
+    if "replicas" in sections:
+        committed = store.latest_committed(app_id)
+        restorable = store.latest_restorable(app_id, range(nprocs))
+        print(f"replica map app={app_id} committed={committed} "
+              f"restorable={restorable} deficit={store.replica_deficit()}")
+        for (key, rec, avail) in store.replica_map(app_id):
+            print(f"  {key[0]} rank={key[1]} v{key[2]} "
+                  f"holders={rec.holder_nodes} reachable={avail}")
+    if "repair" in sections:
+        if store.repair is None:
+            print(f"repair: disabled (k={store.k}; no replicas to maintain)")
+        else:
+            status = store.repair.status()
+            print("repair: " + " ".join(f"{k}={status[k]}"
+                                        for k in sorted(status)))
+    return 0
+
+
 def cmd_rtt(args) -> int:
     from repro.apps import PingPong
     from repro.core import AppSpec, StarfishCluster
@@ -195,6 +255,25 @@ def main(argv=None) -> int:
     chaos.add_argument("--json", default=None, metavar="OUT.json",
                        help="write the full campaign report as JSON")
     chaos.set_defaults(fn=cmd_chaos)
+
+    store = sub.add_parser("store", help="run a checkpointed workload on "
+                                         "the replicated store and inspect "
+                                         "placement/replicas/repair")
+    store.add_argument("--nodes", type=int, default=5)
+    store.add_argument("--k", type=int, default=2,
+                       help="replication factor (copies per record)")
+    store.add_argument("--placement", default="ring",
+                       choices=["ring", "random", "partition-aware"])
+    store.add_argument("--protocol", default="stop-and-sync",
+                       choices=["stop-and-sync", "chandy-lamport",
+                                "uncoordinated", "diskless"])
+    store.add_argument("--seed", type=int, default=0)
+    store.add_argument("--crash", action="store_true",
+                       help="crash an app host mid-run (and recover it) to "
+                            "exercise failure-driven repair")
+    store.add_argument("--what", default="all",
+                       choices=["placement", "replicas", "repair", "all"])
+    store.set_defaults(fn=cmd_store)
 
     rtt = sub.add_parser("rtt", help="quick Figure-5-style latency probe")
     rtt.add_argument("--transport", default="bip-myrinet",

@@ -94,10 +94,17 @@ class Cluster:
         return node
 
     def remove_node(self, node_id: str) -> None:
-        """Administratively remove a node (it is crashed first if up)."""
+        """Administratively remove a node (it is crashed first if up).
+
+        The crash is notified as a "crash" event *before* the "remove",
+        in the same sim instant — watchers that invalidate volatile
+        state on crashes (e.g. the checkpoint store dropping in-memory
+        copies) must never observe a removed-but-never-crashed node.
+        """
         node = self.node(node_id)
         if node.is_up or node.state is NodeState.DISABLED:
             node.crash(cause="removed from cluster")
+            self._notify(node_id, "crash")
         del self.nodes[node_id]
         self._notify(node_id, "remove")
 

@@ -55,6 +55,17 @@ class ClusterSpec:
     #: Client accounts as ``{user: (password, is_mgmt)}`` (``None`` =
     #: :data:`repro.daemon.daemon.DEFAULT_USERS`).
     users: Optional[Dict[str, Tuple[str, bool]]] = None
+    #: Checkpoint replication factor.  ``None`` (default) keeps the
+    #: paper's idealized single-copy stable storage
+    #: (:class:`repro.ckpt.CheckpointStore`, byte-identical behaviour);
+    #: an int ``>= 1`` builds a :class:`repro.store.ReplicatedStore`
+    #: with honest node-local durability — k copies per record, placed
+    #: by ``placement_policy``, repaired after failures when ``k >= 2``.
+    replication_factor: Optional[int] = None
+    #: Replica placement policy (see :data:`PLACEMENT_POLICIES`).
+    placement_policy: str = "ring"
+    #: Repair-service re-replication budget, bytes/second.
+    repair_bandwidth: float = 4.0e6
 
     def __post_init__(self):
         if self.nodes < 1:
@@ -64,6 +75,19 @@ class ClusterSpec:
                 f"ClusterSpec.loss_prob must be in [0, 1), got {self.loss_prob}")
         if self.archs is not None and not isinstance(self.archs, tuple):
             object.__setattr__(self, "archs", tuple(self.archs))
+        if self.replication_factor is not None \
+                and self.replication_factor < 1:
+            raise ValueError(
+                "ClusterSpec.replication_factor must be None or >= 1, "
+                f"got {self.replication_factor}")
+        if self.placement_policy not in PLACEMENT_POLICIES:
+            raise ValueError(
+                f"ClusterSpec.placement_policy must be one of "
+                f"{PLACEMENT_POLICIES}, got {self.placement_policy!r}")
+        if self.repair_bandwidth <= 0:
+            raise ValueError(
+                "ClusterSpec.repair_bandwidth must be > 0, "
+                f"got {self.repair_bandwidth}")
 
     def with_(self, **overrides) -> "ClusterSpec":
         """A copy with some fields replaced (specs are frozen)."""
@@ -87,6 +111,11 @@ class ClusterSpec:
             return spec
         return cls(**legacy)
 
+
+#: Valid ``placement_policy`` names (kept in sync with
+#: :data:`repro.store.placement.POLICIES` by a unit test — this module
+#: must not import the store package at runtime, layering).
+PLACEMENT_POLICIES = ("ring", "random", "partition-aware")
 
 #: Sentinel distinguishing "kwarg not passed" from an explicit default.
 _UNSET = object()

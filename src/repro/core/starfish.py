@@ -89,7 +89,7 @@ class StarfishCluster:
         self.engine = cluster.engine
         self.gcs_config = gcs_config or GcsConfig()
         self.users = users
-        self.store = CheckpointStore(self.engine)
+        self.store = self._build_store(cluster)
         self.daemons: Dict[str, StarfishDaemon] = {}
         self.program_registry: Dict[str, Any] = {}
         #: Per-application MPI address books (rank -> (node, port)).  A
@@ -97,13 +97,45 @@ class StarfishCluster:
         #: configuration messages; the shared dict models that channel.
         self.books: Dict[str, Dict[int, Tuple[str, str]]] = {}
         self._register_builtin_programs()
+        for node_id in sorted(cluster.nodes):
+            self._boot_daemon(node_id)
+
+    def _build_store(self, cluster: Cluster) -> CheckpointStore:
+        """The checkpoint store, per ``ClusterSpec.replication_factor``.
+
+        ``None`` keeps the paper's idealized single-copy stable storage
+        (and the determinism goldens byte-identical); an explicit k
+        builds the replicated store with honest node-local durability
+        plus, for k >= 2, the failure-driven repair daemon.
+        """
+        spec = getattr(cluster, "spec", None)
+        k = spec.replication_factor if spec is not None else None
+        if k is not None:
+            from repro.store import RepairService, ReplicatedStore
+            store = ReplicatedStore(self.engine, cluster, k=k,
+                                    policy=spec.placement_policy)
+            if k > 1:
+                store.repair = RepairService(
+                    self.engine, cluster, store,
+                    bandwidth=spec.repair_bandwidth)
+            cluster.watchers.append(store.on_membership)
+            return store
+        store = CheckpointStore(self.engine)
+        # Volatile (diskless) copies stop counting the instant their
+        # holder goes down — availability checks never race the watcher.
+        from repro.cluster.node import NodeState
+
+        def _memory_live(node_id: str) -> bool:
+            node = cluster.nodes.get(node_id)
+            return node is not None and node.state is not NodeState.DOWN
+
+        store.node_liveness = _memory_live
         # Diskless checkpoints live in node memory: a crash destroys the
         # copies that node was holding for its buddies.
         cluster.watchers.append(
-            lambda node_id, event: self.store.drop_volatile(node_id)
+            lambda node_id, event: store.drop_volatile(node_id)
             if event == "crash" else None)
-        for node_id in sorted(cluster.nodes):
-            self._boot_daemon(node_id)
+        return store
 
     # ------------------------------------------------------------------
     # construction

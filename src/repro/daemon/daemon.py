@@ -146,6 +146,7 @@ class StarfishDaemon:
             "config": dict(self.config),
             "disabled": sorted(self.disabled_nodes),
             "apps": [self._record_blob(r) for r in self.registry.all()],
+            "lwg": self.lwg.snapshot(),
         }
 
     @staticmethod
@@ -329,7 +330,8 @@ class StarfishDaemon:
         if record.ckpt_protocol in ("stop-and-sync", "chandy-lamport",
                                     "diskless"):
             version = self.store.latest_restorable(
-                app_id, sorted(record.placement))
+                app_id, sorted(record.placement),
+                from_node=self.node.node_id)
             if version is not None:
                 restore = {"mode": "coordinated", "version": version}
         elif record.ckpt_protocol == "uncoordinated":
@@ -586,13 +588,16 @@ class StarfishDaemon:
                             alive_nodes: Set[str]):
         app_id = record.app_id
         # Where does the computation resume from?  (latest_restorable:
-        # diskless copies held on the crashed node are gone, so recovery
+        # diskless copies held on the crashed node are gone — and under
+        # a replicated store, versions whose replicas are unreachable
+        # from this coordinator's partition don't count — so recovery
         # may have to fall back to an older intact line.)
         restore = None
         if record.ckpt_protocol in ("stop-and-sync", "chandy-lamport",
                                     "diskless"):
             version = self.store.latest_restorable(
-                app_id, sorted(record.placement))
+                app_id, sorted(record.placement),
+                from_node=self.node.node_id)
             if version is not None:
                 restore = {"mode": "coordinated", "version": version}
         elif record.ckpt_protocol == "uncoordinated":
@@ -638,9 +643,24 @@ class StarfishDaemon:
         deps_seen = set()
         for rank in ranks:
             versions = self.store.versions_of(app_id, rank)
-            graph.ckpt_count[rank] = len(versions)
-            if versions:
-                latest = self.store.peek(app_id, rank, versions[-1])
+            # Only the usable *prefix* counts: a checkpoint whose every
+            # replica is down or unreachable (replica loss under the
+            # replicated store) cannot anchor a rollback, and neither
+            # can anything after it — uncoordinated versions are the
+            # rank's checkpoint indices, so the recovery-line cut must
+            # map 1:1 onto restorable versions.  Dropping the tail may
+            # domino other ranks further back; compute_recovery_line
+            # handles that (and detects full domino).
+            usable = []
+            for version in versions:
+                if not self.store.record_available(
+                        app_id, rank, version,
+                        from_node=self.node.node_id):
+                    break
+                usable.append(version)
+            graph.ckpt_count[rank] = len(usable)
+            if usable:
+                latest = self.store.peek(app_id, rank, usable[-1])
                 for dep in latest.deps:
                     if (rank, tuple(dep)) not in deps_seen:
                         deps_seen.add((rank, tuple(dep)))
@@ -691,6 +711,7 @@ class StarfishDaemon:
         self.disabled_nodes = set(blob.get("disabled", ()))
         for app_blob in blob.get("apps", ()):
             self.registry.add(self._record_from_blob(app_blob))
+        self.lwg.absorb(blob.get("lwg", {}))
 
     # ------------------------------------------------------------------
     # submission (programmatic entry; the ASCII SUBMIT uses this too)

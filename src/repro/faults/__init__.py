@@ -37,9 +37,10 @@ from repro.faults.actions import (CrashNode, DaemonPause, DiskSlowdown,
                                   Partition, RecoverNode)
 from repro.faults.campaign import CampaignReport, CampaignRunner
 from repro.faults.campaigns import CAMPAIGNS, Campaign, get_campaign
-from repro.faults.invariants import (ALL_CHECKERS, InvariantChecker,
-                                     MetricsSane, NoLostResult,
-                                     RecoveryLineConsistent, ViewAgreement)
+from repro.faults.invariants import (ALL_CHECKERS, CheckpointSurvivability,
+                                     InvariantChecker, MetricsSane,
+                                     NoLostResult, RecoveryLineConsistent,
+                                     ViewAgreement)
 from repro.faults.plan import At, Every, FaultInjector, FaultPlan, Randomly
 
 __all__ = [
@@ -49,6 +50,7 @@ __all__ = [
     "Campaign",
     "CampaignReport",
     "CampaignRunner",
+    "CheckpointSurvivability",
     "CrashNode",
     "DaemonPause",
     "DiskSlowdown",

@@ -101,7 +101,8 @@ class CampaignRunner:
                  protocol: Optional[str] = "stop-and-sync",
                  policy: Any = FaultPolicy.RESTART,
                  nodes: Optional[int] = None,
-                 checkers=ALL_CHECKERS,
+                 checkers=None,
+                 cluster_spec=None,
                  compare_golden: bool = True,
                  app_id: str = "campaign",
                  settle_grace: float = 1.5,
@@ -114,7 +115,14 @@ class CampaignRunner:
         self.protocol = protocol
         self.policy = FaultPolicy.of(policy)
         self.nodes = nodes if nodes is not None else self.campaign.nodes
+        # Checker precedence: explicit arg > campaign suite > defaults.
+        if checkers is None:
+            checkers = getattr(self.campaign, "checkers", None) \
+                or ALL_CHECKERS
         self.checkers = tuple(checkers)
+        #: Overrides the campaign's base ClusterSpec (e.g. the k=1 guard
+        #: re-runs a replicated campaign without its replication factor).
+        self.cluster_spec = cluster_spec
         self.compare_golden = compare_golden
         self.app_id = app_id
         self.settle_grace = settle_grace
@@ -125,7 +133,8 @@ class CampaignRunner:
 
     def _cluster_spec(self):
         from repro.cluster.spec import ClusterSpec
-        base = self.campaign.cluster_spec or ClusterSpec()
+        base = self.cluster_spec or self.campaign.cluster_spec \
+            or ClusterSpec()
         return base.with_(nodes=self.nodes, seed=self.seed)
 
     def _build(self):

@@ -14,13 +14,15 @@ control path.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional, Tuple
 
+from repro.cluster.spec import ClusterSpec
 from repro.core.appspec import AppSpec, CheckpointConfig
 from repro.core.policies import FaultPolicy
 from repro.errors import CampaignError
 from repro.faults.actions import (CrashNode, DaemonPause, FrameLossWindow,
                                   Partition, RecoverNode)
+from repro.faults.invariants import ALL_CHECKERS, CheckpointSurvivability
 from repro.faults.plan import FaultPlan
 
 
@@ -54,6 +56,8 @@ class Campaign:
     #: False for campaigns that are *supposed* to kill the system (the
     #: runner/bench then expects a typed StarfishError, not completion).
     expect_completion: bool = True
+    #: Optional checker suite override (``None`` = ALL_CHECKERS).
+    checkers: Optional[Tuple[Any, ...]] = None
 
 
 def _standard_plan(app_id: str, nodes: int) -> FaultPlan:
@@ -91,6 +95,18 @@ def _pause_plan(app_id: str, nodes: int) -> FaultPlan:
                                  app_id=app_id)))
 
 
+def _crash_burst_plan(app_id: str, nodes: int) -> FaultPlan:
+    """Two spaced crash/recover pairs, each landing on an app host after
+    at least one recovery line has committed (interval 0.8) — the
+    k-replicated store must keep every committed line restorable
+    throughout (at most k-1 = 1 node is ever down at once)."""
+    return (FaultPlan()
+            .at(1.2, CrashNode(pick="app-host", app_id=app_id))
+            .at(2.8, RecoverNode())
+            .at(4.4, CrashNode(pick="app-host", app_id=app_id))
+            .at(6.0, RecoverNode()))
+
+
 def _blackout_plan(app_id: str, nodes: int) -> FaultPlan:
     plan = FaultPlan()
     for i in range(nodes):
@@ -121,6 +137,14 @@ CAMPAIGNS: Dict[str, Campaign] = {c.name: c for c in (
         description="freeze a spare node's daemon for 1s (suspect, "
                     "exclude, gossip re-merge)",
         plan=_pause_plan),
+    Campaign(
+        name="store-crash-burst",
+        description="two spaced app-host crashes against a k=2 replicated "
+                    "checkpoint store; CheckpointSurvivability(k) must stay "
+                    "green (every committed line restorable)",
+        plan=_crash_burst_plan,
+        cluster_spec=ClusterSpec(replication_factor=2),
+        checkers=ALL_CHECKERS + (CheckpointSurvivability(),)),
     Campaign(
         name="blackout",
         description="crash every node; the run must fail with a typed "

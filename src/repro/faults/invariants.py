@@ -150,6 +150,63 @@ class NoLostResult(InvariantChecker):
         return []
 
 
+class CheckpointSurvivability(InvariantChecker):
+    """The replicated store's availability contract: while at most
+    ``k - 1`` nodes are down, the latest committed recovery line must
+    still be restorable — crashing any k-1 replica holders between a
+    commit and the restart may never lose the line.
+
+    Vacuous for the legacy idealized store (no ``k``: global stable
+    storage can't lose copies) and whenever >= k nodes are down at
+    check time (beyond the contract; ``latest_restorable`` falling back
+    is then the *correct* behaviour, which the k=1 guard test relies
+    on).  ``k=None`` reads the store's configured factor.
+    """
+
+    name = "checkpoint-survivability"
+
+    def __init__(self, k=None):
+        self.k = k
+
+    def check(self, ctx) -> List[str]:
+        from repro.cluster.node import NodeState
+        store = ctx.sf.store
+        store_k = getattr(store, "k", None)
+        if store_k is None:
+            return []                      # legacy single-copy store
+        k = self.k if self.k is not None else store_k
+        app_id = ctx.handle.app_id
+        committed = store.latest_committed(app_id)
+        if committed is None:
+            return []                      # nothing committed yet
+        down = [nid for nid, node in sorted(ctx.sf.cluster.nodes.items())
+                if node.state is NodeState.DOWN]
+        if len(down) >= k:
+            return []                      # beyond the k-1 contract
+        out = []
+        restorable = store.latest_restorable(app_id,
+                                             range(ctx.spec.nprocs))
+        if restorable != committed:
+            out.append(f"committed version {committed} not restorable with "
+                       f"{len(down)} node(s) down ({','.join(down) or '-'}): "
+                       f"k={k}, latest_restorable={restorable}")
+        # Point-in-time reads miss losses that a restart has since papered
+        # over; the store logs those at the membership change itself.  The
+        # log is scanned once per run, at the final check, so a breach is
+        # reported exactly once (the checker instance carries no state).
+        if getattr(ctx, "phase", "final") == "final":
+            for breach in getattr(store, "breaches", ()):
+                if breach["app_id"] != app_id or len(breach["down"]) >= k:
+                    continue
+                out.append(
+                    f"committed version {breach['committed']} not "
+                    f"restorable at t={breach['time']:.3f} with "
+                    f"{len(breach['down'])} node(s) down "
+                    f"({','.join(breach['down']) or '-'}): k={k}, "
+                    f"latest_restorable={breach['restorable']}")
+        return out
+
+
 class MetricsSane(InvariantChecker):
     """Telemetry self-consistency: every collected value is finite,
     frame drops never exceed frames sent, every live daemon installed at

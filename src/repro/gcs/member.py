@@ -88,7 +88,13 @@ class GroupMember:
         self.state_provider = state_provider or (lambda: None)
         self.endpoint = EndpointId(node.node_id, name, fresh_incarnation())
         self.nic = node.nic("tcp-ethernet")
-        self._port = f"gcs:{group}:{name}"
+        # The port is incarnation-scoped: a reincarnated member on the
+        # same node must NOT receive frames addressed to its dead
+        # predecessor.  Accepting them poisons the per-sender Rel streams
+        # (the old stream's sequence numbers shadow the new one's, so
+        # fresh sends get acked away as "duplicates" without delivery) —
+        # the transport drops stale-incarnation frames at the NIC instead.
+        self._port = f"gcs:{group}:{name}#{self.endpoint.inc}"
         self._rx_ch = self.nic.open_port(self._port)
         self._inbox = Channel(engine, name=f"gcs-in:{self.endpoint}")
         self._tx_q = Channel(engine, name=f"gcs-tx:{self.endpoint}")
@@ -327,7 +333,7 @@ class GroupMember:
                 ep, msg, kind = yield self._tx_q.get()
                 port = ports.get(ep)
                 if port is None:
-                    port = ports[ep] = f"gcs:{self.group}:{ep.name}"
+                    port = ports[ep] = f"gcs:{self.group}:{ep.name}#{ep.inc}"
                 frame = Frame(src=self.node.node_id, dst=ep.node,
                               port=port,
                               payload=msg, size=self._frame_size(msg),

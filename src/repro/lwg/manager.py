@@ -40,12 +40,25 @@ class _LwgState:
 
     app_id: str
     members: Tuple[EndpointId, ...] = ()
+    #: Ordering epoch: bumped by every membership change.  Membership ops
+    #: are totally ordered, so every replica counts the same changes and
+    #: the epochs agree — which lets an ``lwg-ord`` receiver tell whether
+    #: a gseq belongs to its current numbering or to one it has not
+    #: applied yet (direct sends from the sequencer are NOT ordered
+    #: against the main group's total order, so both happen).
+    epoch: int = 0
     # -- sequencer side (only used by the current coordinator) --
     next_gseq: int = 0
     seen_keys: Set[Tuple[EndpointId, int]] = field(default_factory=set)
+    #: Data from origins whose membership op we have not applied yet;
+    #: re-sequenced at the membership change that admits them.
+    stash: List[tuple] = field(default_factory=list)
     # -- member side --
     next_deliver: int = 0
     ooo: Dict[int, tuple] = field(default_factory=dict)
+    #: Ordered messages from a future epoch, replayed once we catch up:
+    #: epoch -> gseq -> delivery item.
+    future: Dict[int, Dict[int, tuple]] = field(default_factory=dict)
     delivered_keys: Set[Tuple[EndpointId, int]] = field(default_factory=set)
 
     @property
@@ -53,11 +66,13 @@ class _LwgState:
         return min(self.members) if self.members else None
 
     def reset_ordering(self) -> None:
+        self.epoch += 1
         self.next_gseq = 0
         self.seen_keys = set()
         self.next_deliver = 0
         self.ooo = {}
         # delivered_keys survives: dedup across re-sends spanning a change.
+        # future survives too: it may hold this very epoch's messages.
 
 
 class LwgManager:
@@ -72,6 +87,13 @@ class LwgManager:
         #: Our un-sequenced data messages per group: app -> {lseq: (payload, kind, size)}
         self._pending: Dict[str, Dict[int, tuple]] = {}
         self._next_lseq: Dict[str, int] = {}
+        #: Protocol traffic for groups we hold no replica of (yet): a
+        #: joining daemon can receive ops/data/ords BEFORE it absorbs the
+        #: state blob — the blob rides the ViewMsg from the view
+        #: coordinator while these are direct sends and casts from other
+        #: members, and nothing orders the two.  Parked in arrival order
+        #: and replayed when the replica materializes.
+        self._orphans: Dict[str, List[tuple]] = {}
         self.stats = {"casts": 0, "delivered": 0, "relayed": 0}
 
     @property
@@ -96,6 +118,64 @@ class LwgManager:
     def members(self, app_id: str) -> Tuple[EndpointId, ...]:
         state = self.groups.get(app_id)
         return state.members if state else ()
+
+    # ------------------------------------------------------------------
+    # state transfer (piggybacks on the daemon's main-group join blob)
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Tuple[Tuple[EndpointId, ...], int]]:
+        """Replicated membership (+ ordering epoch) of every group, for
+        the state blob.
+
+        A daemon booted after a group's *create* cast has no replica of
+        that group, so without this transfer it would silently drop every
+        subsequent ``lwg-op`` naming it (``_apply_op`` has nothing to
+        apply the op *to*) and never learn its own membership.
+        """
+        return {app_id: (state.members, state.epoch)
+                for app_id, state in self.groups.items()}
+
+    def absorb(self, groups: Dict[str, Tuple[Tuple[EndpointId, ...], int]]
+               ) -> None:
+        """Adopt group replicas when joining the main group.
+
+        The snapshot is taken by the view-change coordinator *before* its
+        own lwg layer applies that view, so it may still list endpoints
+        the new view declared dead; filter against the view we are joining
+        under so our replica matches what the old daemons converge to —
+        and when the filter drops someone, count the epoch bump the old
+        replicas will apply for that same view, so the numbering agrees.
+        Ordering counters start at zero — safe, because any op that makes
+        us a member resets them on every replica (``_change_members``).
+        """
+        alive = (set(self.gm.view.members)
+                 if self.gm.view is not None else None)
+        for app_id, (members, epoch) in groups.items():
+            if app_id in self.groups:
+                continue
+            filtered = tuple(members)
+            if alive is not None:
+                filtered = tuple(m for m in members if m in alive)
+            if filtered != tuple(members):
+                epoch += 1
+            self.groups[app_id] = _LwgState(app_id=app_id, members=filtered,
+                                            epoch=epoch)
+            self._replay_orphans(app_id)
+
+    def _park_orphan(self, app_id: str, payload: tuple) -> None:
+        self._orphans.setdefault(app_id, []).append(payload)
+
+    def _replay_orphans(self, app_id: str) -> None:
+        """Re-dispatch traffic that arrived before the group's replica
+        existed here; every handler re-checks its own preconditions."""
+        for payload in self._orphans.pop(app_id, []):
+            tag = payload[0]
+            if tag == "lwg-op":
+                self._apply_op(payload)
+            elif tag == "lwg-data":
+                self._sequence(payload)
+            elif tag == "lwg-ord":
+                self._receive_ordered(payload)
 
     # ------------------------------------------------------------------
     # membership operations (ride the main group's total order)
@@ -195,11 +275,17 @@ class LwgManager:
             self.groups[app_id] = state
             self._emit(app_id, LwgView(app_id=app_id, members=state.members,
                                        joined=state.members, left=()))
+            self._replay_orphans(app_id)
             return
         if state is None:
+            if op == "destroy":
+                self._orphans.pop(app_id, None)
+            else:
+                self._park_orphan(app_id, payload)
             return
         if op == "destroy":
             del self.groups[app_id]
+            self._orphans.pop(app_id, None)
             self._emit(app_id, LwgView(app_id=app_id, members=(),
                                        joined=(), left=state.members))
             return
@@ -232,6 +318,20 @@ class LwgManager:
             for lseq, (payload, kind, size) in sorted(
                     self._pending.get(state.app_id, {}).items()):
                 self._send_data(state.app_id, state, lseq, payload, kind, size)
+        # Replay ordered messages that arrived under this (then-future)
+        # epoch before the change itself did.
+        if self.endpoint in new:
+            for gseq, item in sorted(state.future.pop(state.epoch,
+                                                      {}).items()):
+                self._ingest(state, gseq, item)
+        else:
+            state.future.clear()
+        # Re-sequence parked data whose origin this change just admitted
+        # (coordinator side; _sequence re-checks every condition).
+        if state.coordinator == self.endpoint and state.stash:
+            parked, state.stash = state.stash, []
+            for payload in parked:
+                self._sequence(payload)
 
     # -- data mechanics ---------------------------------------------------------
 
@@ -239,9 +339,18 @@ class LwgManager:
         """Coordinator role: order one data message and relay it."""
         _, app_id, origin, lseq, inner, kind = payload
         state = self.groups.get(app_id)
-        if state is None or state.coordinator != self.endpoint:
+        if state is None:
+            self._park_orphan(app_id, payload)
+            return
+        if state.coordinator != self.endpoint:
             return  # stale coordinator view at sender; it will re-send
         if origin not in state.members:
+            # The origin applied its (totally-ordered) join before we
+            # did and is already casting.  Dropping would lose the
+            # message for good — the origin only re-drives its pending
+            # on ITS next membership change.  Park it; the join op that
+            # admits the origin re-sequences it (``_change_members``).
+            state.stash.append(payload)
             return
         key = (origin, lseq)
         if key in state.seen_keys:
@@ -250,7 +359,8 @@ class LwgManager:
         gseq = state.next_gseq
         state.next_gseq += 1
         self.stats["relayed"] += 1
-        out = ("lwg-ord", app_id, gseq, origin, lseq, inner, kind)
+        out = ("lwg-ord", app_id, state.epoch, gseq, origin, lseq, inner,
+               kind)
         for m in state.members:
             if m == self.endpoint:
                 self._receive_ordered(out)
@@ -258,18 +368,37 @@ class LwgManager:
                 self.gm.send(m, out, size=256, kind=kind)
 
     def _receive_ordered(self, payload: tuple) -> None:
-        _, app_id, gseq, origin, lseq, inner, kind = payload
+        _, app_id, epoch, gseq, origin, lseq, inner, kind = payload
         state = self.groups.get(app_id)
-        if state is None or self.endpoint not in state.members:
+        if state is None:
+            self._park_orphan(app_id, payload)
             return
+        if epoch > state.epoch:
+            # Sequenced under a membership change we have not applied
+            # yet (the sequencer's direct send raced the main group's
+            # total order).  Deliverable only after that change resets
+            # our numbering — park it for the replay in
+            # ``_change_members``; dropping it would wedge the stream
+            # at a gseq hole nobody will ever fill.
+            state.future.setdefault(epoch, {})[gseq] = (origin, lseq,
+                                                        inner, kind)
+            return
+        if epoch < state.epoch or self.endpoint not in state.members:
+            # Stale epoch: the change that obsoleted it re-drove every
+            # origin's unacknowledged casts, and ``delivered_keys``
+            # dedups whatever did land before the reset.
+            return
+        self._ingest(state, gseq, (origin, lseq, inner, kind))
+
+    def _ingest(self, state: _LwgState, gseq: int, item: tuple) -> None:
         if gseq == state.next_deliver:
-            self._deliver(state, (origin, lseq, inner, kind))
+            self._deliver(state, item)
             state.next_deliver += 1
             while state.next_deliver in state.ooo:
                 self._deliver(state, state.ooo.pop(state.next_deliver))
                 state.next_deliver += 1
         elif gseq > state.next_deliver:
-            state.ooo[gseq] = (origin, lseq, inner, kind)
+            state.ooo[gseq] = item
 
     def _deliver(self, state: _LwgState, item: tuple) -> None:
         origin, lseq, inner, kind = item

@@ -1,0 +1,35 @@
+"""Replicated checkpoint storage fabric (ReStore-style, ISSUE 4).
+
+Layered between the C/R protocols and the disk/memory models:
+
+* :class:`ReplicatedStore` — the :class:`~repro.ckpt.storage.
+  CheckpointStore` surface with k-replica fan-out, pluggable placement,
+  reachability-aware availability and read-pinned GC;
+* :class:`RepairService` — failure-driven, budgeted re-replication;
+* :mod:`~repro.store.placement` — the placement policies (ring
+  successor, seeded-random, partition-aware) and the diskless protocol's
+  :func:`rotating_mirrors` rule.
+
+Enable it per cluster with ``ClusterSpec(replication_factor=2)``; the
+default (``None``) keeps the paper's idealized single-copy stable
+storage, byte-identical to previous releases.
+"""
+
+from repro.store.placement import (PartitionAwarePlacement, PlacementPolicy,
+                                   POLICIES, RandomPlacement, RingPlacement,
+                                   make_placement, rotating_mirrors)
+from repro.store.repair import DEFAULT_REPAIR_BANDWIDTH, RepairService
+from repro.store.replicated import ReplicatedStore
+
+__all__ = [
+    "DEFAULT_REPAIR_BANDWIDTH",
+    "PartitionAwarePlacement",
+    "PlacementPolicy",
+    "POLICIES",
+    "RandomPlacement",
+    "RepairService",
+    "ReplicatedStore",
+    "RingPlacement",
+    "make_placement",
+    "rotating_mirrors",
+]

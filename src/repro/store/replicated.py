@@ -1,0 +1,324 @@
+"""The replicated checkpoint store: k copies, honest durability.
+
+:class:`ReplicatedStore` implements the :class:`~repro.ckpt.storage.
+CheckpointStore` surface (write / read / commit / GC / queries) but drops
+the paper's idealized "global stable storage" assumption: every record
+lives on *specific nodes* (``holder_nodes``, for disk records too), each
+write fans out to ``k`` replicas chosen by a pluggable
+:class:`~repro.store.placement.PlacementPolicy`, and availability is a
+function of which holders are up **and reachable from the reader** —
+``latest_restorable`` only counts versions whose replicas survive in the
+reader's partition.
+
+Costs are simulated, not asserted: the primary write charges the local
+disk as before; each replica then streams over the fast (Myrinet) fabric
+— serialization back-to-back on the sender, wire latency and the remote
+disk write pipelined per target — so raising ``k`` visibly stretches the
+checkpoint wave (``benchmarks/bench_store_replication.py`` measures the
+curve).  A crash between copies simply yields fewer holders; the
+:class:`~repro.store.repair.RepairService` re-replicates later.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.ckpt.storage import CheckpointRecord, CheckpointStore
+from repro.errors import CheckpointError, Interrupt, NoCheckpoint
+from repro.obs.registry import get_registry
+from repro.store.placement import PlacementPolicy, make_placement
+
+
+class ReplicatedStore(CheckpointStore):
+    """k-replicated checkpoint storage over the cluster's real nodes."""
+
+    def __init__(self, engine, cluster, k: int = 2,
+                 policy="ring"):
+        super().__init__(engine)
+        if int(k) < 1:
+            raise CheckpointError(f"replication factor must be >= 1, got {k}")
+        self.cluster = cluster
+        self.k = int(k)
+        if isinstance(policy, PlacementPolicy):
+            self.policy = policy
+        else:
+            rng = engine.rng.stream("store.place") if engine is not None \
+                else None
+            self.policy = make_placement(policy, rng=rng,
+                                         reachable=self._reachable)
+        # Availability == node liveness, atomically with the crash itself
+        # (no watcher-callback window where a dead holder still counts).
+        self.node_liveness = self._node_up
+        #: Attached :class:`~repro.store.repair.RepairService` (None for
+        #: k=1, where there is nothing to re-replicate toward).
+        self.repair = None
+        #: Survivability breach log: committed lines that became
+        #: non-restorable at a membership change (see _record_breaches).
+        self.breaches: list = []
+        reg = get_registry(engine)
+        self._m_repl_ok = reg.counter(
+            "store.replica.writes", help="replica copies registered")
+        self._m_repl_bytes = reg.counter(
+            "store.replica.bytes", help="bytes shipped to replica holders")
+        self._m_repl_failed = reg.counter(
+            "store.replica.failed",
+            help="replica transfers lost to crashes/partitions")
+        self._m_repl_lost = reg.counter(
+            "store.replica.lost",
+            help="records whose last holder disappeared")
+        self._m_remote_reads = reg.counter(
+            "store.replica.remote_reads",
+            help="restores served from a non-local holder")
+        self._h_fanout = reg.histogram(
+            "store.replica.fanout_seconds",
+            help="time to replicate one record to its holders",
+            buckets=(0.001, 0.005, 0.02, 0.1, 0.5, 2.0))
+        reg.gauge_fn("store.replica.deficit", self.replica_deficit)
+
+    # ------------------------------------------------------------------
+    # cluster probes
+    # ------------------------------------------------------------------
+
+    def _node_up(self, node_id: str) -> bool:
+        from repro.cluster.node import NodeState
+        node = self.cluster.nodes.get(node_id)
+        return node is not None and node.state is not NodeState.DOWN
+
+    def _reachable(self, src: str, dst: str) -> bool:
+        """Data-fabric reachability (honors open partitions)."""
+        if src == dst:
+            return True
+        return self.cluster.myrinet._reachable(src, dst)
+
+    def _candidates(self, primary: str) -> List[str]:
+        from repro.cluster.node import NodeState
+        return sorted(n.node_id for n in self.cluster.nodes.values()
+                      if n.state is NodeState.UP and n.node_id != primary)
+
+    def replica_targets(self, primary: str,
+                        record: CheckpointRecord) -> List[str]:
+        """Where the policy wants this record's extra copies right now."""
+        key = (record.app_id, record.rank, record.version)
+        return self.policy.replicas(key, primary, self._candidates(primary),
+                                    self.k)
+
+    def mirror_fanout(self) -> int:
+        """Diskless in-memory copies per record (the configured k)."""
+        return max(1, self.k)
+
+    # ------------------------------------------------------------------
+    # writing: primary disk + pipelined replica fan-out
+    # ------------------------------------------------------------------
+
+    def write(self, node, record: CheckpointRecord,
+              bandwidth: Optional[float] = None):
+        """Process generator: local dump, then stream copies to replicas.
+
+        Completes only once every surviving replica is durable, so a
+        protocol's commit point certifies the full replication factor
+        (minus any holder that crashed or partitioned away mid-transfer,
+        which is logged as a failed replica and repaired later).
+        """
+        yield from node.disk.write(record.nbytes, bandwidth=bandwidth)
+        record.holder_nodes = [node.node_id]
+        self._records[(record.app_id, record.rank, record.version)] = record
+        self._m_writes.inc()
+        self._m_bytes.inc(record.nbytes)
+        yield from self._replicate(node, record)
+
+    def _replicate(self, node, record: CheckpointRecord):
+        targets = self.replica_targets(node.node_id, record)
+        if not targets:
+            return
+        engine = self.engine
+        fabric = self.cluster.myrinet
+        t0 = engine.now
+        in_flight = []
+        for target in targets:
+            # The sender serializes each copy back to back on its NIC;
+            # wire latency + the remote disk write pipeline per target.
+            yield engine.timeout(record.nbytes / fabric.spec.bandwidth)
+            tnode = self.cluster.nodes.get(target)
+            if tnode is None or not tnode.is_up \
+                    or not self._reachable(node.node_id, target):
+                self._m_repl_failed.inc()
+                continue
+            proc = tnode.spawn(
+                self._ingest(record, target, fabric),
+                name=f"replica:{record.app_id}:{record.rank}"
+                     f":{record.version}:{target}"
+                     if engine.tracer is not None else None)
+            in_flight.append(proc)
+        for proc in in_flight:
+            yield proc
+        self._h_fanout.observe(engine.now - t0)
+
+    def _ingest(self, record: CheckpointRecord, target: str, fabric):
+        """Replica-holder side: wire latency, disk write, register."""
+        try:
+            yield self.engine.timeout(fabric.spec.layers.one_way_fixed)
+            tnode = self.cluster.nodes.get(target)
+            if tnode is None or not tnode.is_up:
+                self._m_repl_failed.inc()
+                return
+            yield from tnode.disk.write(record.nbytes)
+        except Interrupt:
+            # The holder crashed mid-transfer: the copy is gone.
+            self._m_repl_failed.inc()
+            return
+        key = (record.app_id, record.rank, record.version)
+        if self._records.get(key) is not record or not self._node_up(target):
+            self._m_repl_failed.inc()
+            return
+        if target not in record.holder_nodes:
+            record.holder_nodes.append(target)
+        self._m_repl_ok.inc()
+        self._m_repl_bytes.inc(record.nbytes)
+
+    # ------------------------------------------------------------------
+    # reading: nearest reachable holder
+    # ------------------------------------------------------------------
+
+    def available_holders(self, record: CheckpointRecord,
+                          from_node: Optional[str] = None) -> List[str]:
+        """Holders that are up (and reachable from ``from_node``)."""
+        return [h for h in record.holder_nodes
+                if self._node_up(h)
+                and (from_node is None or self._reachable(from_node, h))]
+
+    def record_available(self, app_id: str, rank: int, version: int,
+                         from_node: Optional[str] = None) -> bool:
+        record = self._records.get((app_id, rank, version))
+        if record is None:
+            return False
+        return bool(self.available_holders(record, from_node=from_node))
+
+    def read(self, node, app_id: str, rank: int, version: int,
+             bandwidth: Optional[float] = None):
+        """Process generator: load from the nearest reachable holder.
+
+        A local copy reads at disk speed; otherwise the holder's disk is
+        read remotely and the image crosses the fast network.  The record
+        is read-pinned for the duration (GC cannot collect it mid-read).
+        """
+        record = self.peek(app_id, rank, version)
+        key = (app_id, rank, version)
+        self._pin(key)
+        try:
+            holders = self.available_holders(record,
+                                             from_node=node.node_id)
+            if not holders:
+                raise NoCheckpoint(
+                    f"no reachable replica of (app={app_id}, rank={rank}, "
+                    f"version={version}); holders={record.holder_nodes}")
+            if record.in_memory:
+                from repro.calibration import BIP_BANDWIDTH, US
+                yield self.engine.timeout(
+                    200 * US + record.nbytes / BIP_BANDWIDTH)
+            elif node.node_id in holders:
+                yield from node.disk.read(record.nbytes,
+                                          bandwidth=bandwidth)
+            else:
+                source = holders[0]
+                snode = self.cluster.nodes[source]
+                yield from snode.disk.read(record.nbytes)
+                yield self.engine.timeout(
+                    self.cluster.myrinet.spec.one_way(record.nbytes))
+                self._m_remote_reads.inc()
+            self._m_reads.inc()
+            return record
+        finally:
+            self._unpin(key)
+
+    # ------------------------------------------------------------------
+    # membership reactions (wired as a cluster watcher)
+    # ------------------------------------------------------------------
+
+    def on_membership(self, node_id: str, event: str) -> None:
+        """Cluster watcher: keep availability honest, wake the repairer.
+
+        Runs synchronously inside the crash/recover call — in the same
+        sim instant the node goes down, its in-memory copies are gone
+        and its disk copies stop counting (via :meth:`_node_up`)."""
+        if event in ("crash", "remove"):
+            self.drop_volatile(node_id)
+        if event == "remove":
+            self.drop_disk_holders(node_id)
+        if event in ("crash", "remove"):
+            self._record_breaches()
+        if self.repair is not None and event in ("crash", "remove",
+                                                 "recover", "add"):
+            self.repair.kick(reason=f"{event}:{node_id}")
+
+    def _record_breaches(self) -> None:
+        """Log every committed line that just became non-restorable.
+
+        Invariant checkers can only observe the store after the cluster
+        re-settles — by which point a restarted app has recommitted a
+        fresh, fully-replicated line and the loss is invisible.  The
+        breach log captures it at the instant of the membership change;
+        each entry carries the down-set so a checker can apply its own
+        ``k-1`` contract window."""
+        from repro.cluster.node import NodeState
+        down = tuple(nid for nid, node in sorted(self.cluster.nodes.items())
+                     if node.state is not NodeState.UP)
+        for app_id in sorted(self._committed):
+            committed = self.latest_committed(app_id)
+            if committed is None:
+                continue
+            ranks = sorted({key[1] for key in self._records
+                            if key[0] == app_id and key[2] == committed})
+            restorable = self.latest_restorable(app_id, ranks)
+            if restorable != committed:
+                self.breaches.append({
+                    "time": self.engine.now, "app_id": app_id,
+                    "committed": committed, "restorable": restorable,
+                    "down": down})
+
+    def drop_disk_holders(self, node_id: str) -> int:
+        """A node (and its disk) left the cluster for good.
+
+        Returns the number of records that lost their LAST copy."""
+        lost = 0
+        for key, rec in list(self._records.items()):
+            if not rec.in_memory and node_id in rec.holder_nodes:
+                rec.holder_nodes.remove(node_id)
+                if not rec.holder_nodes:
+                    del self._records[key]
+                    self._m_repl_lost.inc()
+                    lost += 1
+        return lost
+
+    # ------------------------------------------------------------------
+    # repair bookkeeping
+    # ------------------------------------------------------------------
+
+    def replica_deficit(self) -> int:
+        """Total missing copies across all records (the repair backlog).
+
+        The target per record is ``min(k, up nodes)`` — a 2-node cluster
+        with k=3 is honestly under-provisioned, not infinitely broken."""
+        from repro.cluster.node import NodeState
+        n_up = sum(1 for n in self.cluster.nodes.values()
+                   if n.state is NodeState.UP)
+        target = min(self.k, max(1, n_up))
+        deficit = 0
+        for rec in self._records.values():
+            live = sum(1 for h in rec.holder_nodes if self._node_up(h))
+            deficit += max(0, target - live)
+        return deficit
+
+    def replica_map(self, app_id: Optional[str] = None):
+        """Rows of (key, record, live_holders) for inspection/CLI."""
+        out = []
+        for key in sorted(self._records):
+            if app_id is not None and key[0] != app_id:
+                continue
+            rec = self._records[key]
+            out.append((key, rec, self.available_holders(rec)))
+        return out
+
+    def __repr__(self) -> str:
+        return (f"<ReplicatedStore k={self.k} policy={self.policy.name} "
+                f"{len(self._records)} records deficit="
+                f"{self.replica_deficit()}>")

@@ -225,3 +225,34 @@ def test_no_gossip_config_keeps_partitions_separate():
     # Without gossip the two singleton views never merge.
     assert h.member_ids("n0") == ["n0"]
     assert h.member_ids("n1") == ["n1"]
+
+
+def test_reincarnated_member_ignores_frames_for_its_predecessor():
+    # Frames addressed to a dead incarnation (retransmits queued while the
+    # node was down) must not reach the recovered member on the same node:
+    # accepting them poisons the per-sender reliable streams — the old
+    # stream's sequence numbers shadow the new one's, and fresh sends get
+    # acked away as "duplicates" without ever being delivered.
+    h = Harness(nodes=3)
+    h.boot_all()
+    h.run(until=2.0)
+    old_ep = h.members["n2"].endpoint
+    h.cluster.crash_node("n2")
+    h.run(until=4.0)
+    node = h.cluster.recover_node("n2")
+    gm = GroupMember(h.engine, node, config=h.cfg)
+    h.members["n2b"] = gm
+    h.log["n2b"] = []
+    node.spawn(h._recorder("n2b", gm))
+    gm.start(contact=h.members["n0"].endpoint)
+    h.run(until=7.0)
+    new_ep = h.last_view("n0").member_on("n2")
+    assert new_ep.inc != old_ep.inc
+
+    h.members["n0"].send(old_ep, "for-the-dead")     # must vanish
+    h.members["n0"].send(new_ep, "for-the-living")
+    h.run(until=10.0)
+    p2p = [ev.payload for ev in h.log["n2b"]
+           if type(ev).__name__ == "P2pEvent"]
+    assert "for-the-living" in p2p
+    assert "for-the-dead" not in p2p

@@ -234,3 +234,92 @@ def test_duplicate_create_ignored():
     results = {nid: tuple(m.node for m in h.lwg[nid].members("a"))
                for nid in h.members}
     assert len(set(results.values())) == 1
+
+
+# ---------------------------------------------------------------------------
+# ordering epochs: gseq numbering restarts on every membership change, and
+# the sequencer's direct sends are not ordered against the main group's
+# total order — receivers must park traffic from changes they have not
+# applied yet instead of dropping it (a dropped gseq wedges the stream)
+# ---------------------------------------------------------------------------
+
+def test_future_epoch_ord_parked_until_membership_catches_up():
+    h = booted()
+    h.lwg["n0"].create("app1", eps(h, "n0", "n1", "n2"))
+    h.run(until=3.0)
+    h.watch("n2", "app1")
+    m2 = h.lwg["n2"]
+    state = m2.groups["app1"]
+    ep3 = h.members["n3"].endpoint
+    # An ord sequenced under n3's join, arriving before n2 applies it.
+    m2._receive_ordered(("lwg-ord", "app1", state.epoch + 1, 0, ep3, 0,
+                         "hello", "coordination"))
+    h.run(until=3.3)
+    assert h.lwg_casts("n2", "app1") == []        # parked, not delivered
+    m2._apply_op(("lwg-op", "join", "app1", ep3))
+    h.run(until=3.6)
+    assert h.lwg_casts("n2", "app1") == ["hello"]
+
+
+def test_stale_epoch_ord_dropped_after_membership_change():
+    h = booted()
+    h.lwg["n0"].create("app1", eps(h, "n0", "n1", "n2"))
+    h.run(until=3.0)
+    h.watch("n2", "app1")
+    m2 = h.lwg["n2"]
+    old_epoch = m2.groups["app1"].epoch
+    m2._apply_op(("lwg-op", "join", "app1", h.members["n3"].endpoint))
+    ep0 = h.members["n0"].endpoint
+    # A pre-change ord limping in late: its numbering is obsolete and its
+    # payload was re-driven by the origin, so it must not deliver.
+    m2._receive_ordered(("lwg-ord", "app1", old_epoch, 0, ep0, 7,
+                         "stale", "coordination"))
+    h.run(until=3.5)
+    assert h.lwg_casts("n2", "app1") == []
+
+
+def test_ord_before_replica_exists_is_parked_and_replayed():
+    h = booted()
+    m3 = h.lwg["n3"]
+    h.watch("n3", "app1")
+    ep0 = h.members["n0"].endpoint
+    ep3 = h.members["n3"].endpoint
+    # A joining daemon can receive group traffic before the state blob
+    # that tells it the group exists (different senders, no mutual FIFO).
+    m3._receive_ordered(("lwg-ord", "app1", 0, 0, ep0, 0, "early",
+                         "coordination"))
+    assert "app1" in m3._orphans
+    m3._apply_op(("lwg-op", "create", "app1", (ep0, ep3)))
+    h.run(until=2.5)
+    assert h.lwg_casts("n3", "app1") == ["early"]
+
+
+def test_sequencer_parks_data_from_not_yet_admitted_origin():
+    h = booted()
+    h.lwg["n0"].create("app1", eps(h, "n0", "n1"))
+    h.run(until=3.0)
+    h.watch("n0", "app1")
+    m0 = h.lwg["n0"]                 # n0 is min(members): the sequencer
+    ep2 = h.members["n2"].endpoint
+    # ep2 applied its (totally ordered) join before the sequencer did and
+    # is already casting; dropping would lose the message for good.
+    m0._sequence(("lwg-data", "app1", ep2, 0, "fresh", "coordination"))
+    h.run(until=3.3)
+    assert h.lwg_casts("n0", "app1") == []
+    m0._apply_op(("lwg-op", "join", "app1", ep2))
+    h.run(until=3.6)
+    assert h.lwg_casts("n0", "app1") == ["fresh"]
+
+
+def test_absorb_filters_dead_members_and_counts_the_epoch_bump():
+    from repro.gcs.endpoint import EndpointId
+    h = booted()
+    m1 = h.lwg["n1"]
+    ghost = EndpointId("nX", "daemon", 10 ** 6)   # not in any view
+    live = h.members["n0"].endpoint
+    m1.absorb({"appZ": ((live, ghost), 4)})
+    state = m1.groups["appZ"]
+    assert ghost not in state.members and live in state.members
+    # The view that killed `ghost` bumps the epoch once on every old
+    # replica; the absorbed copy must count the same bump.
+    assert state.epoch == 5

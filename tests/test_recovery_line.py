@@ -144,3 +144,100 @@ def test_discarded_intervals_counts_lost_work():
     assert line.cut[0] == 1
     assert line.cut[1] == -1
     assert line.discarded_intervals == 3  # rank1 lost intervals 0,1,2(live)
+
+
+# ---------------------------------------------------------------------------
+# replica loss: unreachable checkpoints truncate a rank's usable prefix
+# (uncoordinated protocol over the replicated store — satellite of the
+# repro.store PR; the daemon feeds compute_recovery_line a ckpt_count cut
+# down to the restorable prefix, which can domino OTHER ranks further back)
+# ---------------------------------------------------------------------------
+
+def test_truncated_prefix_dominoes_the_peer():
+    # rank0: ckpts 0 and 1; it sent a message in interval 1 (after ckpt 0,
+    # before ckpt 1) that rank1 received and captured in its ckpt 0.
+    def graph():
+        g = DependencyGraph([0, 1])
+        g.record_checkpoint(0)                 # rank0 ckpt 0
+        g.record_message(0, 1, 1, 0)           # sent interval 1, recv by 1
+        g.record_checkpoint(0)                 # rank0 ckpt 1
+        g.record_checkpoint(1)                 # rank1 ckpt 0
+        return g
+
+    # All replicas reachable: rank0 resumes after ckpt 1 — the interval-1
+    # send is inside it, nothing is orphaned, rank1 keeps its checkpoint.
+    line = compute_recovery_line(graph(), failed=[0, 1])
+    assert line.cut == {0: 1, 1: 0}
+
+    # Replica loss eats rank0's ckpt 1: the daemon truncates the usable
+    # prefix exactly like this, and the SAME dependency log now dominoes —
+    # rank0 re-executes interval 1, its message becomes unsent, and the
+    # receive captured by rank1's ckpt 0 is an orphan.
+    g = graph()
+    g.ckpt_count[0] = 1
+    line = compute_recovery_line(g, failed=[0, 1])
+    assert line.cut == {0: 0, 1: -1}
+    assert line.discarded_intervals > 0
+
+
+def test_hole_in_versions_truncates_not_filters():
+    # A reachable checkpoint AFTER an unreachable one must not be used:
+    # its interval numbering depends on the missing predecessor, so only
+    # the contiguous restorable prefix can anchor a rollback.  Losing the
+    # middle checkpoint costs the tail too.
+    g = DependencyGraph([0, 1])
+    for _ in range(3):
+        g.record_checkpoint(0)
+    g.record_checkpoint(1)
+    g.ckpt_count[0] = 1              # v2 unreachable: v3 is unusable too
+    line = compute_recovery_line(g, failed=[0])
+    assert line.cut[0] == 0
+
+
+def test_uncoordinated_restore_truncates_at_unreachable_replicas():
+    """End to end through the daemon: the recovery line falls back (and
+    dominoes) when a checkpoint's every replica is gone."""
+    from repro.apps import ComputeSleep
+    from repro.ckpt.storage import CheckpointRecord
+    from repro.cluster.spec import ClusterSpec
+    from repro.core import StarfishCluster
+    from repro.daemon.registry import AppRecord
+
+    sf = StarfishCluster.build(spec=ClusterSpec(nodes=5, seed=0,
+                                                replication_factor=2))
+    store, engine, cluster = sf.store, sf.engine, sf.cluster
+
+    def put(rank, node_id, version, deps=()):
+        rec = CheckpointRecord(
+            app_id="app", rank=rank, version=version, level="vm",
+            nbytes=1000, image=b"s", arch_name="sparc-sunos",
+            taken_at=engine.now, deps=list(deps))
+        engine.process(store.write(cluster.nodes[node_id], rec))
+        engine.run(until=engine.now + 0.5)   # daemons never go idle
+
+    put(0, "n0", 1)
+    put(1, "n1", 1, deps=[(0, 1, 0)])     # recv of rank0's interval-1 send
+    # rank0's v2 replica target (ring successor n1) is cut off during the
+    # dump: v2 lands with a single copy on n0.
+    cluster.myrinet.set_partition(["n0", "n2", "n3", "n4"], ["n1"])
+    put(0, "n0", 2)
+    cluster.myrinet.clear_partition()
+    assert store.peek("app", 0, 2).holder_nodes == ["n0"]
+
+    record = AppRecord(
+        app_id="app", owner="t", nprocs=2, program=ComputeSleep, params={},
+        ft_policy="restart", ckpt_protocol="uncoordinated", ckpt_level="vm",
+        ckpt_interval=None, transport="bip-myrinet", polling=True,
+        placement={0: "n0", 1: "n1"})
+    daemon = sf.daemons["n2"]
+
+    restore = daemon._uncoordinated_restore(record)
+    assert restore["line"] == {0: 1, 1: 0}       # intact: latest ckpts
+
+    # Crash the only holder of v2 (v1 survives on its n1 replica): rank0's
+    # usable prefix shrinks to [v1] and the dependency log dominoes rank1
+    # all the way back to initial state.
+    cluster.crash_node("n0")
+    restore = daemon._uncoordinated_restore(record)
+    assert restore["line"] == {0: 0, 1: -1}
+    assert restore["discarded"] > 0

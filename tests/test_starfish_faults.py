@@ -217,3 +217,32 @@ def test_native_checkpoint_restart_prefers_same_representation():
     results = sf.run_to_completion(handle, timeout=300)
     assert results == {0: 30, 1: 30}
     assert node_of_rank(handle, 1) == "n3"   # same repr as the Linux nodes
+
+
+def test_wave_completes_with_lingering_rank_on_reincarnated_node():
+    # Regression: rank 2 is twice displaced by crashes, finishes on a
+    # RECOVERED node, and later checkpoint waves still need its (finished,
+    # lingering) module to participate.  This used to wedge two ways: the
+    # recovered daemon accepted reliable-stream frames addressed to its
+    # dead predecessor (shadowing fresh sequence numbers), and lwg-ord
+    # messages racing the join op were dropped instead of parked — either
+    # way the wave waited forever on the lingering rank's ss-counts.
+    from repro.cluster import ClusterSpec
+    from repro.faults import CrashNode, FaultPlan, RecoverNode
+
+    sf = StarfishCluster.build(spec=ClusterSpec(nodes=5, seed=3,
+                                                replication_factor=2))
+    handle = sf.submit(AppSpec(
+        program=ComputeSleep, nprocs=3,
+        params={"steps": 24, "step_time": 0.25, "state_bytes": 8192},
+        ft_policy=FaultPolicy.RESTART,
+        checkpoint=CheckpointConfig(protocol="stop-and-sync",
+                                    level="vm", interval=0.8)))
+    FaultPlan() \
+        .at(1.2, CrashNode(node="n2")) \
+        .at(2.8, RecoverNode(node="n2")) \
+        .at(4.4, CrashNode(node="n3")) \
+        .at(6.0, RecoverNode(node="n3")) \
+        .apply_to(sf)
+    results = sf.run_to_completion(handle, timeout=120.0)
+    assert results == {0: 24, 1: 24, 2: 24}
