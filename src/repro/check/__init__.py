@@ -1,0 +1,33 @@
+"""repro.check — the schedule-perturbation correctness harness.
+
+Re-runs any fault campaign under N seeded perturbations of same-instant
+event ordering (:class:`SchedulePerturbation`), watches the C/R protocols
+with always-on state-machine oracles (:class:`WaveOracle`), and converts
+hangs into typed liveness diagnoses (:func:`diagnose_hang`) instead of
+bare timeouts.  Every failure prints its perturbation seed and replays
+byte-identically from it: ``python -m repro check --replay SEED ...``.
+
+Import discipline: this package sits *below* the protocol layer for the
+oracles (``ckpt.protocols.base`` instantiates a :class:`WaveOracle`) and
+*above* the campaign layer for the harness, so :class:`CheckRunner` is
+exported lazily — importing :mod:`repro.check` from the sim/ckpt layers
+must not drag in ``repro.faults``.
+"""
+
+from __future__ import annotations
+
+from repro.check.oracles import OracleViolation, WaveOracle
+from repro.check.perturb import SchedulePerturbation
+
+__all__ = ["SchedulePerturbation", "WaveOracle", "OracleViolation",
+           "CheckRunner", "CheckResult", "diagnose_hang"]
+
+
+def __getattr__(name):
+    if name in ("CheckRunner", "CheckResult"):
+        from repro.check import harness
+        return getattr(harness, name)
+    if name == "diagnose_hang":
+        from repro.check.watchdog import diagnose_hang
+        return diagnose_hang
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,138 @@
+"""Always-on state-machine oracles for the C/R protocols.
+
+Every :class:`~repro.ckpt.protocols.base.CrProtocol` instance carries a
+:class:`WaveOracle`.  The protocols report their state transitions to it
+(wave begin/abort, counts published, local dump, commit coordination,
+commit observed) and the oracle asserts the invariants that must hold in
+*every* event interleaving — the properties the schedule-perturbation
+harness shakes the protocols against:
+
+* a module never writes two checkpoint records for the same version
+  (``dump`` twice = a wave epoch bug: an aborted wave's dump leaked into
+  its revival, or a duplicated handler run);
+* a module never begins a wave for a version it already observed commit,
+  and never runs two waves at once;
+* a module publishes its send counters at most once per wave epoch;
+* commit coordination happens at most once per version per module;
+* a committed version strictly increases per module, and a module
+  participating in a wave (``_active == v``) must have dumped ``v``
+  before observing its commit — otherwise the "recovery line" would be
+  missing this rank's checkpoint;
+* (diskless) a buddy ack never arrives when no acks are outstanding —
+  an extra ack would re-trigger the post-dump transition.
+
+Violations raise :class:`~repro.errors.OracleViolation` immediately; the
+protocol main loops deliberately re-raise it (instead of treating it as a
+crash-induced teardown), so the engine surfaces it as a typed failure of
+the run.  The oracle holds plain Python state and does no per-message
+work — it only runs at wave transitions, so "always-on" costs nothing
+measurable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from repro.errors import OracleViolation
+
+
+class WaveOracle:
+    """Per-module invariant checker for one C/R protocol instance."""
+
+    __slots__ = ("protocol", "rank", "_dumped", "_committed", "_active",
+                 "_counts_published", "_commits_started", "violations")
+
+    def __init__(self, protocol):
+        self.protocol = protocol
+        self.rank: Optional[int] = None      # set on start()
+        self._dumped: Set[int] = set()       # versions this module dumped
+        self._committed: int = -1            # highest committed version
+        self._active: Optional[int] = None   # wave the oracle believes open
+        self._counts_published: Set[int] = set()
+        self._commits_started: Set[int] = set()
+        self.violations: int = 0
+
+    # -- plumbing ----------------------------------------------------------
+
+    def bind(self, rank: int) -> None:
+        self.rank = rank
+
+    def _fail(self, invariant: str, detail: str) -> None:
+        self.violations += 1
+        raise OracleViolation(
+            f"[{self.protocol.name} rank={self.rank}] {invariant}: {detail}")
+
+    # -- wave lifecycle ----------------------------------------------------
+
+    def wave_begin(self, version: int) -> None:
+        if self._active is not None and self._active != version:
+            self._fail("single-wave",
+                       f"wave {version} begun while wave {self._active} "
+                       f"is still open")
+        if version <= self._committed:
+            self._fail("version-monotone",
+                       f"wave {version} begun but version "
+                       f"{self._committed} already committed")
+        self._active = version
+        # A wave revival (begin after abort) legitimately re-opens the
+        # same version; its per-epoch flags reset with it.
+        self._counts_published.discard(version)
+
+    def wave_abort(self, version: Optional[int]) -> None:
+        self._active = None
+
+    def counts_published(self, version: int) -> None:
+        if version != self._active:
+            self._fail("counts-in-wave",
+                       f"counts published for version {version} but wave "
+                       f"{self._active} is open")
+        if version in self._counts_published:
+            self._fail("counts-once",
+                       f"counts published twice for version {version} in "
+                       f"one wave epoch")
+        self._counts_published.add(version)
+
+    def dumped(self, version: int) -> None:
+        """The module wrote (or streamed) its checkpoint record for
+        ``version``."""
+        if version in self._dumped:
+            self._fail("dump-once",
+                       f"checkpoint record for version {version} written "
+                       f"twice by one module instance")
+        self._dumped.add(version)
+
+    def commit_coordination(self, version: int) -> None:
+        if version in self._commits_started:
+            self._fail("commit-coordinate-once",
+                       f"commit coordination started twice for version "
+                       f"{version}")
+        self._commits_started.add(version)
+
+    def committed(self, version: int, *, participating: bool) -> None:
+        """The module observed ``version`` commit.
+
+        ``participating``: the module was inside wave ``version`` when the
+        commit arrived (coordinated protocols) or took the checkpoint
+        itself (uncoordinated) — then its own dump must be part of the
+        line.
+        """
+        if version <= self._committed:
+            self._fail("commit-monotone",
+                       f"version {version} committed after version "
+                       f"{self._committed}")
+        if participating and version not in self._dumped:
+            self._fail("commit-covers-dump",
+                       f"version {version} committed but this module never "
+                       f"dumped it — the recovery line is missing rank "
+                       f"{self.rank}")
+        self._committed = version
+        if self._active == version:
+            self._active = None
+
+    # -- diskless ----------------------------------------------------------
+
+    def buddy_ack(self, version: int, acks_pending: int) -> None:
+        if acks_pending <= 0:
+            self._fail("ack-balance",
+                       f"dl-ack for version {version} arrived with "
+                       f"{acks_pending} acks outstanding")

@@ -1,0 +1,145 @@
+"""Liveness watchdog: turn a hung campaign into a typed diagnosis.
+
+When a perturbed schedule deadlocks a C/R wave, the symptom is a bare
+``CampaignError: workload did not reach a terminal state`` — useless for
+debugging.  :func:`diagnose_hang` dumps the protocol state of every rank
+at the moment the timeout fired: which wave is open, which ranks' counts
+or done-votes are missing, how many buddy acks are outstanding, and which
+channel/event each module's main loop is parked on.  The result is plain
+JSON-able data that rides the campaign report (and therefore replays
+byte-identically with the rest of it).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.sim.events import Timeout
+from repro.sim.process import Process
+
+
+def _parked_on(proto) -> Optional[str]:
+    """Human-readable description of what a module's main loop waits on."""
+    proc: Optional[Process] = proto._proc
+    if proc is None:
+        return "not-started"
+    if proc.triggered:
+        return "dead"
+    target = proc._target
+    if target is None:
+        return "runnable"
+    inbox = proto.inbox
+    if inbox is not None and target in inbox._getters:
+        return f"channel:{inbox.name}"
+    if isinstance(target, Timeout):
+        return f"timeout:{target.delay:g}"
+    return f"event:{target.name or type(target).__name__}"
+
+
+def _rank_entry(rank: int, node_id: str, handle) -> Dict[str, Any]:
+    entry: Dict[str, Any] = {
+        "rank": rank,
+        "node": node_id,
+        "steps_completed": handle.steps_completed,
+        "at_safe_point": handle._at_safe_point,
+        "pause_requests": handle._pause_req,
+        "finished": handle.done.triggered,
+    }
+    proto = handle.protocol
+    if proto is None:
+        return entry
+    entry["protocol"] = proto.name
+    entry["wave"] = getattr(proto, "_active", None)
+    entry["committed"] = proto.last_committed
+    entry["inbox_depth"] = (len(proto.inbox)
+                            if proto.inbox is not None else None)
+    entry["parked_on"] = _parked_on(proto)
+    # Coordinated wave bookkeeping, where present.
+    counts = getattr(proto, "_counts", None)
+    if counts is not None:
+        entry["counts_from"] = sorted(counts)
+    done = getattr(proto, "_done", None)
+    if done is not None:
+        entry["done_from"] = sorted(done)
+    recording = getattr(proto, "_recording", None)
+    if recording is not None:
+        entry["recording_channels"] = sorted(recording)
+    acks = getattr(proto, "_acks_pending", None)
+    if acks is not None:
+        entry["acks_pending"] = acks
+    return entry
+
+
+def diagnose_hang(sf, handle, exc) -> Dict[str, Any]:
+    """Dump per-rank protocol state for a hung (or dying) campaign run.
+
+    ``sf`` is the :class:`~repro.core.StarfishCluster`, ``handle`` the app
+    handle of the workload, ``exc`` the typed error that ended the run.
+    Returns a JSON-serializable dict; never raises (a watchdog that
+    crashes while diagnosing a hang would mask the original failure).
+    """
+    ranks: List[Dict[str, Any]] = []
+    try:
+        app_id = handle.app_id
+        for node_id in sorted(sf.daemons):
+            daemon = sf.daemons[node_id]
+            for (aid, rank), h in sorted(daemon.handles.items()):
+                if aid != app_id:
+                    continue
+                try:
+                    ranks.append(_rank_entry(rank, node_id, h))
+                except Exception as entry_exc:   # pragma: no cover
+                    ranks.append({"rank": rank, "node": node_id,
+                                  "error": repr(entry_exc)})
+    except Exception as walk_exc:                # pragma: no cover
+        return {"error": f"watchdog failed: {walk_exc!r}"}
+
+    diagnosis: Dict[str, Any] = {"cause": type(exc).__name__, "ranks": ranks}
+    waves = {r["wave"] for r in ranks if r.get("wave") is not None}
+    if waves:
+        wave = max(waves)
+        in_wave = [r for r in ranks if r.get("wave") == wave]
+        present = {r["rank"] for r in in_wave}
+        missing_counts = sorted(set().union(
+            *(present - set(r.get("counts_from", present))
+              for r in in_wave)) if in_wave else [])
+        missing_done = sorted(set().union(
+            *(present - set(r.get("done_from", present))
+              for r in in_wave)) if in_wave else [])
+        diagnosis["stalled_wave"] = {
+            "version": wave,
+            "ranks_in_wave": sorted(present),
+            "missing_counts_from": missing_counts,
+            "missing_done_from": missing_done,
+        }
+    return diagnosis
+
+
+def format_diagnosis(diagnosis: Dict[str, Any]) -> str:
+    """Render a diagnosis dict as indented text for CLI output."""
+    lines = [f"cause: {diagnosis.get('cause')}"]
+    stalled = diagnosis.get("stalled_wave")
+    if stalled:
+        lines.append(
+            f"stalled wave v{stalled['version']} over ranks "
+            f"{stalled['ranks_in_wave']}: missing counts from "
+            f"{stalled['missing_counts_from']}, missing done from "
+            f"{stalled['missing_done_from']}")
+    for r in diagnosis.get("ranks", []):
+        if "error" in r:
+            lines.append(f"rank {r.get('rank')}: <{r['error']}>")
+            continue
+        bits = [f"rank {r['rank']}@{r['node']}"]
+        if "protocol" in r:
+            bits.append(f"{r['protocol']} wave={r['wave']} "
+                        f"committed={r['committed']} "
+                        f"parked_on={r['parked_on']} "
+                        f"inbox={r['inbox_depth']}")
+            if "acks_pending" in r:
+                bits.append(f"acks_pending={r['acks_pending']}")
+        bits.append(f"steps={r['steps_completed']} "
+                    f"safe_point={r['at_safe_point']} "
+                    f"pauses={r['pause_requests']} "
+                    f"finished={r['finished']}")
+        lines.append("  ".join(bits))
+    return "\n".join("  " + ln for ln in lines)

@@ -11,7 +11,8 @@ from __future__ import annotations
 
 from typing import Any, List, Optional, Set, Tuple
 
-from repro.errors import CheckpointError, Interrupt
+from repro.check.oracles import WaveOracle
+from repro.errors import CheckpointError, Interrupt, OracleViolation
 from repro.obs.instruments import (NULL_COUNTER, NULL_HISTOGRAM)
 from repro.obs.registry import get_registry
 from repro.sim.channel import Channel
@@ -86,6 +87,8 @@ class CrProtocol:
         self.last_committed: Optional[int] = None
         self._live_hint: Optional[Set[int]] = None
         self._commit_started: Optional[int] = None
+        #: Always-on state-machine invariant checker (repro.check).
+        self.oracle = WaveOracle(self)
         # Instruments materialize in start() (that's when we learn the
         # engine); until then the no-op twins keep stats readable.
         self._m_checkpoints = NULL_COUNTER
@@ -104,6 +107,7 @@ class CrProtocol:
 
     def start(self, ctx: CrContext) -> None:
         self.ctx = ctx
+        self.oracle.bind(ctx.rank)
         reg = get_registry(ctx.engine)
         labels = dict(protocol=self.name, app=ctx.app_id, rank=str(ctx.rank))
         self._m_checkpoints = reg.counter(
@@ -183,6 +187,10 @@ class CrProtocol:
                     yield from result
         except Interrupt:
             return
+        except OracleViolation:
+            # An invariant broke — surface it as a typed failure of the
+            # run, never as a silent module death.
+            raise
         except Exception:
             # Node crash closes the inbox mid-get; the module dies with it.
             return
@@ -208,7 +216,8 @@ class CrProtocol:
         """Record one sync/drain phase duration (coordinated protocols)."""
         self._h_sync.observe(seconds)
 
-    def _committed(self, version: int) -> None:
+    def _committed(self, version: int, *, participating: bool = True) -> None:
+        self.oracle.committed(version, participating=participating)
         self.last_committed = version
         self._m_commits.inc()
         self.ctx.notify_committed(version)

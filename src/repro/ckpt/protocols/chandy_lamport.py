@@ -104,6 +104,7 @@ class ChandyLamportProtocol(CrProtocol):
     def _take_snapshot(self, version: int, target: Optional[int] = None):
         self._version = version
         self._active = version
+        self.oracle.wave_begin(version)
         self._done = set()
         self._recorded = []
         ctx = self.ctx
@@ -179,6 +180,7 @@ class ChandyLamportProtocol(CrProtocol):
             mpi_state=mpi_state, channel_msgs=list(self._recorded))
         yield from ctx.store.write(ctx.node, record,
                                    bandwidth=ctx.checkpointer.write_bandwidth)
+        self.oracle.dumped(version)
         self.record_checkpoint(nbytes)
         ctx.cast(("cl-done", version, ctx.rank))
 
@@ -195,6 +197,7 @@ class ChandyLamportProtocol(CrProtocol):
             return
         if self.ctx.rank == min(peers) and self._commit_started != version:
             self._commit_started = version
+            self.oracle.commit_coordination(version)
             yield self.ctx.engine.timeout(
                 commit_barrier_cost(self.ctx.checkpointer.level, len(peers)))
             self.ctx.store.commit(self.ctx.app_id, version)

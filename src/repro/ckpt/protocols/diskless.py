@@ -121,6 +121,7 @@ class DisklessProtocol(StopAndSyncProtocol):
                 ("dl-store", version, me, record), nbytes=nbytes)
 
     def _after_dump(self, version: int, nbytes: int) -> None:
+        self.oracle.dumped(version)
         self.record_checkpoint(nbytes)
         self.ctx.cast(("ss-done", version, self.ctx.rank))
 
@@ -140,6 +141,7 @@ class DisklessProtocol(StopAndSyncProtocol):
         _, version = payload
         if version != self._active:
             return None
+        self.oracle.buddy_ack(version, self._acks_pending)
         self._acks_pending -= 1
         if self._acks_pending > 0:
             return None

@@ -74,6 +74,7 @@ class StopAndSyncProtocol(CrProtocol):
         super().on_membership_change(live_ranks)
         if self._active is None:
             return
+        self.oracle.wave_abort(self._active)
         self._active = None
         self._counts = {}
         self._done = set()
@@ -118,12 +119,14 @@ class StopAndSyncProtocol(CrProtocol):
             return        # that line committed while the begin was queued
         self._version = max(self._version, proposed)
         self._active = proposed
+        self.oracle.wave_begin(proposed)
         self._counts = {}
         self._done = set()
         yield from self.ctx.pause(target)
         if self._active != proposed:
             return            # aborted by a membership change mid-pause
         sent, _ = self.ctx.endpoint.channel_counters()
+        self.oracle.counts_published(proposed)
         self.ctx.cast(("ss-counts", proposed, self.ctx.rank, sent))
 
     def on_ss_counts(self, payload, source):
@@ -166,6 +169,7 @@ class StopAndSyncProtocol(CrProtocol):
                        **ctx.runtime_meta()})
         yield from ctx.store.write(
             ctx.node, record, bandwidth=ctx.checkpointer.write_bandwidth)
+        self.oracle.dumped(version)
         self.record_checkpoint(nbytes)
         ctx.cast(("ss-done", version, me))
 
@@ -179,6 +183,7 @@ class StopAndSyncProtocol(CrProtocol):
             return
         if self.ctx.rank == min(peers) and self._commit_started != version:
             self._commit_started = version
+            self.oracle.commit_coordination(version)
             # Commit coordinator: stable-storage barrier, then release.
             yield self.ctx.engine.timeout(self._commit_barrier(len(peers)))
             self.ctx.store.commit(self.ctx.app_id, version)

@@ -134,8 +134,12 @@ class UncoordinatedProtocol(CrProtocol):
             deps=list(deps), msg_log=log)
         yield from ctx.store.write(ctx.node, record,
                                    bandwidth=ctx.checkpointer.write_bandwidth)
+        self.oracle.dumped(index)
         self.record_checkpoint(nbytes)
-        self._committed(index + 1)
+        # No coordination: "committing" is just local bookkeeping, and the
+        # completion-event version is the *interval* the checkpoint opened
+        # (index + 1), which the oracle must not match against the dump.
+        self._committed(index + 1, participating=False)
 
     # -- recovery-side helpers ---------------------------------------------------
 

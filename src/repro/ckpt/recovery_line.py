@@ -128,7 +128,16 @@ def compute_recovery_line(graph: DependencyGraph,
     while changed:
         changed = False
         for dep in graph.deps:
-            if dep.sender not in x or dep.receiver not in x:
+            if dep.receiver not in x:
+                continue           # receiver departed: nothing to roll back
+            if dep.sender not in x:
+                # Departed/dynamic sender: it will never re-execute, so any
+                # message received from it is unconditionally an orphan with
+                # respect to the cut — the receiver must roll back to before
+                # the receive, exactly as if the sender rolled to interval 0.
+                if x[dep.receiver] > dep.recv_interval:
+                    x[dep.receiver] = dep.recv_interval
+                    changed = True
                 continue
             if x[dep.sender] <= dep.send_interval and \
                     x[dep.receiver] > dep.recv_interval:

@@ -120,6 +120,62 @@ def cmd_chaos(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_check(args) -> int:
+    from repro.check.harness import CheckRunner
+    from repro.errors import CampaignError
+    from repro.faults import get_campaign
+    try:
+        campaigns = ([args.campaign] if args.campaign != "churn"
+                     else ["store-crash-burst", "partition-flap"])
+        for name in campaigns:
+            get_campaign(name)
+    except CampaignError as exc:
+        print(f"repro check: {exc}", file=sys.stderr)
+        return 2
+    protocols = ([args.protocol] if args.protocol != "all"
+                 else ["stop-and-sync", "chandy-lamport", "uncoordinated",
+                       "diskless"])
+    rc = 0
+    results = []
+    for name in campaigns:
+        for protocol in protocols:
+            runner = CheckRunner(name, protocol=protocol, seed=args.seed,
+                                 jitter=args.jitter, nodes=args.nodes)
+            if args.replay is not None:
+                outcome, identical = runner.replay(args.replay)
+                print(f"check {name!r} protocol={protocol} "
+                      f"perturb_seed={args.replay}: [{outcome.verdict}] "
+                      f"status={outcome.status}  "
+                      f"replay byte-identical: {identical}")
+                if outcome.error:
+                    print(f"  {outcome.error['type']}: "
+                          f"{outcome.error['message']}")
+                    diagnosis = outcome.error.get("diagnosis")
+                    if diagnosis:
+                        from repro.check.watchdog import format_diagnosis
+                        print(format_diagnosis(diagnosis))
+                if not identical or not outcome.ok:
+                    rc = 1
+                continue
+            result = runner.run(seeds=range(1, args.seeds + 1))
+            results.append(result)
+            print(result.summary())
+            if not result.ok:
+                rc = 1
+    if args.json is not None and args.replay is None:
+        import json as _json
+        payload = _json.dumps([r.to_dict() for r in results], sort_keys=True,
+                              indent=2, default=repr) + "\n"
+        try:
+            with open(args.json, "w") as fh:
+                fh.write(payload)
+        except OSError as exc:
+            print(f"repro check: cannot write {args.json}: {exc.strerror}",
+                  file=sys.stderr)
+            return 1
+    return rc
+
+
 def cmd_store(args) -> int:
     from repro.apps import ComputeSleep
     from repro.cluster.spec import ClusterSpec
@@ -255,6 +311,35 @@ def main(argv=None) -> int:
     chaos.add_argument("--json", default=None, metavar="OUT.json",
                        help="write the full campaign report as JSON")
     chaos.set_defaults(fn=cmd_chaos)
+
+    check = sub.add_parser(
+        "check", help="schedule-perturbation sweep: re-run a campaign "
+                      "under N seeded shuffles of same-instant event "
+                      "ordering, with protocol oracles + liveness watchdog")
+    check.add_argument("--campaign", default="churn", metavar="NAME",
+                       help="campaign name, or 'churn' (default) for the "
+                            "store-crash-burst + partition-flap pair")
+    check.add_argument("--protocol", default="all",
+                       choices=["all", "stop-and-sync", "chandy-lamport",
+                                "uncoordinated", "diskless"])
+    check.add_argument("--seeds", type=int, default=10, metavar="N",
+                       help="perturbation seeds 1..N to sweep (default 10)")
+    check.add_argument("--seed", type=int, default=0,
+                       help="the campaign seed (shared by every "
+                            "perturbed run)")
+    check.add_argument("--jitter", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="per-frame delivery jitter bound (breaks up "
+                            "same-instant wire batches; per-link FIFO is "
+                            "preserved)")
+    check.add_argument("--nodes", type=int, default=None,
+                       help="override the campaign's cluster size")
+    check.add_argument("--replay", type=int, default=None, metavar="PSEED",
+                       help="replay one perturbation seed twice and verify "
+                            "the report reproduces byte-identically")
+    check.add_argument("--json", default=None, metavar="OUT.json",
+                       help="write all sweep results as JSON")
+    check.set_defaults(fn=cmd_check)
 
     store = sub.add_parser("store", help="run a checkpointed workload on "
                                          "the replicated store and inspect "

@@ -66,6 +66,14 @@ class ClusterSpec:
     placement_policy: str = "ring"
     #: Repair-service re-replication budget, bytes/second.
     repair_bandwidth: float = 4.0e6
+    #: Schedule-perturbation seed (``repro.check``).  ``None`` (default)
+    #: keeps the untouched deterministic schedule; an int installs a
+    #: :class:`repro.check.SchedulePerturbation` on the engine that
+    #: shuffles same-instant event ordering.  Independent of ``seed``.
+    perturb_seed: Optional[int] = None
+    #: Per-frame delivery jitter bound in simulated seconds (requires
+    #: ``perturb_seed``); ``0.0`` leaves wire times untouched.
+    delivery_jitter: float = 0.0
 
     def __post_init__(self):
         if self.nodes < 1:
@@ -88,6 +96,14 @@ class ClusterSpec:
             raise ValueError(
                 "ClusterSpec.repair_bandwidth must be > 0, "
                 f"got {self.repair_bandwidth}")
+        if self.delivery_jitter < 0:
+            raise ValueError(
+                "ClusterSpec.delivery_jitter must be >= 0, "
+                f"got {self.delivery_jitter}")
+        if self.delivery_jitter > 0 and self.perturb_seed is None:
+            raise ValueError(
+                "ClusterSpec.delivery_jitter needs a perturb_seed (the "
+                "jitter draws come from the perturbation's seeded stream)")
 
     def with_(self, **overrides) -> "ClusterSpec":
         """A copy with some fields replaced (specs are frozen)."""

@@ -195,6 +195,16 @@ class RecoveryLineError(CheckpointError):
     """No consistent recovery line could be computed (domino collapse)."""
 
 
+class OracleViolation(CheckpointError):
+    """A C/R protocol broke a per-wave state-machine invariant.
+
+    Raised by the always-on :class:`repro.check.WaveOracle` the instant
+    the invariant breaks (not at end-of-run), so the failing schedule is
+    still on the stack.  Under the ``repro check`` harness the violation
+    is recorded with the perturbation seed that exposed it.
+    """
+
+
 class RepresentationError(ReproError):
     """Errors converting data between machine representations."""
 

@@ -107,7 +107,8 @@ class CampaignRunner:
                  app_id: str = "campaign",
                  settle_grace: float = 1.5,
                  settle_timeout: float = 20.0,
-                 workload_timeout: float = 240.0):
+                 workload_timeout: float = 240.0,
+                 watchdog=None):
         from repro.faults.campaigns import get_campaign
         self.campaign = (get_campaign(campaign)
                          if isinstance(campaign, str) else campaign)
@@ -128,6 +129,12 @@ class CampaignRunner:
         self.settle_grace = settle_grace
         self.settle_timeout = settle_timeout
         self.workload_timeout = workload_timeout
+        #: Optional liveness watchdog ``(sf, handle, exc) -> dict``: called
+        #: when a run aborts with a typed error, its JSON-able diagnosis
+        #: rides the report (and the exception, as ``exc.diagnosis``).
+        #: The ``repro check`` harness passes
+        #: :func:`repro.check.watchdog.diagnose_hang`.
+        self.watchdog = watchdog
 
     # -- pieces ------------------------------------------------------------
 
@@ -229,6 +236,10 @@ class CampaignRunner:
         except ReproError as exc:
             status = "aborted"
             error = {"type": type(exc).__name__, "message": str(exc)}
+            if self.watchdog is not None:
+                diagnosis = self.watchdog(sf, handle, exc)
+                error["diagnosis"] = diagnosis
+                exc.diagnosis = diagnosis
             if raise_on_error:
                 raise
 
@@ -291,4 +302,10 @@ class CampaignRunner:
             "engine": {"final_time": round(sf.engine.now, 9),
                        "events_processed": sf.engine.events_processed},
         }
+        # Only present under the repro.check harness: adding the key
+        # unconditionally would change the determinism goldens' bytes.
+        spec = self._cluster_spec()
+        if getattr(spec, "perturb_seed", None) is not None:
+            data["perturbation"] = {"seed": spec.perturb_seed,
+                                    "jitter": spec.delivery_jitter}
         return CampaignReport(data=data)

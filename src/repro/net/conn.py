@@ -261,6 +261,9 @@ class Connection:
         return self._inbox.get()
 
     def recv_nowait(self) -> Tuple[bool, Any]:
+        """Non-blocking probe: ``(True, msg)`` or ``(False, None)``;
+        raises :class:`ConnectionClosed` once the connection is torn down
+        and its inbox drained (same surface as :meth:`recv`)."""
         return self._inbox.get_nowait()
 
     def close(self):
@@ -323,6 +326,9 @@ class PipeEnd:
         return self._inbox.get()
 
     def recv_nowait(self) -> Tuple[bool, Any]:
+        """Non-blocking probe; raises :class:`ConnectionClosed` once the
+        pipe is closed and its inbox drained (same surface as
+        :meth:`recv`)."""
         return self._inbox.get_nowait()
 
     def close(self, exc: Optional[BaseException] = None) -> None:

@@ -75,6 +75,10 @@ class Fabric:
         # (equal fire time, consecutive transmit => ascending seq).
         self._batch: Optional[list] = None
         self._batch_now: float = -1.0
+        # Per-(src, dst) last-arrival floor under delivery jitter
+        # (repro.check): jittered frames must still arrive in per-link
+        # FIFO order, the one property the C/R protocols rely on.
+        self._jitter_floor: Dict[tuple, float] = {}
         # Traffic telemetry: one registry series per Table 1 message kind
         # (net.frames_sent{fabric=...,kind=...}); totals and the legacy
         # attribute API (frames_sent, kind_counts, ...) are read-side
@@ -225,6 +229,10 @@ class Fabric:
         # only propagation/switching remains.  Same-instant transmits join
         # the open batch instead of scheduling their own arrival event.
         engine = self.engine
+        perturb = engine._perturb
+        if perturb is not None:
+            self._transmit_perturbed(frame, perturb)
+            return
         now = engine._now
         batch = self._batch
         if batch is not None and self._batch_now == now:
@@ -238,6 +246,47 @@ class Fabric:
             name=f"wire:{frame.frame_id}+" if engine.tracer is not None
             else None)
         arrival.callbacks.append(self._deliver_batch)
+
+    def _transmit_perturbed(self, frame: Frame, perturb) -> None:
+        """Per-frame arrival under a schedule perturbation (repro.check).
+
+        Bypasses the same-instant wire batch — batched frames share one
+        event and could never be reordered by the tie shuffle.  Safe for
+        per-link FIFO even without jitter: NIC tx is serialized (driver
+        cost + link time per frame), so same-instant transmits always come
+        from *different* source nodes.  With jitter enabled, each frame's
+        wire time is stretched by a seeded draw, and a per-link arrival
+        floor keeps FIFO: a frame never lands at or before its predecessor
+        on the same (src, dst) link, so even the tie shuffle (which only
+        reorders *equal* times) cannot swap them.
+        """
+        engine = self.engine
+        delay = self.spec.layers.wire
+        if perturb.delivery_jitter > 0.0:
+            delay += perturb.draw_jitter()
+        arrival_at = engine._now + delay
+        key = (frame.src, frame.dst)
+        floor = self._jitter_floor.get(key, -1.0)
+        if arrival_at <= floor:
+            arrival_at = floor + 1e-12
+            delay = arrival_at - engine._now
+        self._jitter_floor[key] = arrival_at
+        arrival = Timeout(
+            engine, delay, value=frame,
+            name=f"wire:{frame.frame_id}~" if engine.tracer is not None
+            else None)
+        arrival.callbacks.append(self._deliver_one)
+
+    def _deliver_one(self, event) -> None:
+        frame = event._value
+        nics = self._nics
+        nic = nics.get(frame.dst)
+        if nic is None or (frame.src not in nics
+                           if self._partitions is None
+                           else not self._reachable(frame.src, frame.dst)):
+            self._m_dropped.inc()
+            return
+        nic._receive(frame)
 
     def _deliver_batch(self, event) -> None:
         frames = event._value

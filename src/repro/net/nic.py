@@ -113,8 +113,13 @@ class Nic:
             return
         engine = self.engine
         batch = self._rx_batch
+        # Under a schedule perturbation (repro.check) every frame gets its
+        # own driver_recv event so the tie shuffle can explore delivery
+        # orders; same-batch frames always come from different senders
+        # (NIC tx is serialized), so per-link FIFO is unaffected.
         if (batch is not None and self._rx_batch_seq == engine._seq
-                and self._rx_batch_now == engine._now):
+                and self._rx_batch_now == engine._now
+                and engine._perturb is None):
             batch.append(frame)
             return
         batch = [frame]

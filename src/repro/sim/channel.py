@@ -17,6 +17,36 @@ from repro.errors import SimulationError
 from repro.sim.events import _PENDING, Event
 
 
+class _GetEvent(Event):
+    """A channel get.
+
+    Carries a back-reference to its channel so that an item handed to a
+    getter whose process is interrupted *in the same instant* — after
+    ``put()`` succeeded this event but before its dispatch — can be
+    salvaged instead of vanishing with the defused event (see
+    ``Process._deliver_interrupt``).  ``priority`` is the heap priority
+    the item was put with, so a :class:`PriorityChannel` can re-queue a
+    salvaged item into the right priority class.
+    """
+
+    __slots__ = ("channel", "priority")
+
+    def __init__(self, engine, channel, name: Optional[str] = None):
+        # Inlined Event.__init__ — one get per delivered message.
+        self.engine = engine
+        self.name = name
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = None
+        self._defused = False
+        self.channel = channel
+        self.priority = 0
+
+    def salvage(self) -> None:
+        """Hand the undelivered item back to the channel."""
+        self.channel._redeliver(self._value, self.priority)
+
+
 class Channel:
     """Unbounded FIFO queue with event-based ``get``.
 
@@ -60,9 +90,9 @@ class Channel:
 
     def get(self) -> Event:
         """Return an event that fires with the next item."""
-        ev = Event(self.engine,
-                   name=f"get:{self.name}"
-                   if self.engine.tracer is not None else None)
+        ev = _GetEvent(self.engine, self,
+                       name=f"get:{self.name}"
+                       if self.engine.tracer is not None else None)
         if self._items:
             ev.succeed(self._items.popleft())
         elif self._closed is not None:
@@ -71,10 +101,34 @@ class Channel:
             self._getters.append(ev)
         return ev
 
+    def _redeliver(self, item: Any, priority: int) -> None:
+        """Re-route an item whose getter abandoned it mid-instant.
+
+        The item was already removed from the queue and handed to a get
+        event that will never run — it is still live, so it goes to the
+        next waiting getter, or back to the *head* of the queue (it was
+        the oldest item).  A closed channel re-queues too: items present
+        before the close drain first, per :meth:`close` semantics.
+        """
+        while self._getters:
+            getter = self._getters.popleft()
+            if getter._value is _PENDING and not getter._defused:
+                getter.succeed(item)
+                return
+        self._items.appendleft(item)
+
     def get_nowait(self) -> Tuple[bool, Any]:
-        """Non-blocking probe: ``(True, item)`` or ``(False, None)``."""
+        """Non-blocking probe: ``(True, item)`` or ``(False, None)``.
+
+        Items queued before a close drain first; once a closed channel is
+        empty the close exception is raised, exactly like :meth:`get` —
+        otherwise a polling loop would spin on ``(False, None)`` forever
+        against a crashed peer's queue.
+        """
         if self._items:
             return True, self._items.popleft()
+        if self._closed is not None:
+            raise self._closed
         return False, None
 
     def peek_all(self) -> List[Any]:
@@ -116,12 +170,18 @@ class PriorityChannel(Channel):
     (checkpoint requests, view changes) outrank background work.
     """
 
-    __slots__ = ("_heap", "_counter")
+    __slots__ = ("_heap", "_counter", "_reclaim_seq")
+
+    #: Salvaged items re-enter the heap with counters below this base so
+    #: they sort ahead of every normally-put item in their priority class
+    #: (they are the oldest of that class); see :meth:`_redeliver`.
+    _RECLAIM_BASE = -(2 ** 60)
 
     def __init__(self, engine, name: Optional[str] = None):
         super().__init__(engine, name=name)
         self._heap: List[Tuple[int, int, Any]] = []
         self._counter = 0
+        self._reclaim_seq = 0
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -131,27 +191,48 @@ class PriorityChannel(Channel):
             raise SimulationError(f"put() on closed channel {self.name!r}")
         while self._getters:
             getter = self._getters.popleft()
-            if getter._value is _PENDING:
+            # Same guard as Channel.put: an interrupted getter is detached
+            # and pre-defused; handing it the item would silently swallow a
+            # control event (checkpoint request, view change).
+            if getter._value is _PENDING and not getter._defused:
+                getter.priority = priority
                 getter.succeed(item)
                 return
         self._counter += 1
         heappush(self._heap, (priority, self._counter, item))
 
     def get(self) -> Event:
-        ev = Event(self.engine,
-                   name=f"get:{self.name}"
-                   if self.engine.tracer is not None else None)
+        ev = _GetEvent(self.engine, self,
+                       name=f"get:{self.name}"
+                       if self.engine.tracer is not None else None)
         if self._heap:
-            ev.succeed(heappop(self._heap)[2])
+            prio, _seq, item = heappop(self._heap)
+            ev.priority = prio
+            ev.succeed(item)
         elif self._closed is not None:
             ev.fail(self._closed)
         else:
             self._getters.append(ev)
         return ev
 
+    def _redeliver(self, item: Any, priority: int) -> None:
+        while self._getters:
+            getter = self._getters.popleft()
+            if getter._value is _PENDING and not getter._defused:
+                getter.priority = priority
+                getter.succeed(item)
+                return
+        # Back to the front of its priority class: it was the oldest
+        # item of that class when put() handed it out.
+        self._reclaim_seq += 1
+        heappush(self._heap,
+                 (priority, self._RECLAIM_BASE + self._reclaim_seq, item))
+
     def get_nowait(self) -> Tuple[bool, Any]:
         if self._heap:
             return True, heappop(self._heap)[2]
+        if self._closed is not None:
+            raise self._closed
         return False, None
 
     def peek_all(self) -> List[Any]:

@@ -19,6 +19,7 @@ events identically.
 
 from __future__ import annotations
 
+from collections import deque
 from heapq import heappop, heappush
 from typing import Any, Generator, Optional
 
@@ -54,7 +55,8 @@ class Engine:
     """
 
     __slots__ = ("_now", "_queue", "_seq", "active_process", "rng",
-                 "tracer", "_nprocessed", "metrics")
+                 "tracer", "_nprocessed", "metrics", "_perturb",
+                 "_tie_pending")
 
     def __init__(self, seed: int = 0, trace: bool = False,
                  telemetry: bool = True):
@@ -66,11 +68,21 @@ class Engine:
         self.tracer: Optional[Tracer] = Tracer() if trace else None
         self._nprocessed = 0
         self.metrics = MetricsRegistry(enabled=telemetry)
+        # Schedule perturbation (repro.check): when installed, same-instant
+        # same-priority event runs are dispatched in a seeded shuffled
+        # order instead of insertion order.  ``None`` keeps the untouched
+        # deterministic fast path (byte-identical to pre-perturbation
+        # engines).  ``_tie_pending`` holds the already-shuffled remainder
+        # of the current tie group.
+        self._perturb = None
+        self._tie_pending: deque = deque()
         # Live engine internals surface as sampled gauges: no per-event
         # registry work on the hot path, always-current at collect time.
         self.metrics.gauge_fn("sim.events_processed",
                               lambda: self._nprocessed)
-        self.metrics.gauge_fn("sim.queue_depth", lambda: len(self._queue))
+        self.metrics.gauge_fn(
+            "sim.queue_depth",
+            lambda: len(self._queue) + len(self._tie_pending))
         self.metrics.gauge_fn(
             "sim.trace.events_dropped",
             lambda: self.tracer.events_dropped if self.tracer else 0)
@@ -80,9 +92,33 @@ class Engine:
         """Build an engine from a :class:`~repro.cluster.spec.ClusterSpec`.
 
         Duck-typed on the kernel-relevant fields (``seed``, ``trace``,
-        ``telemetry``) so the sim layer does not import the cluster layer.
+        ``telemetry``, and the optional ``perturb_seed`` /
+        ``delivery_jitter`` pair) so the sim layer does not import the
+        cluster layer.
         """
-        return cls(seed=spec.seed, trace=spec.trace, telemetry=spec.telemetry)
+        eng = cls(seed=spec.seed, trace=spec.trace, telemetry=spec.telemetry)
+        perturb_seed = getattr(spec, "perturb_seed", None)
+        if perturb_seed is not None:
+            from repro.check.perturb import SchedulePerturbation
+            eng.set_perturbation(SchedulePerturbation(
+                perturb_seed,
+                jitter=getattr(spec, "delivery_jitter", 0.0)))
+        return eng
+
+    def set_perturbation(self, perturb) -> None:
+        """Install (or clear, with ``None``) a schedule perturbation.
+
+        ``perturb`` must provide ``shuffle_ties(entries)`` (in-place
+        shuffle of a list of same-``(time, priority)`` heap entries) and a
+        ``delivery_jitter`` float attribute read by the network layer; see
+        :class:`repro.check.perturb.SchedulePerturbation`.  Installing one
+        mid-group (``_tie_pending`` non-empty) is refused — order of the
+        already-shuffled remainder would be ambiguous.
+        """
+        if self._tie_pending:
+            raise SimulationError(
+                "cannot change perturbation with a tie group in flight")
+        self._perturb = perturb
 
     # -- clock & queue ---------------------------------------------------
 
@@ -127,6 +163,31 @@ class Engine:
 
     # -- execution ---------------------------------------------------------
 
+    def _pop_perturbed(self):
+        """Pop the next heap entry under an installed perturbation.
+
+        A run of entries tying on ``(time, priority)`` at the heap head is
+        drained as one group, shuffled by the perturbation's seeded RNG,
+        and dispatched from ``_tie_pending``.  Events scheduled *while* the
+        group dispatches form later groups of their own, so every shuffled
+        schedule is still causally valid; URGENT never mixes with NORMAL
+        (unequal priority ends the group).
+        """
+        pending = self._tie_pending
+        if pending:
+            return pending.popleft()
+        queue = self._queue
+        entry = heappop(queue)
+        if queue and queue[0][0] == entry[0] and queue[0][1] == entry[1]:
+            group = [entry]
+            when, prio = entry[0], entry[1]
+            while queue and queue[0][0] == when and queue[0][1] == prio:
+                group.append(heappop(queue))
+            self._perturb.shuffle_ties(group)
+            pending.extend(group)
+            return pending.popleft()
+        return entry
+
     def step(self) -> None:
         """Process exactly one event; raise
         :class:`~repro.errors.SimulationError` if the queue is empty.
@@ -134,9 +195,14 @@ class Engine:
         Reference implementation of event dispatch — the inlined loop in
         :meth:`run` must stay behaviorally identical to this.
         """
-        if not self._queue:
+        if self._perturb is not None:
+            if not self._queue and not self._tie_pending:
+                raise SimulationError("event queue is empty")
+            when, _prio, _seq, event = self._pop_perturbed()
+        elif not self._queue:
             raise SimulationError("event queue is empty")
-        when, _prio, _seq, event = heappop(self._queue)
+        else:
+            when, _prio, _seq, event = heappop(self._queue)
         if when < self._now:
             raise SimulationError("event queue went back in time")
         self._now = when
@@ -179,6 +245,9 @@ class Engine:
             if stop_at < self._now:
                 raise SimulationError(
                     f"run(until={stop_at}) is in the past (now={self._now})")
+
+        if self._perturb is not None:
+            return self._run_perturbed(until, stop_at)
 
         queue = self._queue
         pop = heappop
@@ -235,10 +304,54 @@ class Engine:
             self._now = stop_at
         return None
 
+    def _run_perturbed(self, until: Any, stop_at: Optional[float]) -> Any:
+        """The :meth:`run` loop under an installed perturbation.
+
+        Same epilogue semantics as the fast loops; dispatch goes through
+        :meth:`_pop_perturbed`.  A ``StopSimulation`` mid-group is safe:
+        the shuffled remainder stays parked in ``_tie_pending`` and the
+        next call (or :meth:`step`) continues from it.
+        """
+        queue = self._queue
+        pending = self._tie_pending
+        try:
+            while queue or pending:
+                if stop_at is not None:
+                    nxt = pending[0][0] if pending else queue[0][0]
+                    if nxt > stop_at:
+                        self._now = stop_at
+                        return None
+                when, _prio, _seq, event = self._pop_perturbed()
+                if when < self._now:
+                    raise SimulationError("event queue went back in time")
+                self._now = when
+                callbacks, event.callbacks = event.callbacks, None
+                self._nprocessed += 1
+                if self.tracer is not None:
+                    self.tracer.record(when, event)
+                for cb in callbacks:
+                    cb(event)
+                if not event._ok and not event._defused:
+                    raise event._value
+        except StopSimulation as stop:
+            ev: Event = stop.value
+            if not ev.ok:
+                raise ev.value from None
+            return ev.value
+        if isinstance(until, Event):
+            raise SimulationError(
+                f"simulation ran dry before {until!r} triggered")
+        if stop_at is not None:
+            self._now = stop_at
+        return None
+
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
+        if self._tie_pending:
+            return self._tie_pending[0][0]
         return self._queue[0][0] if self._queue else float("inf")
 
     def __repr__(self) -> str:
-        return (f"<Engine t={self._now:.9g} queued={len(self._queue)} "
+        return (f"<Engine t={self._now:.9g} "
+                f"queued={len(self._queue) + len(self._tie_pending)} "
                 f"processed={self._nprocessed}>")

@@ -90,6 +90,15 @@ class Process(Event):
             if target.callbacks is not None and self._resume in target.callbacks:
                 target.callbacks.remove(self._resume)
             target.defuse()
+            if target._ok:
+                # The abandoned event already *succeeded* — a channel put()
+                # handed it an item in this same instant, and defusing it
+                # would silently swallow that item.  Events that carry live
+                # cargo expose salvage() to give it back to their source
+                # (see channel._GetEvent).
+                salvage = getattr(target, "salvage", None)
+                if salvage is not None:
+                    salvage()
         self._target = None
         self._step(throw=Interrupt(cause))
 

@@ -157,7 +157,13 @@ class Vni:
         return self._wrap(frame)
 
     def recv_nowait(self):
-        """Non-blocking probe of the received-messages queue."""
+        """Non-blocking probe of the received-messages queue.
+
+        Raises the queue's close exception (:class:`~repro.errors.NodeDown`
+        when the NIC went down) once the queue is closed and drained, so
+        polling loops against a dead interface fail fast instead of
+        spinning on ``(False, None)`` forever.
+        """
         if self.polling:
             return self.recv_q.get_nowait()
         ok, frame = self._rx.get_nowait()

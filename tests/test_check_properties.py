@@ -1,0 +1,154 @@
+"""Property tests: channel edges under the perturbed scheduler.
+
+The satellite guarantee of the repro.check PR: across *any* tie-break
+order the perturbation explores, no ``put()`` item is ever lost or
+double-delivered — including when getters are interrupted (the app-
+process scheduler pattern) or the channel closes mid-traffic (a crashed
+peer).  These properties pinned the two delivery-path bugs this PR
+fixes: ``PriorityChannel.put`` handing items to defused getters, and
+``get_nowait`` spinning ``(False, None)`` forever on a closed channel.
+"""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.check import SchedulePerturbation
+from repro.errors import ConnectionClosed, Interrupt, SimulationError
+from repro.sim import Channel, Engine, PriorityChannel
+
+
+def _run_traffic(pseed, channel_cls, n_items, n_getters, interrupt_mask,
+                 close_at_end):
+    """Producers, getters, and an interrupter all collide on the same
+    instants; returns (received, leftovers, n_puts)."""
+    eng = Engine(seed=0)
+    eng.set_perturbation(SchedulePerturbation(pseed))
+    ch = channel_cls(eng, name="traffic")
+    received = []
+
+    def producer(base):
+        # Two put instants per producer, colliding with getter wakeups.
+        for i, item in enumerate(base):
+            yield eng.timeout(1.0 if i % 2 == 0 else 2.0)
+            try:
+                ch.put(item)
+            except SimulationError:      # closed: the item was never put
+                produced.remove(item)
+
+    def getter(idx):
+        try:
+            while True:
+                item = yield ch.get()
+                received.append(item)
+        except (Interrupt, ConnectionClosed):
+            return
+
+    items = list(range(n_items))
+    produced = list(items)
+    half = max(1, n_items // 2)
+    eng.process(producer(items[:half]))
+    eng.process(producer(items[half:]))
+    getters = [eng.process(getter(i)) for i in range(n_getters)]
+
+    def director():
+        yield eng.timeout(1.0)           # collides with the first puts
+        for g, hit in zip(getters, interrupt_mask):
+            if hit and not g.triggered:
+                g.interrupt()
+        yield eng.timeout(1.0)           # collides with the second puts
+        if close_at_end:
+            ch.close(ConnectionClosed("peer died"))
+
+    eng.process(director())
+    eng.run()
+    # Surviving getters still parked on get() at run-dry are fine; drain
+    # whatever no getter consumed.
+    leftovers = ch.drain() if not close_at_end else _drain_closed(ch)
+    return received, leftovers, produced
+
+
+def _drain_closed(ch):
+    out = []
+    while True:
+        try:
+            ok, item = ch.get_nowait()
+        except ConnectionClosed:
+            return out
+        if not ok:
+            return out
+        out.append(item)
+
+
+@settings(max_examples=60, deadline=None)
+@given(pseed=st.integers(0, 10**9),
+       is_priority=st.booleans(),
+       n_items=st.integers(1, 16),
+       interrupt_mask=st.lists(st.booleans(), min_size=3, max_size=3),
+       close_at_end=st.booleans())
+def test_no_item_lost_or_double_delivered(pseed, is_priority, n_items,
+                                          interrupt_mask, close_at_end):
+    received, leftovers, produced = _run_traffic(
+        pseed, PriorityChannel if is_priority else Channel,
+        n_items, n_getters=3, interrupt_mask=interrupt_mask,
+        close_at_end=close_at_end)
+    assert Counter(received) + Counter(leftovers) == Counter(produced)
+
+
+@settings(max_examples=30, deadline=None)
+@given(pseed=st.integers(0, 10**9), n_items=st.integers(1, 12))
+def test_plain_channel_stays_fifo_under_any_tie_order(pseed, n_items):
+    """One producer, one getter: per-channel FIFO survives the shuffle
+    (puts happen at distinct instants, so their order is causal)."""
+    eng = Engine(seed=0)
+    eng.set_perturbation(SchedulePerturbation(pseed))
+    ch = Channel(eng)
+    received = []
+
+    def producer():
+        for i in range(n_items):
+            yield eng.timeout(0.5)
+            ch.put(i)
+
+    def getter():
+        for _ in range(n_items):
+            received.append((yield ch.get()))
+
+    eng.process(producer())
+    eng.process(getter())
+    eng.run()
+    assert received == list(range(n_items))
+
+
+@settings(max_examples=30, deadline=None)
+@given(pseed=st.integers(0, 10**9))
+def test_closed_channel_poll_never_spins(pseed):
+    """After close+drain, get_nowait raises instead of returning
+    (False, None) — under every tie order."""
+    eng = Engine(seed=0)
+    eng.set_perturbation(SchedulePerturbation(pseed))
+    ch = Channel(eng)
+    outcome = []
+
+    def poller():
+        while True:
+            try:
+                ok, item = ch.get_nowait()
+            except ConnectionClosed:
+                outcome.append("closed")
+                return
+            if ok:
+                outcome.append(item)
+            yield eng.timeout(0.25)
+
+    def closer():
+        yield eng.timeout(1.0)
+        ch.put("last")
+        ch.close(ConnectionClosed("peer died"))
+
+    eng.process(poller())
+    eng.process(closer())
+    eng.run()
+    assert outcome[-1] == "closed"
+    assert outcome[:-1] == ["last"]

@@ -241,3 +241,59 @@ def test_uncoordinated_restore_truncates_at_unreachable_replicas():
     restore = daemon._uncoordinated_restore(record)
     assert restore["line"] == {0: 0, 1: -1}
     assert restore["discarded"] > 0
+
+
+# -- departed / dynamic ranks ---------------------------------------------
+
+
+def test_departed_sender_orphans_the_receiver():
+    """A rank absent from the cut (departed dynamic rank) never
+    re-executes, so any message received from it is unconditionally an
+    orphan: the receiver must roll back to before the receive.  (The
+    pre-fix code silently *skipped* such dependencies, keeping a
+    checkpoint that captures a receive no surviving rank can re-send.)"""
+    g = DependencyGraph([0, 1])
+    # Rank 2 departed: not in the graph's ranks, but a message it sent in
+    # its interval 0 is captured by rank 1's first checkpoint.
+    g.record_message(sender=2, send_interval=0, receiver=1, recv_interval=0)
+    g.record_checkpoint(1)
+    line = compute_recovery_line(g, failed=[0])
+    assert line.cut[1] == -1      # the orphan receive invalidates ckpt 0
+
+
+def test_departed_sender_dominoes_transitively():
+    """The departed-sender rollback propagates like any other orphan."""
+    g = DependencyGraph([0, 1])
+    g.record_message(2, 0, 1, 0)   # departed rank 2 -> rank 1, interval 0
+    g.record_checkpoint(1)         # rank1 ckpt 0 captures that receive
+    g.record_message(1, 1, 0, 0)   # rank1 sends post-ckpt -> rank 0
+    g.record_checkpoint(0)         # rank0 ckpt 0 captures *that* receive
+    line = compute_recovery_line(g, failed=[1])
+    # rank1 rolls to before its receive from the departed rank; its
+    # interval-1 send becomes an orphan in turn, dominoing rank0.
+    assert line.cut == {0: -1, 1: -1}
+    assert line.is_initial
+
+
+def test_departed_receiver_dep_is_inert():
+    """A dependency whose *receiver* departed rolls back nobody — there
+    is no state left to make inconsistent."""
+    g = DependencyGraph([0, 1])
+    g.record_checkpoint(0)
+    g.record_checkpoint(1)
+    g.record_message(sender=0, send_interval=0, receiver=7, recv_interval=0)
+    line = compute_recovery_line(g, failed=[0])
+    assert line.cut == {0: 0, 1: 1}
+
+
+def test_departed_sender_with_receiver_already_rolled_back_is_stable():
+    """If the receiver is already at/below the receive interval the
+    departed-sender rule changes nothing (no infinite re-lowering)."""
+    g = DependencyGraph([0, 1])
+    g.record_message(2, 3, 1, 1)
+    g.record_checkpoint(1)
+    line = compute_recovery_line(g, failed=[1])
+    # Failed rank1 resumes from its stored checkpoint (x=1); the receive
+    # happened in interval 1, which that checkpoint does *not* capture
+    # (1 <= 1 is no orphan), so the cut keeps the stored checkpoint.
+    assert line.cut[1] == 0

@@ -328,3 +328,192 @@ def test_priority_channel_close_with_items_queued_still_drains():
         return first, second
 
     assert eng.run(eng.process(consumer())) == ("high", "low")
+
+
+def test_priority_channel_put_skips_interrupted_getter():
+    """Mirror of the Channel regression: an interrupted getter on a
+    priority channel (the app-process scheduler channel) must not swallow
+    the item — a checkpoint request or view-change event would vanish."""
+    from repro.errors import Interrupt
+
+    eng = Engine()
+    ch = PriorityChannel(eng)
+    got = []
+
+    def victim():
+        try:
+            got.append(("victim", (yield ch.get())))
+        except Interrupt:
+            got.append(("victim", "interrupted"))
+
+    def survivor():
+        got.append(("survivor", (yield ch.get())))
+
+    p1 = eng.process(victim())
+    eng.process(survivor())
+
+    def director():
+        yield eng.timeout(1)
+        p1.interrupt()
+        yield eng.timeout(1)
+        ch.put("ckpt-request", priority=0)
+
+    eng.process(director())
+    eng.run()
+    assert ("victim", "interrupted") in got
+    assert ("survivor", "ckpt-request") in got
+    assert not ch._getters
+
+
+def test_priority_channel_put_with_no_live_getters_queues_item():
+    """If every waiting getter was interrupted, the item is heaped."""
+    from repro.errors import Interrupt
+
+    eng = Engine()
+    ch = PriorityChannel(eng)
+
+    def victim():
+        try:
+            yield ch.get()
+        except Interrupt:
+            pass
+
+    p = eng.process(victim())
+
+    def director():
+        yield eng.timeout(1)
+        p.interrupt()
+        yield eng.timeout(1)
+        ch.put("kept", priority=3)
+
+    eng.process(director())
+    eng.run()
+    assert ch.peek_all() == ["kept"]
+
+
+def test_channel_put_then_same_instant_interrupt_salvages_item():
+    """The deeper interleaving: put() hands the item to a parked getter,
+    and the getter is interrupted in the *same instant* before the
+    succeeded get event dispatches.  The abandoned event's cargo must be
+    salvaged — here it goes to the surviving getter."""
+    from repro.errors import Interrupt
+
+    eng = Engine()
+    ch = Channel(eng)
+    got = []
+
+    def victim():
+        try:
+            got.append(("victim", (yield ch.get())))
+        except Interrupt:
+            got.append(("victim", "interrupted"))
+
+    def survivor():
+        yield eng.timeout(0.5)          # parks after the victim
+        got.append(("survivor", (yield ch.get())))
+
+    p1 = eng.process(victim())
+    eng.process(survivor())
+
+    def director():
+        yield eng.timeout(1)
+        # interrupt() schedules its delivery *before* put() succeeds the
+        # victim's get event, so the interrupt dispatches first and
+        # abandons an event that already carries the item.
+        p1.interrupt()
+        ch.put("payload")
+
+    eng.process(director())
+    eng.run()
+    assert ("victim", "interrupted") in got
+    assert ("survivor", "payload") in got
+
+
+def test_channel_put_then_same_instant_interrupt_requeues_item():
+    """Same interleaving with no surviving getter: the salvaged item is
+    re-queued at the head instead of vanishing."""
+    from repro.errors import Interrupt
+
+    eng = Engine()
+    ch = Channel(eng)
+
+    def victim():
+        try:
+            yield ch.get()
+        except Interrupt:
+            pass
+
+    p = eng.process(victim())
+
+    def director():
+        yield eng.timeout(1)
+        p.interrupt()
+        ch.put("salvaged")
+        ch.put("later")
+
+    eng.process(director())
+    eng.run()
+    assert ch.peek_all() == ["salvaged", "later"]
+
+
+def test_priority_channel_same_instant_interrupt_keeps_priority():
+    """Priority-channel mirror: the salvaged item re-enters the heap at
+    the *front of its priority class*, so a checkpoint request handed to
+    an interrupted scheduler getter still outranks background work."""
+    from repro.errors import Interrupt
+
+    eng = Engine()
+    ch = PriorityChannel(eng)
+
+    def victim():
+        try:
+            yield ch.get()
+        except Interrupt:
+            pass
+
+    p = eng.process(victim())
+
+    def director():
+        yield eng.timeout(1)
+        p.interrupt()
+        # The victim is not defused yet (the interrupt only *dispatches*
+        # later this instant), so put() hands it "older-urgent" directly;
+        # the interrupt then abandons the handed event and the salvaged
+        # item must come back ahead of "newer-urgent" in its class.
+        ch.put("older-urgent", priority=0)
+        ch.put("newer-urgent", priority=0)
+        ch.put("background", priority=5)
+
+    eng.process(director())
+    eng.run()
+    assert ch.peek_all() == ["older-urgent", "newer-urgent", "background"]
+    assert ch.drain() == ["older-urgent", "newer-urgent", "background"]
+
+
+def test_channel_get_nowait_closed_raises_after_drain():
+    """get_nowait() mirrors get(): queued items drain first, then the
+    close exception surfaces — never an eternal (False, None)."""
+    eng = Engine()
+    ch = Channel(eng)
+    ch.put("last")
+    ch.close(ConnectionClosed("peer died"))
+    assert ch.get_nowait() == (True, "last")
+    with pytest.raises(ConnectionClosed):
+        ch.get_nowait()
+
+
+def test_priority_channel_get_nowait_closed_raises_after_drain():
+    eng = Engine()
+    ch = PriorityChannel(eng)
+    ch.put("last", priority=1)
+    ch.close(ConnectionClosed("peer died"))
+    assert ch.get_nowait() == (True, "last")
+    with pytest.raises(ConnectionClosed):
+        ch.get_nowait()
+
+
+def test_channel_get_nowait_open_empty_still_polls():
+    """An *open* empty channel still probes (False, None)."""
+    eng = Engine()
+    assert Channel(eng).get_nowait() == (False, None)
+    assert PriorityChannel(eng).get_nowait() == (False, None)
