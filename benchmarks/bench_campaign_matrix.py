@@ -3,7 +3,8 @@ protocol and fault-tolerance policy (ISSUE 2 acceptance gate).
 
 The same declarative :data:`standard` campaign (app-host crash, recovery,
 spare-node partition window, Ethernet frame-loss window) is replayed
-against all 4 checkpoint/restart protocols x 3 FT policies, each over
+against every registered C/R protocol (``repro.ckpt.protocols.PROTOCOLS``,
+message-logging included) x 3 FT policies, each over
 BOTH checkpoint stores — the legacy idealized single-copy store and the
 ``repro.store`` replicated fabric at k=2.  Every cell must come back
 green — completed with zero invariant violations (under the kill policy,
@@ -11,14 +12,13 @@ green means the failure *surfaced* cleanly) — and one cell per store is
 run twice to prove the same-seed byte-identity guarantee.
 """
 
+from repro.ckpt.protocols import PROTOCOLS as PROTOCOL_REGISTRY
 from repro.cluster import ClusterSpec
 from repro.faults import CampaignRunner
 
 from bench_helpers import fast_or, print_table
 
-PROTOCOLS = fast_or(("uncoordinated",),
-                    ("stop-and-sync", "chandy-lamport", "uncoordinated",
-                     "diskless"))
+PROTOCOLS = fast_or(("uncoordinated",), tuple(sorted(PROTOCOL_REGISTRY)))
 POLICIES = ("kill", "view-notify", "restart")
 #: Cluster-spec override per store column (None = the campaign default,
 #: i.e. the legacy idealized store).

@@ -1,0 +1,144 @@
+"""Recovery modes — message-logging solo restart vs rollback recovery.
+
+The same communication-heavy Jacobi workload is crashed mid-exchange
+(one app-hosting node, right after the victim rank's first committed
+checkpoint) under each registered recovery mode and the bench measures,
+in *simulated* seconds:
+
+* ``failure_free_s``    — completion time of the undisturbed run (the
+  protocol's steady-state overhead: pessimistic sender-logging pays a
+  disk write per send, causal batches log IO into checkpoints);
+* ``completion_s``      — completion time of the crashed run;
+* ``recovery_penalty_s``— the difference: what the crash actually cost;
+* ``ranks_restarted``   — cluster-wide ``daemon.ranks_restarted``: the
+  headline number.  The logging protocols' :class:`SoloReplayPlanner`
+  respawns *only* the crashed rank (1); the rollback planners restart
+  the whole world (>= 2 — uncoordinated dominoes, coordinated rolls the
+  full line).
+
+Both runs of every cell must produce identical per-rank results — replay
+reconvergence is asserted, not assumed.  Results go to
+``benchmarks/BENCH_recovery.json``; fast mode (``REPRO_BENCH_FAST=1``)
+shrinks the protocol set and lands in ``BENCH_recovery_fast.json`` so CI
+smoke runs never clobber the committed full-sweep baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.core import StarfishCluster
+from repro.core.appspec import AppSpec, CheckpointConfig
+from repro.core.policies import FaultPolicy
+
+from bench_helpers import FAST, fast_or, print_table
+
+SEED = 7
+NODES = 5
+NPROCS = 4
+HERE = Path(__file__).parent
+OUT_PATH = HERE / "BENCH_recovery.json"
+
+PROTOCOLS = fast_or(("sender-logging", "uncoordinated"),
+                    ("sender-logging", "causal-logging",
+                     "uncoordinated", "stop-and-sync"))
+#: Long enough that every protocol is still mid-run when the crash lands
+#: (pessimistic logging stretches iterations ~20x in simulated time).
+ITERATIONS = 400
+
+
+def _run(protocol: str, crash: bool):
+    from repro.apps import Jacobi1D
+    sf = StarfishCluster.build(nodes=NODES, seed=SEED)
+    spec = AppSpec(
+        program=Jacobi1D, nprocs=NPROCS,
+        params={"n": 256, "iterations": ITERATIONS, "iters_per_step": 10,
+                "compute_ns_per_cell": 30000},
+        ft_policy=FaultPolicy.RESTART,
+        # VM-level images: the fast Fig-4 write path.  Native 650 KB
+        # images at this interval would keep the disk head ~70% busy and
+        # the pessimistic per-send log writes would measure head queueing
+        # instead of the protocols' own costs.
+        checkpoint=CheckpointConfig(protocol=protocol, level="vm",
+                                    interval=0.15))
+    handle = sf.submit(spec)
+    if crash:
+        # Crash rank 1's host right after its first committed checkpoint.
+        while not sf.store.versions_of(handle.app_id, 1):
+            sf.engine.run(until=sf.engine.now + 0.05)
+            assert sf.engine.now < 10.0, "no rank-1 checkpoint"
+        sf.crash_node(handle._record().placement[1])
+    results = sf.run_to_completion(handle, timeout=240.0)
+    restarted = sf.engine.metrics.group_by("daemon.ranks_restarted", "app")
+    return {"results": results, "sim_s": sf.engine.now,
+            "restarts": handle.restarts,
+            "ranks_restarted": restarted.get(handle.app_id, 0)}
+
+
+def run_cell(protocol: str) -> dict:
+    t_wall = time.perf_counter()
+    golden = _run(protocol, crash=False)
+    crashed = _run(protocol, crash=True)
+    assert crashed["results"] == golden["results"], \
+        f"{protocol}: post-crash results diverged from the golden run"
+    return {"protocol": protocol,
+            "solo": protocol.endswith("-logging"),
+            "failure_free_s": round(golden["sim_s"], 6),
+            "completion_s": round(crashed["sim_s"], 6),
+            "recovery_penalty_s": round(crashed["sim_s"] - golden["sim_s"],
+                                        6),
+            "restarts": crashed["restarts"],
+            "ranks_restarted": crashed["ranks_restarted"],
+            "wall_s": round(time.perf_counter() - t_wall, 3)}
+
+
+def sweep() -> list:
+    return [run_cell(p) for p in PROTOCOLS]
+
+
+def build_report(cells: list) -> dict:
+    return {"bench": "recovery_modes", "fast": FAST, "seed": SEED,
+            "nodes": NODES, "nprocs": NPROCS, "iterations": ITERATIONS,
+            "configs": cells}
+
+
+def out_path(fast: bool = FAST) -> Path:
+    return HERE / "BENCH_recovery_fast.json" if fast else OUT_PATH
+
+
+def run_and_write(fast: bool = FAST) -> dict:
+    report = build_report(sweep())
+    out_path(fast).write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return report
+
+
+def print_report(report: dict) -> None:
+    print_table(
+        "Recovery modes: solo log-replay vs rollback (one host crash)",
+        ["protocol", "failure-free sim-s", "crashed sim-s", "penalty",
+         "ranks restarted", "wall s"],
+        [[c["protocol"], f"{c['failure_free_s']:.3f}",
+          f"{c['completion_s']:.3f}", f"{c['recovery_penalty_s']:.3f}",
+          c["ranks_restarted"], f"{c['wall_s']:.2f}"]
+         for c in report["configs"]])
+
+
+def test_recovery_modes(benchmark):
+    report = benchmark.pedantic(run_and_write, rounds=1, iterations=1)
+    print_report(report)
+    for c in report["configs"]:
+        assert c["restarts"] >= 1
+        # The acceptance gate: message logging restarts exactly the
+        # crashed rank; every rollback planner restarts at least two.
+        if c["solo"]:
+            assert c["ranks_restarted"] == 1, c
+        else:
+            assert c["ranks_restarted"] >= 2, c
+
+
+if __name__ == "__main__":
+    print_report(run_and_write())
+    print(f"\nwrote {out_path()}")

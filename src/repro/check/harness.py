@@ -138,9 +138,14 @@ class CheckRunner:
                  nodes: Optional[int] = None,
                  compare_golden: bool = False,
                  workload_timeout: float = 240.0):
+        from repro.ckpt.protocols import PROTOCOLS
         from repro.faults.campaigns import get_campaign
         self.campaign = (get_campaign(campaign)
                          if isinstance(campaign, str) else campaign)
+        if protocol not in PROTOCOLS:
+            known = ", ".join(sorted(PROTOCOLS))
+            raise CampaignError(
+                f"unknown C/R protocol {protocol!r} (known: {known})")
         self.protocol = protocol
         self.seed = seed
         self.jitter = jitter

@@ -136,3 +136,68 @@ class WaveOracle:
             self._fail("ack-balance",
                        f"dl-ack for version {version} arrived with "
                        f"{acks_pending} acks outstanding")
+
+
+class ReplayOracle:
+    """Per-module invariant checker for the message-logging protocols.
+
+    The three properties log-based recovery stands on:
+
+    * **logged-before-sent** — a data message is never *delivered* with a
+      sequence number beyond what the sender's stable log covers.  (The
+      receiver-side check is sound because the simulated log is global
+      stable storage; pessimistic logging writes it before the wire send,
+      causal logging appends the entry at send and defers only the IO.)
+    * **replay-exactly-once** — during a solo restart, every channel is
+      replayed gap-free from the restored receive counter on, and no
+      (sender, ssn) pair is ever fed to the matching engine twice.
+      Contiguity is asserted only *during replay*: in live operation frame
+      loss legitimately leaves receive-count gaps, which replay then
+      heals from the log.
+    * **orphan-free** — a restored state never depends on a message the
+      log cannot re-deliver: the checkpointed receive counter must be
+      covered by the sender's log end.
+    """
+
+    __slots__ = ("protocol", "rank", "_replayed", "violations")
+
+    def __init__(self, protocol):
+        self.protocol = protocol
+        self.rank: Optional[int] = None      # set on start()
+        self._replayed: Set[tuple] = set()   # (sender, ssn) fed to matching
+        self.violations: int = 0
+
+    def bind(self, rank: int) -> None:
+        self.rank = rank
+
+    def _fail(self, invariant: str, detail: str) -> None:
+        self.violations += 1
+        raise OracleViolation(
+            f"[{self.protocol.name} rank={self.rank}] {invariant}: {detail}")
+
+    def delivered(self, sender: int, ssn: int, log_end: int) -> None:
+        """A live data message with ``ssn`` is about to be delivered."""
+        if ssn > log_end:
+            self._fail("logged-before-sent",
+                       f"message #{ssn} from rank {sender} delivered but "
+                       f"the sender's log ends at #{log_end}")
+
+    def replayed(self, sender: int, ssn: int, expected: int) -> None:
+        """Replay is about to re-feed ``(sender, ssn)``; the channel's
+        next expected ssn is ``expected``."""
+        if (sender, ssn) in self._replayed:
+            self._fail("replay-exactly-once",
+                       f"message #{ssn} from rank {sender} replayed twice")
+        if ssn != expected:
+            self._fail("replay-exactly-once",
+                       f"replay from rank {sender} expected #{expected} "
+                       f"next but the log yielded #{ssn}")
+        self._replayed.add((sender, ssn))
+
+    def restored(self, sender: int, recv_count: int, log_end: int) -> None:
+        """A solo restore begins replaying ``sender``'s channel."""
+        if recv_count > log_end:
+            self._fail("orphan-free",
+                       f"restored state already consumed {recv_count} "
+                       f"messages from rank {sender} but its log covers "
+                       f"only #{log_end} — orphan messages exist")

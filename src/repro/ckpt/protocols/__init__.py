@@ -1,30 +1,51 @@
-"""Distributed checkpoint protocols.
+"""Distributed checkpoint and message-logging protocols.
 
-All three protocols implement :class:`~repro.ckpt.protocols.base.CrProtocol`
+All protocols implement :class:`~repro.ckpt.protocols.base.CrProtocol`
 against the narrow :class:`~repro.ckpt.protocols.base.CrContext` interface,
 which the Starfish runtime (and the test harness) provide — this is what
 the paper means by the architecture making it possible to "implement
 several different distributed C/R protocols, both coordinated and
 uncoordinated, and to run them side by side".
+
+Each protocol is a composition of four pluggable roles (see
+:mod:`repro.ckpt.protocols.roles`): a :class:`WaveScheduler` decides *when*
+to snapshot, a :class:`StateCapturer` decides *what to save*, a
+:class:`DeliveryTap` intercepts the message path (piggyback, log, record,
+suppress), and a :class:`RestartPlanner` decides *who rolls back to which
+version* after a failure.
+
+:data:`PROTOCOLS` is the single registry: the CLI, the fault campaigns,
+the check harness, and the benchmarks all enumerate protocols from here.
 """
 
 from repro.ckpt.protocols.base import CrContext, CrProtocol
+from repro.ckpt.protocols.roles import (CoordinatedLinePlanner,
+                                        CoordinatedWaveScheduler,
+                                        DeliveryTap,
+                                        DependencyRollbackPlanner,
+                                        RestartPlanner,
+                                        SelfPacedWaveScheduler,
+                                        SoloReplayPlanner, StateCapturer,
+                                        WaveScheduler)
 from repro.ckpt.protocols.stop_and_sync import StopAndSyncProtocol
 from repro.ckpt.protocols.chandy_lamport import ChandyLamportProtocol
 from repro.ckpt.protocols.uncoordinated import UncoordinatedProtocol
 from repro.ckpt.protocols.diskless import DisklessProtocol
+from repro.ckpt.protocols.msg_logging import (CausalLoggingProtocol,
+                                              SenderLoggingProtocol)
 
 PROTOCOLS = {
     "stop-and-sync": StopAndSyncProtocol,
     "chandy-lamport": ChandyLamportProtocol,
     "uncoordinated": UncoordinatedProtocol,
     "diskless": DisklessProtocol,
+    "sender-logging": SenderLoggingProtocol,
+    "causal-logging": CausalLoggingProtocol,
 }
 
 
 def make_protocol(name: str, **kwargs) -> CrProtocol:
-    """Factory: ``stop-and-sync`` | ``chandy-lamport`` | ``uncoordinated``
-    | ``diskless``."""
+    """Factory over the :data:`PROTOCOLS` registry."""
     from repro.errors import CheckpointError
     cls = PROTOCOLS.get(name)
     if cls is None:
@@ -33,12 +54,23 @@ def make_protocol(name: str, **kwargs) -> CrProtocol:
 
 
 __all__ = [
+    "CausalLoggingProtocol",
     "ChandyLamportProtocol",
+    "CoordinatedLinePlanner",
+    "CoordinatedWaveScheduler",
     "CrContext",
     "CrProtocol",
+    "DeliveryTap",
+    "DependencyRollbackPlanner",
     "DisklessProtocol",
     "PROTOCOLS",
+    "RestartPlanner",
+    "SelfPacedWaveScheduler",
+    "SenderLoggingProtocol",
+    "SoloReplayPlanner",
+    "StateCapturer",
     "StopAndSyncProtocol",
     "UncoordinatedProtocol",
+    "WaveScheduler",
     "make_protocol",
 ]

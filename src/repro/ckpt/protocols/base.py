@@ -12,6 +12,9 @@ from __future__ import annotations
 from typing import Any, List, Optional, Set, Tuple
 
 from repro.check.oracles import WaveOracle
+from repro.ckpt.protocols.roles import (CoordinatedLinePlanner,
+                                        CoordinatedWaveScheduler,
+                                        StateCapturer)
 from repro.errors import CheckpointError, Interrupt, OracleViolation
 from repro.obs.instruments import (NULL_COUNTER, NULL_HISTOGRAM)
 from repro.obs.registry import get_registry
@@ -73,16 +76,50 @@ class CrContext:
     def notify_committed(self, version: int) -> None:
         """Upcall: a new recovery line exists (default: ignore)."""
 
+    def restoring(self) -> bool:
+        """True while this rank is being restored solo (log-replay mode):
+        live traffic must be held back until replay finishes."""
+        return False
+
+    def comm_state(self) -> dict:
+        """Communicator call counters (collective-tag sequences); the
+        message-logging protocols checkpoint them so a solo-restarted
+        rank resumes the tag sequence its peers are already using."""
+        return {}
+
+    def boundary_state(self) -> Optional[dict]:
+        """The last step-boundary MPI state (counters, unexpected queue,
+        communicator sequences), or ``None`` if the runtime does not
+        track it.  Solo-replay recovery needs channel state consistent
+        with the committed step the checkpoint restores to — a pause can
+        freeze the rank mid-step, when the live counters already include
+        the uncommitted step's traffic."""
+        return None
+
 
 class CrProtocol:
-    """Base: inbox plumbing, lifecycle, and completion events."""
+    """Base: inbox plumbing, lifecycle, and completion events.
+
+    A protocol is a composition of four roles (see
+    :mod:`repro.ckpt.protocols.roles`): ``scheduler`` decides when waves
+    start, ``capturer`` takes/persists the local snapshot, ``tap`` (when
+    not ``None``) intercepts the endpoint's message path, and the
+    ``planner`` class attribute is instantiated inside the restart
+    coordinator daemon to compute the restore plan.
+    """
 
     name = "abstract"
+    #: RestartPlanner class used by the daemons after a failure.
+    planner = CoordinatedLinePlanner
 
     def __init__(self):
         self.ctx: Optional[CrContext] = None
         self.inbox: Optional[Channel] = None
         self._proc = None
+        self.scheduler = CoordinatedWaveScheduler()
+        self.capturer = StateCapturer()
+        #: DeliveryTap installed on the endpoint at start (None = none).
+        self.tap = None
         self._waiters: List[Tuple[int, Event]] = []
         self.last_committed: Optional[int] = None
         self._live_hint: Optional[Set[int]] = None
@@ -126,10 +163,19 @@ class CrProtocol:
         for m in (self._m_checkpoints, self._m_bytes, self._m_commits):
             m.reset()
         self.inbox = Channel(ctx.engine, name=f"cr:{ctx.app_id}:{ctx.rank}")
+        if self.tap is not None:
+            ctx.endpoint.tap = self.tap
         self._proc = ctx.node.spawn(self._main(),
                                     name=f"cr-{self.name}:{ctx.rank}")
+        self.scheduler.start(self, ctx)
+
+    @classmethod
+    def runtime_kwargs(cls, record) -> dict:
+        """Constructor kwargs the runtime derives from the app record."""
+        return {}
 
     def stop(self) -> None:
+        self.scheduler.stop()
         if self._proc is not None and self._proc.is_alive:
             self._proc.interrupt("cr-stop")
 

@@ -29,12 +29,39 @@ from __future__ import annotations
 from typing import List, Optional, Set
 
 from repro.ckpt.protocols.base import CrProtocol
+from repro.ckpt.protocols.roles import DeliveryTap
 from repro.ckpt.protocols.stop_and_sync import commit_barrier_cost
-from repro.ckpt.storage import CheckpointRecord
 from repro.mpi.constants import CKPT_TAG_BASE
 from repro.sim.events import Event
 
 MARKER_TAG = CKPT_TAG_BASE - 1
+
+
+class _MarkerTap(DeliveryTap):
+    """Record in-channel data while a snapshot is open; route markers.
+
+    Installed permanently; recording is gated on the protocol's
+    ``_active``/``_recording`` state, which is exactly when the old
+    dynamically-installed data tap existed.
+    """
+
+    def __init__(self, protocol: "ChandyLamportProtocol"):
+        self.protocol = protocol
+
+    def on_deliver(self, src_world: int, inbound, pb):
+        p = self.protocol
+        if p._active is not None and src_world in p._recording:
+            p._recorded.append((src_world, inbound.comm_id, inbound.source,
+                                inbound.tag, inbound.data, inbound.nbytes))
+        return False
+
+    def on_control(self, msg, src_world: int):
+        if msg.tag == MARKER_TAG:
+            tag, version, target = msg.data
+            if tag == "cl-marker":
+                self.protocol.deliver(
+                    ("cl-marker-in", version, src_world, target), src_world)
+        return None
 
 
 class ChandyLamportProtocol(CrProtocol):
@@ -44,6 +71,7 @@ class ChandyLamportProtocol(CrProtocol):
 
     def __init__(self):
         super().__init__()
+        self.tap = _MarkerTap(self)
         self._version = 0            # highest snapshot version seen/taken
         self._active: Optional[int] = None
         self._recording: Set[int] = set()
@@ -56,21 +84,6 @@ class ChandyLamportProtocol(CrProtocol):
         super().start(ctx)
         # Continue the (app-wide) version sequence after a restart.
         self._version = max(self._version, ctx.store.max_version(ctx.app_id))
-        prev_hook = ctx.endpoint.control_hook
-        ctx.endpoint.control_hook = self._make_hook(prev_hook)
-
-    def _make_hook(self, prev):
-        def hook(msg, src_world):
-            if msg.tag == MARKER_TAG:
-                tag, version, target = msg.data
-                if tag == "cl-marker":
-                    self.deliver(("cl-marker-in", version, src_world,
-                                  target), src_world)
-                return None
-            if prev is not None:
-                return prev(msg, src_world)
-            return None
-        return hook
 
     def request_checkpoint(self) -> Event:
         version = self._version + 1
@@ -112,13 +125,11 @@ class ChandyLamportProtocol(CrProtocol):
 
         # Momentary pause: capture local state at the common step boundary.
         yield from ctx.pause(target)
-        self._pending_state = (ctx.snapshot_state(),
-                               {**ctx.endpoint.export_state(),
-                                **ctx.runtime_meta()})
+        self._pending_state = self.capturer.snapshot(ctx)
         # Channels whose marker raced ahead of the begin notice are empty.
+        # (The delivery tap starts recording them from here on.)
         self._recording = set(peers) - self._early_markers
         self._early_markers = set()
-        ctx.endpoint.data_tap = self._tap
         # Send markers down every outgoing channel (before any new data).
         for peer in peers:
             yield from ctx.endpoint.send(
@@ -161,25 +172,15 @@ class ChandyLamportProtocol(CrProtocol):
         if not self._recording:
             yield from self._finish(version)
 
-    def _tap(self, src_world: int, inbound, _pb) -> None:
-        if self._active is not None and src_world in self._recording:
-            self._recorded.append((src_world, inbound.comm_id,
-                                   inbound.source, inbound.tag, inbound.data,
-                                   inbound.nbytes))
-
     def _finish(self, version: int):
         ctx = self.ctx
-        ctx.endpoint.data_tap = None
         state, mpi_state = self._pending_state
         self._pending_state = None
-        image, nbytes = ctx.checkpointer.capture(state, ctx.arch)
-        record = CheckpointRecord(
-            app_id=ctx.app_id, rank=ctx.rank, version=version,
-            level=ctx.checkpointer.level, nbytes=nbytes, image=image,
-            arch_name=ctx.arch.name, taken_at=ctx.engine.now,
-            mpi_state=mpi_state, channel_msgs=list(self._recorded))
-        yield from ctx.store.write(ctx.node, record,
-                                   bandwidth=ctx.checkpointer.write_bandwidth)
+        image, nbytes = self.capturer.materialize(ctx, state)
+        record = self.capturer.build_record(
+            ctx, version, image, nbytes, mpi_state,
+            channel_msgs=list(self._recorded))
+        yield from self.capturer.persist(ctx, record)
         self.oracle.dumped(version)
         self.record_checkpoint(nbytes)
         ctx.cast(("cl-done", version, ctx.rank))

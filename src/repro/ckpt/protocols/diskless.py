@@ -26,14 +26,26 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.ckpt.protocols.roles import DeliveryTap
 from repro.ckpt.protocols.stop_and_sync import (DRAIN_POLL,
                                                 StopAndSyncProtocol)
-from repro.ckpt.storage import CheckpointRecord
 from repro.mpi.constants import CKPT_TAG_BASE
 from repro.store.placement import rotating_mirrors
 
 #: In-band tag for checkpoint-image transfers and their acks.
 DL_TAG = CKPT_TAG_BASE - 2
+
+
+class _BuddyTap(DeliveryTap):
+    """Route in-band checkpoint-image transfers into the module."""
+
+    def __init__(self, protocol: "DisklessProtocol"):
+        self.protocol = protocol
+
+    def on_control(self, msg, src_world: int):
+        if msg.tag == DL_TAG:
+            self.protocol.deliver(msg.data, src_world)
+        return None
 
 
 class DisklessProtocol(StopAndSyncProtocol):
@@ -43,26 +55,12 @@ class DisklessProtocol(StopAndSyncProtocol):
 
     def __init__(self):
         super().__init__()
+        self.tap = _BuddyTap(self)
         self._acks_pending = 0
 
     def on_membership_change(self, live_ranks) -> None:
         super().on_membership_change(live_ranks)
         self._acks_pending = 0       # dl-acks from a lost buddy never come
-
-    def start(self, ctx) -> None:
-        super().start(ctx)
-        prev_hook = ctx.endpoint.control_hook
-        ctx.endpoint.control_hook = self._make_hook(prev_hook)
-
-    def _make_hook(self, prev):
-        def hook(msg, src_world):
-            if msg.tag == DL_TAG:
-                self.deliver(msg.data, src_world)
-                return None
-            if prev is not None:
-                return prev(msg, src_world)
-            return None
-        return hook
 
     def _buddies(self, version: int):
         """Mirror targets, delegated to the storage fabric's placement.
@@ -97,14 +95,10 @@ class DisklessProtocol(StopAndSyncProtocol):
         if self._active != version:
             return
 
-        state = ctx.snapshot_state()
-        image, nbytes = ctx.checkpointer.capture(state, ctx.arch)
-        record = CheckpointRecord(
-            app_id=ctx.app_id, rank=me, version=version,
-            level=ctx.checkpointer.level, nbytes=nbytes, image=image,
-            arch_name=ctx.arch.name, taken_at=ctx.engine.now,
-            mpi_state={**ctx.endpoint.export_state(),
-                       **ctx.runtime_meta()})
+        state, mpi_state = self.capturer.snapshot(ctx)
+        image, nbytes = self.capturer.materialize(ctx, state)
+        record = self.capturer.build_record(ctx, version, image, nbytes,
+                                            mpi_state)
         buddies = self._buddies(version)
         if not buddies:
             # Singleton application: nowhere to mirror; keep it in our own

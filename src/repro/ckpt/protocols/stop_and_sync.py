@@ -29,7 +29,6 @@ from repro.calibration import (FIG3_ANCHORS, FIG4_ANCHORS,
                                VM_DUMP_BANDWIDTH, VM_EMPTY_IMAGE,
                                protocol_round_estimate, sync_residual)
 from repro.ckpt.protocols.base import CrProtocol
-from repro.ckpt.storage import CheckpointRecord
 from repro.sim.events import Event
 
 #: How often a draining rank re-checks its receive counters.
@@ -158,17 +157,13 @@ class StopAndSyncProtocol(CrProtocol):
         self.record_sync(ctx.engine.now - t0)
         if self._active != version:
             return
-        # Dump.
-        state = ctx.snapshot_state()
-        image, nbytes = ctx.checkpointer.capture(state, ctx.arch)
-        record = CheckpointRecord(
-            app_id=ctx.app_id, rank=me, version=version,
-            level=ctx.checkpointer.level, nbytes=nbytes, image=image,
-            arch_name=ctx.arch.name, taken_at=ctx.engine.now,
-            mpi_state={**ctx.endpoint.export_state(),
-                       **ctx.runtime_meta()})
-        yield from ctx.store.write(
-            ctx.node, record, bandwidth=ctx.checkpointer.write_bandwidth)
+        # Dump (StateCapturer role: the app is paused, so runtime meta is
+        # sampled together with the MPI state).
+        state, mpi_state = self.capturer.snapshot(ctx)
+        image, nbytes = self.capturer.materialize(ctx, state)
+        record = self.capturer.build_record(ctx, version, image, nbytes,
+                                            mpi_state)
+        yield from self.capturer.persist(ctx, record)
         self.oracle.dumped(version)
         self.record_checkpoint(nbytes)
         ctx.cast(("ss-done", version, me))

@@ -25,11 +25,12 @@ runtime collects the per-checkpoint dependency logs and calls it.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.ckpt.protocols.base import CrProtocol
-from repro.ckpt.storage import CheckpointRecord
-from repro.errors import Interrupt
+from repro.ckpt.protocols.roles import (DeliveryTap,
+                                        DependencyRollbackPlanner,
+                                        SelfPacedWaveScheduler)
 from repro.sim.events import Event
 
 #: Modelled per-message log-write latency is the disk's op cost + size/bw;
@@ -37,10 +38,33 @@ from repro.sim.events import Event
 LOG_BATCH = 8
 
 
+class _DependencyTap(DeliveryTap):
+    """Piggyback the sender's interval; record dependencies on arrival."""
+
+    def __init__(self, protocol: "UncoordinatedProtocol"):
+        self.protocol = protocol
+
+    def piggyback(self, dest_world: int):
+        p = self.protocol
+        return (p.ctx.rank, p._ckpt_index)
+
+    def on_deliver(self, src_world: int, inbound, pb):
+        p = self.protocol
+        if pb is not None:
+            sender, s_interval = pb
+            p._deps.append((sender, s_interval, p._ckpt_index))
+        if p.logging:
+            p._msg_log.append((src_world, inbound.comm_id, inbound.source,
+                               inbound.tag, inbound.data, inbound.nbytes))
+            p._unflushed += 1
+        return False
+
+
 class UncoordinatedProtocol(CrProtocol):
     """One rank's independent checkpointing module."""
 
     name = "uncoordinated"
+    planner = DependencyRollbackPlanner
 
     def __init__(self, interval: Optional[float] = None,
                  logging: bool = False, jitter: float = 0.25):
@@ -51,11 +75,18 @@ class UncoordinatedProtocol(CrProtocol):
         self.interval = interval
         self.logging = logging
         self.jitter = jitter
+        self.scheduler = SelfPacedWaveScheduler("uc-take",
+                                                "cr-uncoord-tick")
+        self.tap = _DependencyTap(self)
         self._ckpt_index = 0                      # == current interval
         self._deps: List[Tuple[int, int, int]] = []   # (sender, s_iv, my_iv)
         self._msg_log: List[tuple] = []
         self._unflushed = 0
-        self._ticker = None
+
+    @classmethod
+    def runtime_kwargs(cls, record) -> dict:
+        return {"interval": record.ckpt_interval,
+                "logging": bool(record.params.get("_ckpt_logging", False))}
 
     # -- wiring ---------------------------------------------------------------
 
@@ -64,40 +95,6 @@ class UncoordinatedProtocol(CrProtocol):
         existing = ctx.store.versions_of(ctx.app_id, ctx.rank)
         if existing:       # continue interval numbering after a restart
             self._ckpt_index = max(existing) + 1
-        ctx.endpoint.piggyback_provider = \
-            lambda: (ctx.rank, self._ckpt_index)
-        prev_tap = ctx.endpoint.data_tap
-        ctx.endpoint.data_tap = self._make_tap(prev_tap)
-        if self.interval is not None:
-            self._ticker = ctx.node.spawn(
-                self._periodic(), name=f"cr-uncoord-tick:{ctx.rank}")
-
-    def _make_tap(self, prev):
-        def tap(src_world: int, inbound, pb) -> None:
-            if pb is not None:
-                sender, s_interval = pb
-                self._deps.append((sender, s_interval, self._ckpt_index))
-            if self.logging:
-                self._msg_log.append((src_world, inbound.comm_id,
-                                      inbound.source, inbound.tag,
-                                      inbound.data, inbound.nbytes))
-                self._unflushed += 1
-            if prev is not None:
-                prev(src_world, inbound, pb)
-        return tap
-
-    def _periodic(self):
-        offset = self.interval * self.jitter * self.ctx.rank \
-            / max(1, len(self.ctx.peers()))
-        try:
-            yield self.ctx.engine.timeout(offset)
-            while True:
-                yield self.ctx.engine.timeout(self.interval)
-                self.inbox.put((("uc-take",), self.ctx.rank))
-        except Interrupt:
-            return
-        except Exception:
-            return
 
     # -- user request ----------------------------------------------------------
 
@@ -112,28 +109,25 @@ class UncoordinatedProtocol(CrProtocol):
     def on_uc_take(self, payload, source):
         ctx = self.ctx
         yield from ctx.pause()
-        state = ctx.snapshot_state()
-        mpi_state = ctx.endpoint.export_state()
+        # snapshot_parts, not snapshot: the app resumes below, so the
+        # runtime meta (step counter) is sampled at record-build time.
+        state, mpi_state = self.capturer.snapshot_parts(ctx)
         deps = list(self._deps)
         log = list(self._msg_log) if self.logging else []
         index = self._ckpt_index          # this checkpoint's version
         self._ckpt_index += 1             # new interval begins
         ctx.resume()                      # independent: nobody waits for us
 
-        image, nbytes = ctx.checkpointer.capture(state, ctx.arch)
+        image, nbytes = self.capturer.materialize(ctx, state)
         if self.logging and self._unflushed:
             # Flush the pending message-log tail with the checkpoint.
             log_bytes = sum(m[5] for m in log[-self._unflushed:])
             yield from ctx.node.disk.write(log_bytes)
             self._unflushed = 0
-        record = CheckpointRecord(
-            app_id=ctx.app_id, rank=ctx.rank, version=index,
-            level=ctx.checkpointer.level, nbytes=nbytes, image=image,
-            arch_name=ctx.arch.name, taken_at=ctx.engine.now,
-            mpi_state={**mpi_state, **ctx.runtime_meta()},
+        record = self.capturer.build_record(
+            ctx, index, image, nbytes, {**mpi_state, **ctx.runtime_meta()},
             deps=list(deps), msg_log=log)
-        yield from ctx.store.write(ctx.node, record,
-                                   bandwidth=ctx.checkpointer.write_bandwidth)
+        yield from self.capturer.persist(ctx, record)
         self.oracle.dumped(index)
         self.record_checkpoint(nbytes)
         # No coordination: "committing" is just local bookkeeping, and the
@@ -150,8 +144,3 @@ class UncoordinatedProtocol(CrProtocol):
     def live_deps(self) -> List[Tuple[int, int, int]]:
         """Dependencies recorded so far (incl. the current interval)."""
         return list(self._deps)
-
-    def stop(self) -> None:
-        if self._ticker is not None and self._ticker.is_alive:
-            self._ticker.interrupt("cr-stop")
-        super().stop()

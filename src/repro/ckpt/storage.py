@@ -90,6 +90,16 @@ class CheckpointStore:
         self._m_volatile_lost = reg.counter(
             "ckpt.store.volatile_lost",
             help="diskless records whose last in-memory copy died")
+        #: Sender-based message logs: (app_id, sender, dest) -> ascending
+        #: [(ssn, entry)] — the logging protocols' replay source.  Like
+        #: the checkpoint records, the log is part of idealized stable
+        #: storage: it survives the sender's crash.
+        self._msg_logs: Dict[Tuple[str, int, int],
+                             List[Tuple[int, Tuple]]] = {}
+        self._m_log_appends = reg.counter(
+            "ckpt.store.log_appends", help="message-log entries appended")
+        self._m_log_bytes = reg.counter(
+            "ckpt.store.log_bytes", help="message-log payload bytes logged")
 
     @property
     def stats(self) -> Dict[str, int]:
@@ -151,6 +161,44 @@ class CheckpointStore:
     def commit(self, app_id: str, version: int) -> None:
         """Mark a coordinated version as a recovery line."""
         self._committed.setdefault(app_id, []).append(version)
+
+    # ------------------------------------------------------------------
+    # sender-based message logs (logging protocols)
+    # ------------------------------------------------------------------
+
+    def log_append(self, app_id: str, sender: int, dest: int, ssn: int,
+                   entry: Tuple, nbytes: int = 0) -> bool:
+        """Append one sent message to the (sender → dest) channel log.
+
+        ``ssn`` is the sender's per-channel sequence number; the log is
+        append-only and strictly ascending.  Re-appending an ssn the log
+        already covers is a no-op returning ``False`` — a restarted
+        sender re-executing from its checkpoint re-sends with identical
+        ssns, and those duplicates must cost neither log space nor IO.
+        """
+        log = self._msg_logs.setdefault((app_id, sender, dest), [])
+        if log and log[-1][0] >= ssn:
+            return False
+        log.append((ssn, entry))
+        self._m_log_appends.inc()
+        self._m_log_bytes.inc(nbytes)
+        return True
+
+    def log_end(self, app_id: str, sender: int, dest: int) -> int:
+        """Highest logged ssn on the (sender → dest) channel (0 = none)."""
+        log = self._msg_logs.get((app_id, sender, dest))
+        return log[-1][0] if log else 0
+
+    def log_tail(self, app_id: str, sender: int, dest: int,
+                 after_ssn: int = 0) -> List[Tuple[int, Tuple]]:
+        """Logged ``(ssn, entry)`` pairs with ``ssn > after_ssn``."""
+        log = self._msg_logs.get((app_id, sender, dest), [])
+        return [(ssn, entry) for ssn, entry in log if ssn > after_ssn]
+
+    def log_senders(self, app_id: str, dest: int) -> List[int]:
+        """All ranks with a non-empty log toward ``dest``, ascending."""
+        return sorted(s for (a, s, d) in self._msg_logs
+                      if a == app_id and d == dest)
 
     def gc_committed(self, app_id: str, keep: int = 1) -> int:
         """Garbage-collect checkpoints superseded by committed lines.
@@ -315,6 +363,8 @@ class CheckpointStore:
         """Garbage-collect all of an application's checkpoints."""
         for key in [k for k in self._records if k[0] == app_id]:
             del self._records[key]
+        for key in [k for k in self._msg_logs if k[0] == app_id]:
+            del self._msg_logs[key]
         self._committed.pop(app_id, None)
 
     def __repr__(self) -> str:

@@ -132,9 +132,9 @@ def cmd_check(args) -> int:
     except CampaignError as exc:
         print(f"repro check: {exc}", file=sys.stderr)
         return 2
+    from repro.ckpt.protocols import PROTOCOLS
     protocols = ([args.protocol] if args.protocol != "all"
-                 else ["stop-and-sync", "chandy-lamport", "uncoordinated",
-                       "diskless"])
+                 else sorted(PROTOCOLS))
     rc = 0
     results = []
     for name in campaigns:
@@ -261,6 +261,8 @@ def cmd_examples(_args) -> int:
 
 
 def main(argv=None) -> int:
+    from repro.ckpt.protocols import PROTOCOLS
+    protocol_names = sorted(PROTOCOLS)
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Starfish (HPDC 1999) reproduction — fault-tolerant "
@@ -304,8 +306,7 @@ def main(argv=None) -> int:
     chaos.add_argument("--nodes", type=int, default=None,
                        help="override the campaign's cluster size")
     chaos.add_argument("--protocol", default="stop-and-sync",
-                       choices=["stop-and-sync", "chandy-lamport",
-                                "uncoordinated", "diskless"])
+                       choices=protocol_names)
     chaos.add_argument("--policy", default="restart",
                        choices=["kill", "view-notify", "restart"])
     chaos.add_argument("--json", default=None, metavar="OUT.json",
@@ -320,8 +321,7 @@ def main(argv=None) -> int:
                        help="campaign name, or 'churn' (default) for the "
                             "store-crash-burst + partition-flap pair")
     check.add_argument("--protocol", default="all",
-                       choices=["all", "stop-and-sync", "chandy-lamport",
-                                "uncoordinated", "diskless"])
+                       choices=["all"] + protocol_names)
     check.add_argument("--seeds", type=int, default=10, metavar="N",
                        help="perturbation seeds 1..N to sweep (default 10)")
     check.add_argument("--seed", type=int, default=0,
@@ -350,8 +350,7 @@ def main(argv=None) -> int:
     store.add_argument("--placement", default="ring",
                        choices=["ring", "random", "partition-aware"])
     store.add_argument("--protocol", default="stop-and-sync",
-                       choices=["stop-and-sync", "chandy-lamport",
-                                "uncoordinated", "diskless"])
+                       choices=protocol_names)
     store.add_argument("--seed", type=int, default=0)
     store.add_argument("--crash", action="store_true",
                        help="crash an app host mid-run (and recover it) to "

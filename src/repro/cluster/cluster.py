@@ -2,8 +2,7 @@
 
 from __future__ import annotations
 
-import warnings
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.cluster.arch import DEFAULT_ARCH, Architecture
 from repro.cluster.node import Node, NodeState
@@ -11,10 +10,6 @@ from repro.cluster.spec import _UNSET, ClusterSpec
 from repro.errors import ClusterError
 from repro.net.fabric import BIP_MYRINET, Fabric, TCP_ETHERNET, TransportSpec
 from repro.sim.engine import Engine
-
-_LOSS_DEPRECATION = (
-    "loss_prob= is deprecated; pass spec=ClusterSpec(loss_prob=...) or "
-    "schedule a repro.faults.FrameLossWindow")
 
 
 class Cluster:
@@ -28,11 +23,9 @@ class Cluster:
     """
 
     def __init__(self, engine: Optional[Engine] = None, seed=_UNSET,
-                 loss_prob=_UNSET, trace=_UNSET, telemetry=_UNSET, *,
+                 trace=_UNSET, telemetry=_UNSET, *,
                  spec: Optional[ClusterSpec] = None):
-        if loss_prob is not _UNSET:
-            warnings.warn(_LOSS_DEPRECATION, DeprecationWarning, stacklevel=2)
-        spec = ClusterSpec.coalesce(spec=spec, seed=seed, loss_prob=loss_prob,
+        spec = ClusterSpec.coalesce(spec=spec, seed=seed,
                                     trace=trace, telemetry=telemetry)
         self.spec = spec
         self.engine = engine or Engine.from_spec(spec)
@@ -54,15 +47,13 @@ class Cluster:
     # -- construction --------------------------------------------------------
 
     @classmethod
-    def build(cls, nodes=_UNSET, seed=_UNSET, archs=_UNSET, loss_prob=_UNSET,
+    def build(cls, nodes=_UNSET, seed=_UNSET, archs=_UNSET,
               trace=_UNSET, telemetry=_UNSET, *,
               spec: Optional[ClusterSpec] = None) -> "Cluster":
         """A cluster of ``spec.nodes`` homogeneous (or ``spec.archs``-cycled)
-        nodes.  Legacy keyword arguments are folded into a spec."""
-        if loss_prob is not _UNSET:
-            warnings.warn(_LOSS_DEPRECATION, DeprecationWarning, stacklevel=2)
+        nodes.  Keyword arguments are folded into a spec."""
         spec = ClusterSpec.coalesce(spec=spec, nodes=nodes, seed=seed,
-                                    archs=archs, loss_prob=loss_prob,
+                                    archs=archs,
                                     trace=trace, telemetry=telemetry)
         cluster = cls(spec=spec)
         for i in range(spec.nodes):
@@ -136,38 +127,6 @@ class Cluster:
         node.attach(self.myrinet)
         self._notify(node_id, "recover")
         return node
-
-    # -- deprecated scheduling shims (use repro.faults.FaultPlan) -------------
-
-    def _deprecated(self, old: str, new: str) -> None:
-        warnings.warn(f"Cluster.{old} is deprecated; use repro.faults: {new}",
-                      DeprecationWarning, stacklevel=3)
-
-    def crash_at(self, time: float, node_id: str,
-                 cause: str = "fault-injection") -> None:
-        """Deprecated: ``faults.at(t, CrashNode(node=...))``."""
-        self._deprecated("crash_at", "faults.at(t, CrashNode(node=...))")
-        from repro.faults.actions import CrashNode
-        self.faults.at(time, CrashNode(node=node_id, cause=cause))
-
-    def recover_at(self, time: float, node_id: str) -> None:
-        """Deprecated: ``faults.at(t, RecoverNode(node=...))``."""
-        self._deprecated("recover_at", "faults.at(t, RecoverNode(node=...))")
-        from repro.faults.actions import RecoverNode
-        self.faults.at(time, RecoverNode(node=node_id))
-
-    def partition_at(self, time: float, *groups: Iterable[str]) -> None:
-        """Deprecated: ``faults.at(t, Partition(groups=...))``."""
-        self._deprecated("partition_at", "faults.at(t, Partition(groups=...))")
-        from repro.faults.actions import Partition
-        self.faults.at(time, Partition(
-            groups=tuple(tuple(g) for g in groups)))
-
-    def heal_at(self, time: float) -> None:
-        """Deprecated: ``faults.at(t, Heal())``."""
-        self._deprecated("heal_at", "faults.at(t, Heal())")
-        from repro.faults.actions import Heal
-        self.faults.at(time, Heal())
 
     def _notify(self, node_id: str, event: str) -> None:
         for cb in self.watchers:

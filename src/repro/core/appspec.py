@@ -13,9 +13,12 @@ from repro.errors import DaemonError
 class CheckpointConfig:
     """How (and whether) an application is checkpointed.
 
-    ``protocol``: ``None`` (no C/R), ``"stop-and-sync"``,
-    ``"chandy-lamport"``, ``"uncoordinated"``, or ``"diskless"``
-    (fast-network buddy checkpointing — the paper's §7 future work).
+    ``protocol``: ``None`` (no C/R) or any name in
+    :data:`repro.ckpt.protocols.PROTOCOLS` — ``"stop-and-sync"``,
+    ``"chandy-lamport"``, ``"uncoordinated"``, ``"diskless"``
+    (fast-network buddy checkpointing — the paper's §7 future work),
+    ``"sender-logging"`` / ``"causal-logging"`` (message logging with
+    solo restart of the crashed rank).
     ``level``: ``"native"`` (homogeneous process dump) or ``"vm"``
     (portable, heterogeneous).
     ``interval``: periodic checkpointing period in simulated seconds
@@ -29,8 +32,8 @@ class CheckpointConfig:
     logging: bool = False
 
     def __post_init__(self):
-        if self.protocol not in (None, "stop-and-sync", "chandy-lamport",
-                                 "uncoordinated", "diskless"):
+        from repro.ckpt.protocols import PROTOCOLS
+        if self.protocol is not None and self.protocol not in PROTOCOLS:
             raise DaemonError(f"unknown C/R protocol {self.protocol!r}")
         if self.level not in ("native", "vm"):
             raise DaemonError(f"unknown checkpoint level {self.level!r}")

@@ -25,7 +25,7 @@ from repro.bus import (CheckpointEvent, ConfigEvent, CoordinationEvent,
                        MembershipEvent, ObjectBus, ShutdownEvent)
 from repro.calibration import RESTART_BASE
 from repro.ckpt import make_checkpointer
-from repro.ckpt.protocols import make_protocol
+from repro.ckpt.protocols import PROTOCOLS, make_protocol
 from repro.ckpt.protocols.base import CrContext
 from repro.core.program import ProgramContext, ViewInfo
 from repro.errors import CheckpointError, Interrupt, MpiError
@@ -105,11 +105,10 @@ class AppProcess:
         self.ctx = ProgramContext(self)
         self.protocol = None
         if record.ckpt_protocol is not None:
-            kwargs = {}
-            if record.ckpt_protocol == "uncoordinated":
-                kwargs["interval"] = record.ckpt_interval
-                kwargs["logging"] = bool(record.params.get(
-                    "_ckpt_logging", False))
+            # Each protocol class declares which constructor kwargs it
+            # derives from the app record (interval, logging flags, ...).
+            cls = PROTOCOLS.get(record.ckpt_protocol)
+            kwargs = cls.runtime_kwargs(record) if cls is not None else {}
             self.protocol = make_protocol(record.ckpt_protocol, **kwargs)
         self.checkpointer = make_checkpointer(record.ckpt_level)
 
@@ -129,6 +128,15 @@ class AppProcess:
         #: >0 while the program itself is blocked awaiting a checkpoint
         #: commit (mpi.checkpoint()): that wait is itself a safe point.
         self._ckpt_blocked = 0
+        #: Last step-boundary MPI state (message-logging protocols only):
+        #: channel counters, unexpected queue, and communicator sequences
+        #: captured at the commit instant, where they are mutually
+        #: consistent with the committed program state.  A self-paced
+        #: pause can freeze the rank *mid*-step ("de-facto frozen"), so
+        #: pause-time counters may already include the uncommitted step's
+        #: traffic — unusable for solo replay, which re-executes from the
+        #: step boundary.
+        self._boundary_state: Optional[dict] = None
         #: Accumulated simulated time the application was actually frozen
         #: (pause acknowledged -> resumed); the protocol-comparison bench
         #: reports this as "blocked time".
@@ -170,11 +178,13 @@ class AppProcess:
         self.bus.start(self.node)
         if self.protocol is not None:
             self.protocol.start(_CrContextImpl(self))
-            if (self.record.ckpt_interval is not None
-                    and self.record.ckpt_protocol != "uncoordinated"
-                    and self.rank == min(self.record.placement)):
+            # The protocol's WaveScheduler decides whether this rank hosts
+            # a runtime-side checkpoint ticker (coordinated protocols: the
+            # lowest rank only; self-paced ones run their own).
+            ticker = self.protocol.scheduler.runtime_ticker(self)
+            if ticker is not None:
                 self._tickers.append(self.node.spawn(
-                    self._ckpt_ticker(), name=f"ckpt-tick:{self.rank}"))
+                    ticker, name=f"ckpt-tick:{self.rank}"))
         self._proc = self.node.spawn(
             self._run(), name=f"app:{self.record.app_id}:{self.rank}")
 
@@ -257,6 +267,10 @@ class AppProcess:
                 yield from self._restore()
             else:
                 self.program.setup(self.ctx)
+            # Step 0 boundary (or, after a solo restore, the restored
+            # boundary: replayed-but-unconsumed messages are in the
+            # unexpected queue and counted).
+            self._capture_boundary()
             if self.record.world_version > 0:
                 # This process enters a world that has already changed
                 # (spawned into a grown app, or respawned by a restart):
@@ -386,6 +400,25 @@ class AppProcess:
     def _commit_step(self) -> None:
         self.steps_completed += 1
         self._m_steps.inc()
+        self._capture_boundary()
+
+    def _capture_boundary(self) -> None:
+        """Snapshot the endpoint + communicator state at a step boundary.
+
+        The commit instant is a consistent cut: the finished step's sends
+        and consumptions are all reflected, the next step has issued
+        nothing, and arrivals ingested-but-unmatched sit in the unexpected
+        queue snapshotted with the very counters that counted them.  Only
+        protocols that restore channel state solo (message logging) ask
+        for this; for everyone else it is skipped bookkeeping.
+        """
+        if self.protocol is None or not getattr(
+                self.protocol, "wants_boundary_capture", False):
+            return
+        self._boundary_state = {
+            **self.endpoint.export_state(),
+            "comm_seqs": self.mpi.export_comm_state(),
+        }
 
     def _pause_eligible(self) -> bool:
         return (self._pause_req > 0
@@ -494,6 +527,9 @@ class AppProcess:
 
     def _restore(self):
         info = self.restore_info
+        if info["mode"] == "log-replay":
+            yield from self._restore_log_replay(info)
+            return
         version: Optional[int]
         if info["mode"] == "coordinated":
             version = info["version"]
@@ -518,6 +554,40 @@ class AppProcess:
         # itself — the stored copies are diagnostic, not restored.  The
         # fresh endpoint starts with empty queues and zero counters.
         self.was_restored = True
+        hook = self.program.on_restart(self.ctx)
+        if hook is not None and hasattr(hook, "__next__"):
+            yield from hook
+
+    def _restore_log_replay(self, info):
+        """Solo restart under a message-logging protocol.
+
+        Only this rank rolled back — the survivors kept running — so
+        unlike the coordinated path the endpoint's channel counters MUST
+        be restored (the peers' counters never reset), and the messages
+        this incarnation consumed after its checkpoint are re-fed from
+        the sender-side logs through the protocol's delivery tap.
+        """
+        version = info["line"].get(self.rank, -1)
+        tap = self.endpoint.tap
+        if version is None or version < 0:
+            # No checkpoint yet: fresh start + full-log replay.  The
+            # replayed messages sit in the matching engine as unexpected;
+            # re-execution from step 0 consumes them in order, and its
+            # re-sends are duplicate-suppressed at the survivors.
+            self.program.setup(self.ctx)
+        else:
+            record = yield from self.daemon.store.read(
+                self.node, self.record.app_id, self.rank, version)
+            state, convert_cost = self.checkpointer.restore(
+                record.image, record.nbytes, self.node.arch)
+            yield self.engine.timeout(RESTART_BASE + convert_cost)
+            self.program.state = state
+            self.steps_completed = record.mpi_state.get("steps_completed", 0)
+            self.endpoint.import_state(record.mpi_state)
+            self.mpi.import_comm_state(record.mpi_state.get("comm_seqs", {}))
+        self.was_restored = True
+        if tap is not None and hasattr(tap, "replay"):
+            yield from tap.replay(self.endpoint, self.daemon.store)
         hook = self.program.on_restart(self.ctx)
         if hook is not None and hasattr(hook, "__next__"):
             yield from hook
@@ -599,3 +669,13 @@ class _CrContextImpl(CrContext):
 
     def notify_committed(self, version: int) -> None:
         self.rt.bus.post(CheckpointEvent(op="committed", payload=version))
+
+    def restoring(self) -> bool:
+        info = self.rt.restore_info
+        return bool(info) and info.get("mode") == "log-replay"
+
+    def comm_state(self) -> dict:
+        return self.rt.mpi.export_comm_state()
+
+    def boundary_state(self):
+        return self.rt._boundary_state

@@ -20,7 +20,6 @@ Typical use::
 from __future__ import annotations
 
 import itertools
-import warnings
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.ckpt import CheckpointStore
@@ -143,19 +142,14 @@ class StarfishCluster:
 
     @classmethod
     def build(cls, nodes=_UNSET, seed=_UNSET, archs=_UNSET, gcs_config=_UNSET,
-              settle=_UNSET, loss_prob=_UNSET, trace=_UNSET, telemetry=_UNSET,
+              settle=_UNSET, trace=_UNSET, telemetry=_UNSET,
               *, spec: Optional[ClusterSpec] = None) -> "StarfishCluster":
         """Create a cluster, boot all daemons, and (by default) run the
         simulation until the Starfish group has converged.  Prefer passing
-        one ``spec=ClusterSpec(...)``; the legacy kwargs funnel into one."""
-        if loss_prob is not _UNSET:
-            warnings.warn(
-                "loss_prob= is deprecated; pass spec=ClusterSpec(loss_prob="
-                "...) or schedule a repro.faults.FrameLossWindow",
-                DeprecationWarning, stacklevel=2)
+        one ``spec=ClusterSpec(...)``; the keyword args funnel into one."""
         spec = ClusterSpec.coalesce(spec=spec, nodes=nodes, seed=seed,
                                     archs=archs, gcs_config=gcs_config,
-                                    settle=settle, loss_prob=loss_prob,
+                                    settle=settle,
                                     trace=trace, telemetry=telemetry)
         cluster = Cluster.build(spec=spec)
         sf = cls(cluster, gcs_config=spec.gcs_config, users=spec.users)
@@ -325,28 +319,10 @@ class StarfishCluster:
     def crash_node(self, node_id: str) -> None:
         self.cluster.crash_node(node_id)
 
-    def crash_node_at(self, time: float, node_id: str) -> None:
-        """Deprecated: ``faults.at(t, CrashNode(node=...))``."""
-        warnings.warn(
-            "StarfishCluster.crash_node_at is deprecated; use repro.faults: "
-            "faults.at(t, CrashNode(node=...))",
-            DeprecationWarning, stacklevel=2)
-        from repro.faults.actions import CrashNode
-        self.faults.at(time, CrashNode(node=node_id))
-
     def recover_node(self, node_id: str) -> StarfishDaemon:
         """Bring a crashed node back and boot a fresh daemon on it."""
         self.cluster.recover_node(node_id)
         return self._boot_daemon(node_id)
-
-    def recover_node_at(self, time: float, node_id: str) -> None:
-        """Deprecated: ``faults.at(t, RecoverNode(node=...))``."""
-        warnings.warn(
-            "StarfishCluster.recover_node_at is deprecated; use repro.faults:"
-            " faults.at(t, RecoverNode(node=...))",
-            DeprecationWarning, stacklevel=2)
-        from repro.faults.actions import RecoverNode
-        self.faults.at(time, RecoverNode(node=node_id))
 
     def migrate(self, handle: AppHandle, rank: int, target_node: str) -> None:
         """Move one rank to ``target_node`` by rolling the application back

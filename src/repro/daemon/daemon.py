@@ -23,8 +23,7 @@ import itertools
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.calibration import SPAWN_COST
-from repro.ckpt import CheckpointStore, compute_recovery_line
-from repro.ckpt.recovery_line import DependencyGraph
+from repro.ckpt import CheckpointStore
 from repro.daemon.protocol import (MGMT_COMMANDS, USER_COMMANDS,
                                    format_response, parse_command,
                                    parse_submit_options)
@@ -81,6 +80,7 @@ class StarfishDaemon:
         self._registry = get_registry(engine)
         self._m_local: Dict[str, Any] = {}
         self._m_restarts: Dict[str, Any] = {}
+        self._m_ranks_restarted: Dict[str, Any] = {}
         self._m_view_changes = self._registry.counter(
             "daemon.view_changes", node=node.node_id,
             help="main-group view changes handled")
@@ -118,6 +118,19 @@ class StarfishDaemon:
         self._registry.events.emit(
             self.engine.now, "daemon.restart", node=self.node.node_id,
             app=app_id)
+
+    def _count_ranks_restarted(self, app_id: str, n: int) -> None:
+        """Ranks this daemon respawned for a restart (the cluster-wide
+        series is the sum: each daemon only counts its local spawns)."""
+        if not n:
+            return
+        counter = self._m_ranks_restarted.get(app_id)
+        if counter is None:
+            counter = self._registry.counter(
+                "daemon.ranks_restarted", app=app_id,
+                help="application ranks respawned by restarts")
+            self._m_ranks_restarted[app_id] = counter
+        counter.inc(n)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -253,16 +266,34 @@ class StarfishDaemon:
         record = self.registry.maybe(app_id)
         if record is None or record.finished:
             return
+        solo = bool(restore) and restore.get("mode") == "log-replay"
         record.placement = dict(placement)
         record.world_version = world_version
         record.restarts += 1
         self._count_restart(app_id)
         record.status = AppStatus.RUNNING
+        if solo:
+            # Log-based recovery (planner.solo): only the crashed ranks
+            # restart — survivors, and their "done" bookkeeping, are
+            # untouched.  The world version did not bump.
+            lost = set(restore["ranks"])
+            record.done_ranks = [r for r in record.done_ranks
+                                 if r not in lost]
+            for rank in sorted(lost):
+                self._kill_rank(app_id, rank, "solo restart")
+            mine = [r for r in record.ranks_on(self.node.node_id)
+                    if r in lost]
+            self._count_ranks_restarted(app_id, len(mine))
+            yield from self._spawn_local_ranks(record, restore=restore,
+                                               only_ranks=lost)
+            return
         # The rollback re-executes every rank from the recovery line, so
         # "done" bookkeeping from the rolled-back execution is void.
         record.done_ranks = []
         # Kill any local survivors: coordinated rollback restarts everyone.
         self._kill_local(app_id, "rollback")
+        self._count_ranks_restarted(
+            app_id, len(record.ranks_on(self.node.node_id)))
         yield from self._spawn_local_ranks(record, restore=restore)
 
     def _op_app_grow(self, payload, source):
@@ -320,24 +351,24 @@ class StarfishDaemon:
         if record.placement.get(rank) == target_node:
             return
         # One daemon decides (deterministic): the app's restart authority.
+        planner = self._planner_for(record)
+        solo = planner is not None and planner.solo
         alive_nodes = {m.node for m in self.gm.view.members} \
             if self.gm.view else set()
         if not self._is_restart_coordinator(record, alive_nodes):
             record.status = AppStatus.RESTARTING
-            self._kill_local(app_id, "migration rollback")
+            if solo:
+                self._kill_rank(app_id, rank, "migration")
+            else:
+                self._kill_local(app_id, "migration rollback")
             return
-        restore = None
-        if record.ckpt_protocol in ("stop-and-sync", "chandy-lamport",
-                                    "diskless"):
-            version = self.store.latest_restorable(
-                app_id, sorted(record.placement),
-                from_node=self.node.node_id)
-            if version is not None:
-                restore = {"mode": "coordinated", "version": version}
-        elif record.ckpt_protocol == "uncoordinated":
-            restore = self._uncoordinated_restore(record)
+        restore = planner.plan(self, record, [rank]) \
+            if planner is not None else None
         record.status = AppStatus.RESTARTING
-        self._kill_local(app_id, "migration rollback")
+        if solo:
+            self._kill_rank(app_id, rank, "migration")
+        else:
+            self._kill_local(app_id, "migration rollback")
         placement = dict(record.placement)
         placement[rank] = target_node
         new_nodes = set(placement.values())
@@ -350,7 +381,7 @@ class StarfishDaemon:
             if ep.node not in new_nodes:
                 self.lwg.leave(app_id, ep)
         self.gm.cast(("app-restart", app_id, placement, restore,
-                      record.world_version + 1))
+                      record.world_version + (0 if solo else 1)))
         self._log(f"migrate {app_id} rank {rank} -> {target_node} "
                   f"(from {restore})")
 
@@ -390,6 +421,12 @@ class StarfishDaemon:
                 handle.kill(reason)
                 del self.handles[(aid, rank)]
         for handle in self._lingering.pop(app_id, []):
+            handle.kill(reason)
+
+    def _kill_rank(self, app_id: str, rank: int, reason: str) -> None:
+        """Kill one local rank (solo restarts leave its peers running)."""
+        handle = self.handles.pop((app_id, rank), None)
+        if handle is not None:
             handle.kill(reason)
 
     # ------------------------------------------------------------------
@@ -563,8 +600,12 @@ class StarfishDaemon:
             self._notify_world(record)
             return
         if policy == "restart":
+            planner = self._planner_for(record)
             record.status = AppStatus.RESTARTING
-            self._kill_local(record.app_id, "rollback on failure")
+            if planner is None or not planner.solo:
+                # Rollback recovery restarts everyone; log-based (solo)
+                # recovery leaves the survivors computing.
+                self._kill_local(record.app_id, "rollback on failure")
             if self._is_restart_coordinator(record, alive_nodes):
                 yield from self._coordinate_restart(record, lost,
                                                     alive_nodes)
@@ -584,24 +625,26 @@ class StarfishDaemon:
             candidates = list(self.gm.view.members)
         return bool(candidates) and min(candidates) == self.endpoint
 
+    def _planner_for(self, record: AppRecord):
+        """The restart-planner role of the app's C/R protocol (or None
+        when the app checkpoints nothing)."""
+        from repro.ckpt.protocols import PROTOCOLS
+        cls = PROTOCOLS.get(record.ckpt_protocol)
+        return None if cls is None else cls.planner()
+
     def _coordinate_restart(self, record: AppRecord, lost: List[int],
                             alive_nodes: Set[str]):
         app_id = record.app_id
-        # Where does the computation resume from?  (latest_restorable:
-        # diskless copies held on the crashed node are gone — and under
-        # a replicated store, versions whose replicas are unreachable
-        # from this coordinator's partition don't count — so recovery
-        # may have to fall back to an older intact line.)
-        restore = None
-        if record.ckpt_protocol in ("stop-and-sync", "chandy-lamport",
-                                    "diskless"):
-            version = self.store.latest_restorable(
-                app_id, sorted(record.placement),
-                from_node=self.node.node_id)
-            if version is not None:
-                restore = {"mode": "coordinated", "version": version}
-        elif record.ckpt_protocol == "uncoordinated":
-            restore = self._uncoordinated_restore(record)
+        # Where does the computation resume from?  The protocol's restart
+        # planner decides (latest committed line, dependency rollback, or
+        # solo log replay); reachability caveats — diskless copies held on
+        # the crashed node are gone, and under a replicated store versions
+        # whose replicas are unreachable from this coordinator's partition
+        # don't count — live inside the planners.
+        planner = self._planner_for(record)
+        restore = planner.plan(self, record, lost) \
+            if planner is not None else None
+        solo = bool(restore) and restore.get("mode") == "log-replay"
         # Fresh placement for the dead ranks.  Native-level checkpoints can
         # only restore on the same data representation (paper §4), so the
         # placement rule constrains replacements to matching machines.
@@ -630,46 +673,10 @@ class StarfishDaemon:
             if ep.node not in new_nodes or ep not in self.gm.view.members:
                 self.lwg.leave(app_id, ep)
         self.gm.cast(("app-restart", app_id, placement, restore,
-                      record.world_version + 1))
+                      record.world_version + (0 if solo else 1)))
         self._log(f"restart {app_id} from {restore} on {placement}")
         return
         yield  # pragma: no cover — keeps this a generator like its callers
-
-    def _uncoordinated_restore(self, record: AppRecord) -> Optional[dict]:
-        """Compute the recovery line from stored dependency logs."""
-        app_id = record.app_id
-        ranks = sorted(record.placement)
-        graph = DependencyGraph(ranks)
-        deps_seen = set()
-        for rank in ranks:
-            versions = self.store.versions_of(app_id, rank)
-            # Only the usable *prefix* counts: a checkpoint whose every
-            # replica is down or unreachable (replica loss under the
-            # replicated store) cannot anchor a rollback, and neither
-            # can anything after it — uncoordinated versions are the
-            # rank's checkpoint indices, so the recovery-line cut must
-            # map 1:1 onto restorable versions.  Dropping the tail may
-            # domino other ranks further back; compute_recovery_line
-            # handles that (and detects full domino).
-            usable = []
-            for version in versions:
-                if not self.store.record_available(
-                        app_id, rank, version,
-                        from_node=self.node.node_id):
-                    break
-                usable.append(version)
-            graph.ckpt_count[rank] = len(usable)
-            if usable:
-                latest = self.store.peek(app_id, rank, usable[-1])
-                for dep in latest.deps:
-                    if (rank, tuple(dep)) not in deps_seen:
-                        deps_seen.add((rank, tuple(dep)))
-                        graph.record_message(dep[0], dep[1], rank, dep[2])
-        # Everyone restarts from stable storage (volatile state of the
-        # survivors is discarded by the rollback).
-        line = compute_recovery_line(graph, failed=ranks)
-        return {"mode": "uncoordinated", "line": dict(line.cut),
-                "discarded": line.discarded_intervals}
 
     def _pick_nodes(self, count: int, exclude: Optional[Set[str]] = None,
                     require_repr=None) -> List[str]:

@@ -27,9 +27,11 @@ Quickstart::
     plan.apply_to(sf)                      # sf = StarfishCluster.build(...)
     sf.run_to_completion(handle)
 
-The legacy entry points (``StarfishCluster.crash_node_at``,
-``Cluster.partition_at``, ``Fabric.partition``, builder ``loss_prob``
-kwargs) still work but are deprecated thin wrappers over these actions.
+These actions are the *only* fault-injection surface: the pre-PR-2
+scheduling entry points (``crash_node_at`` and friends, builder
+``loss_prob`` kwargs) are gone.  Ambient frame loss is configured with
+``ClusterSpec(loss_prob=...)``, which fires an open-ended
+:class:`FrameLossWindow` through the injector.
 """
 
 from repro.faults.actions import (CrashNode, DaemonPause, DiskSlowdown,

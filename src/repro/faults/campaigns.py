@@ -60,6 +60,28 @@ class Campaign:
     checkers: Optional[Tuple[Any, ...]] = None
 
 
+def _jacobi_workload(protocol: Optional[str], policy, nodes: int) -> AppSpec:
+    """A communication-heavy workload (nearest-neighbour halo exchange +
+    one allreduce per step): under the message-logging protocols the
+    crashed rank's replay actually has channel history to re-feed, and
+    the converged residual makes golden-run comparison exact."""
+    from repro.apps import Jacobi1D
+    checkpoint = (CheckpointConfig(protocol=protocol, level="native",
+                                   interval=0.8)
+                  if protocol is not None else CheckpointConfig())
+    return AppSpec(program=Jacobi1D, nprocs=3,
+                   params={"n": 120, "iterations": 150, "iters_per_step": 10,
+                           "compute_ns_per_cell": 500_000},
+                   ft_policy=FaultPolicy.of(policy),
+                   checkpoint=checkpoint)
+
+
+def _solo_crash_plan(app_id: str, nodes: int) -> FaultPlan:
+    return (FaultPlan()
+            .at(1.2, CrashNode(pick="app-host", app_id=app_id))
+            .at(3.0, RecoverNode()))
+
+
 def _standard_plan(app_id: str, nodes: int) -> FaultPlan:
     return (FaultPlan()
             .at(1.0, CrashNode(pick="app-host", app_id=app_id))
@@ -145,6 +167,14 @@ CAMPAIGNS: Dict[str, Campaign] = {c.name: c for c in (
         plan=_crash_burst_plan,
         cluster_spec=ClusterSpec(replication_factor=2),
         checkers=ALL_CHECKERS + (CheckpointSurvivability(),)),
+    Campaign(
+        name="solo-crash",
+        description="crash one app-hosting node mid-exchange under a "
+                    "message-passing workload, recover it later; built for "
+                    "the logging protocols' single-rank restart (but runs "
+                    "under any protocol)",
+        plan=_solo_crash_plan,
+        workload=_jacobi_workload),
     Campaign(
         name="blackout",
         description="crash every node; the run must fail with a typed "

@@ -170,6 +170,16 @@ class MpiApi:
         out = yield from self.services.request_spawn(nprocs)
         return out
 
+    def export_comm_state(self) -> dict:
+        """Communicator call counters for checkpoints (solo restarts must
+        resume the tag sequences mid-stream; see Communicator.export_seqs)."""
+        return {self.world.comm_id: self.world.export_seqs()}
+
+    def import_comm_state(self, state: dict) -> None:
+        seqs = state.get(self.world.comm_id)
+        if seqs is not None:
+            self.world.import_seqs(seqs)
+
     # -- runtime hook (not for application use) ---------------------------------
 
     def _refresh_world(self, group: Tuple[int, ...],

@@ -82,6 +82,15 @@ class Communicator:
         self._check_rank(comm_rank)
         return self.group[comm_rank]
 
+    def export_seqs(self) -> Tuple[int, int, int]:
+        """Checkpointable call counters (collective/split/dup tags derive
+        from these, so a solo-restarted rank must resume the sequence —
+        its peers' counters never reset)."""
+        return (self._coll_seq, self._split_seq, self._dup_seq)
+
+    def import_seqs(self, seqs) -> None:
+        self._coll_seq, self._split_seq, self._dup_seq = seqs
+
     def _check_rank(self, r: int, wildcard_ok: bool = False) -> None:
         if self._freed:
             raise CommunicatorError(f"{self.comm_id!r} has been freed")

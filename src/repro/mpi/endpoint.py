@@ -83,8 +83,12 @@ class MpiEndpoint:
         #: value rides the packet (uncoordinated C/R dependency tracking).
         self.piggyback_provider: Optional[Callable[[], Any]] = None
         #: Tap on arriving data messages: ``tap(src_world, msg, piggyback)``
-        #: (Chandy–Lamport channel recording, message logging).
+        #: (legacy hook; superseded by :attr:`tap`).
         self.data_tap: Optional[Callable[[int, InboundMsg, Any], None]] = None
+        #: DeliveryTap role object (repro.ckpt.protocols.roles): the C/R
+        #: module's interception point on both the send and delivery
+        #: paths.  When set, its piggyback() wins over piggyback_provider.
+        self.tap: Optional[Any] = None
         self._dispatcher = None
         if polling:
             self._dispatcher = node.spawn(self._dispatch(),
@@ -122,10 +126,19 @@ class MpiEndpoint:
         pb = None
         if tag > CKPT_TAG_BASE:  # control messages don't move the counters
             self.sent_count[dest_world] += 1
-            if self.piggyback_provider is not None:
+            if self.tap is not None:
+                pb = self.tap.piggyback(dest_world)
+            elif self.piggyback_provider is not None:
                 pb = self.piggyback_provider()
         packet = (_PKT_TAG, comm_id, src_comm_rank, tag, data, nbytes,
                   self.world_rank, pb)
+        if self.tap is not None and tag > CKPT_TAG_BASE:
+            # Pre-wire hook: message-logging protocols persist the message
+            # here, so the log strictly precedes the wire send.
+            gen = self.tap.on_send(dest_world, comm_id, src_comm_rank,
+                                   tag, data, nbytes, pb)
+            if gen is not None:
+                yield from gen
         node_id, port = addr
         try:
             yield from self.vni.send(node_id, port, packet,
@@ -164,7 +177,12 @@ class MpiEndpoint:
                                      tag, data, nbytes)
                 req.complete(None)
             except Interrupt:
+                # Killed mid-send (node crash).  The owning rank died with
+                # us, so the failure may never be observed — defuse it; a
+                # waiter that *is* parked on the request still gets the
+                # exception through its callback.
                 req.fail(MpiError("isend interrupted"))
+                req.event.defuse()
 
         self.node.spawn(run(), name=f"isend:{self.port}")
         return req
@@ -194,16 +212,26 @@ class MpiEndpoint:
             return False
         _, comm_id, src_rank, tag, data, nbytes, src_world, pb = payload
         if tag <= CKPT_TAG_BASE:
-            if self.control_hook is not None:
-                result = self.control_hook(
-                    InboundMsg(comm_id=comm_id, source=src_rank, tag=tag,
-                               data=data, nbytes=nbytes), src_world)
-                if result is not None and hasattr(result, "__next__"):
-                    yield from result
+            if self.tap is not None or self.control_hook is not None:
+                msg = InboundMsg(comm_id=comm_id, source=src_rank, tag=tag,
+                                 data=data, nbytes=nbytes)
+                if self.tap is not None:
+                    result = self.tap.on_control(msg, src_world)
+                    if result is not None and hasattr(result, "__next__"):
+                        yield from result
+                if self.control_hook is not None:
+                    result = self.control_hook(msg, src_world)
+                    if result is not None and hasattr(result, "__next__"):
+                        yield from result
             return True
-        self.recv_count[src_world] += 1
         inbound = InboundMsg(comm_id=comm_id, source=src_rank, tag=tag,
                              data=data, nbytes=nbytes)
+        if self.tap is not None and self.tap.on_deliver(src_world, inbound,
+                                                        pb):
+            # Suppressed (duplicate under log-replay, or stashed during a
+            # solo restore): the counter must not move.
+            return False
+        self.recv_count[src_world] += 1
         if self.data_tap is not None:
             self.data_tap(src_world, inbound, pb)
         self.matching.arrived(inbound)

@@ -14,7 +14,6 @@ themselves (driver in :mod:`repro.net.nic`, VNI in :mod:`repro.vni`, MPI in
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Set
 
@@ -89,6 +88,11 @@ class Fabric:
             help="frames lost to crash/partition/injected loss")
         self._m_frames: Dict[str, Counter] = {}
         self._m_bytes: Dict[str, Counter] = {}
+        #: Delivery interception point: ``tap(frame) -> bool`` called just
+        #: before a frame reaches the destination NIC; truthy suppresses
+        #: the delivery.  Protocol harnesses hook here to drop, reorder,
+        #: or observe traffic below every software layer.
+        self.delivery_tap = None
 
     def _kind_instruments(self, kind: str):
         frames = self._m_frames.get(kind)
@@ -164,26 +168,6 @@ class Fabric:
             raise ValueError(f"loss probability must be in [0, 1), got {prob}")
         prev, self.loss_prob = self.loss_prob, prob
         return prev
-
-    def partition(self, *groups: Iterable[str]) -> None:
-        """Deprecated alias of :meth:`set_partition`.
-
-        Use a :class:`repro.faults.Partition` action (scheduled, logged,
-        auto-healing) or :meth:`set_partition` for raw fabric surgery.
-        """
-        warnings.warn(
-            "Fabric.partition() is deprecated; use a repro.faults.Partition "
-            "action (or Fabric.set_partition for raw access)",
-            DeprecationWarning, stacklevel=2)
-        self.set_partition(*groups)
-
-    def heal(self) -> None:
-        """Deprecated alias of :meth:`clear_partition`."""
-        warnings.warn(
-            "Fabric.heal() is deprecated; use a repro.faults.Heal action "
-            "(or Fabric.clear_partition for raw access)",
-            DeprecationWarning, stacklevel=2)
-        self.clear_partition()
 
     def _reachable(self, src: str, dst: str) -> bool:
         if dst not in self._nics or src not in self._nics:
@@ -286,6 +270,8 @@ class Fabric:
                            else not self._reachable(frame.src, frame.dst)):
             self._m_dropped.inc()
             return
+        if self.delivery_tap is not None and self.delivery_tap(frame):
+            return
         nic._receive(frame)
 
     def _deliver_batch(self, event) -> None:
@@ -301,6 +287,8 @@ class Fabric:
                                                         frame.dst)):
                 # Destination crashed or was partitioned away mid-flight.
                 self._m_dropped.inc()
+                continue
+            if self.delivery_tap is not None and self.delivery_tap(frame):
                 continue
             nic._receive(frame)
 

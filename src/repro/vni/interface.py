@@ -58,6 +58,11 @@ class Vni:
         self._rx = self.nic.open_port(port)
         self.recv_q = Channel(engine, name=f"vni-rq:{port}")
         self._poller = None
+        #: Wire-level observation point: an object with ``on_send(frame)``
+        #: / ``on_recv(msg)``, called synchronously on every frame this
+        #: VNI sends or wraps.  Protocols and harnesses hook here when
+        #: they need to see traffic below the MPI layer.
+        self.tap: Optional[Any] = None
         # Per-port VNI telemetry.  The path label separates the fast data
         # path (BIP/Myrinet) from the control path (TCP/Ethernet).  A
         # restarted process reuses its port, so the series reset to zero
@@ -107,6 +112,8 @@ class Vni:
         yield Timeout(self.engine, pre_delay + self.layers.vni_send)
         frame = Frame(src=self.node.node_id, dst=dst_node, port=dst_port,
                       payload=payload, size=size, kind=kind)
+        if self.tap is not None:
+            self.tap.on_send(frame)
         self._m_sent.inc()
         self._m_bytes_sent.inc(size)
         yield from self.nic.send(frame)
@@ -137,9 +144,12 @@ class Vni:
     def _wrap(self, frame: Frame) -> VniMessage:
         self._m_received.inc()
         self._m_bytes_received.inc(frame.size)
-        return VniMessage(src_node=frame.src, src_port=frame.port,
-                          payload=frame.payload, size=frame.size,
-                          msg_id=next(_msg_ids), recv_time=self.engine.now)
+        msg = VniMessage(src_node=frame.src, src_port=frame.port,
+                         payload=frame.payload, size=frame.size,
+                         msg_id=next(_msg_ids), recv_time=self.engine.now)
+        if self.tap is not None:
+            self.tap.on_recv(msg)
+        return msg
 
     def recv(self):
         """Process generator: next received message.

@@ -199,27 +199,24 @@ def test_scheduled_partition_and_heal():
     assert cluster.ethernet._reachable("n0", "n1")
 
 
-def test_deprecated_schedulers_still_work():
+def test_injector_at_schedules_and_logs_all_actions():
+    from repro.faults.actions import CrashNode, Heal, Partition, RecoverNode
     cluster = Cluster.build(nodes=2)
     eng = cluster.engine
-    with pytest.deprecated_call():
-        cluster.partition_at(1.0, ["n0"], ["n1"])
-    with pytest.deprecated_call():
-        cluster.heal_at(2.0)
+    cluster.faults.at(1.0, Partition(groups=(("n0",), ("n1",))))
+    cluster.faults.at(2.0, Heal())
     eng.run(until=1.5)
     assert not cluster.ethernet._reachable("n0", "n1")
     eng.run(until=2.5)
     assert cluster.ethernet._reachable("n0", "n1")
-    with pytest.deprecated_call():
-        cluster.crash_at(3.0, "n1")
-    with pytest.deprecated_call():
-        cluster.recover_at(4.0, "n1")
+    cluster.faults.at(3.0, CrashNode(node="n1"))
+    cluster.faults.at(4.0, RecoverNode(node="n1"))
     eng.run(until=3.5)
     assert not cluster.node("n1").is_up
     eng.run(until=4.5)
     assert cluster.node("n1").is_up
-    # The deprecated shims route through the one injector: all four
-    # scheduled actions show up in its log.
+    # Everything routes through the one injector: all four scheduled
+    # actions show up in its log.
     assert [name for _t, name, _d in cluster.faults.log] == [
         "partition", "heal", "crash-node", "recover-node"]
 

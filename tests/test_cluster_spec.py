@@ -70,17 +70,10 @@ def test_starfish_build_from_spec_carries_gcs_config_and_settle():
     assert sf.any_daemon().gm.view is not None  # settled by default
 
 
-def test_legacy_loss_prob_kwarg_warns_and_routes_through_injector():
-    with pytest.deprecated_call():
-        cluster = Cluster.build(nodes=2, loss_prob=0.25)
+def test_spec_loss_prob_routes_through_injector():
+    cluster = Cluster.build(spec=ClusterSpec(nodes=2, loss_prob=0.25))
     assert cluster.ethernet.loss_prob == 0.25
     assert cluster.myrinet.loss_prob == 0.25
     # The ambient loss is logged as a fault action on the one injector.
     assert [(n, d["prob"]) for _t, n, d in cluster.faults.log] == \
         [("frame-loss", 0.25)]
-
-
-def test_spec_loss_prob_sets_fabric_loss_without_warning():
-    cluster = Cluster.build(spec=ClusterSpec(nodes=2, loss_prob=0.1))
-    assert cluster.ethernet.loss_prob == 0.1
-    assert cluster.faults.log[0][1] == "frame-loss"

@@ -145,13 +145,11 @@ def test_injector_is_per_cluster_singleton():
     assert cluster.faults is cluster.faults
 
 
-# -- deprecated fabric wrappers --------------------------------------------
+# -- direct fabric mechanisms (used by the Partition/Heal actions) ----------
 
-def test_fabric_partition_heal_wrappers_warn_but_work():
+def test_fabric_set_clear_partition():
     cluster = build(nodes=2)
-    with pytest.deprecated_call():
-        cluster.ethernet.partition(["n0"], ["n1"])
+    cluster.ethernet.set_partition(["n0"], ["n1"])
     assert not cluster.ethernet._reachable("n0", "n1")
-    with pytest.deprecated_call():
-        cluster.ethernet.heal()
+    cluster.ethernet.clear_partition()
     assert cluster.ethernet._reachable("n0", "n1")
