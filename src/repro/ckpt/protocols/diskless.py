@@ -29,6 +29,7 @@ from typing import Optional
 from repro.ckpt.protocols.roles import DeliveryTap
 from repro.ckpt.protocols.stop_and_sync import (DRAIN_POLL,
                                                 StopAndSyncProtocol)
+from repro.ckpt.storage import TIER_MEMORY
 from repro.mpi.constants import CKPT_TAG_BASE
 from repro.store.placement import rotating_mirrors
 
@@ -103,7 +104,8 @@ class DisklessProtocol(StopAndSyncProtocol):
         if not buddies:
             # Singleton application: nowhere to mirror; keep it in our own
             # memory (it dies with us — an honest diskless limitation).
-            ctx.store.write_memory(record, holder_node=ctx.node.node_id)
+            ctx.store.write_tier(record, TIER_MEMORY,
+                                 holder_node=ctx.node.node_id)
             self._after_dump(version, nbytes)
             return
         # Stream the image to each mirror over the fast network.  The wire
@@ -125,8 +127,8 @@ class DisklessProtocol(StopAndSyncProtocol):
 
     def on_dl_store(self, payload, source):
         _, version, owner, record = payload
-        self.ctx.store.write_memory(record,
-                                    holder_node=self.ctx.node.node_id)
+        self.ctx.store.write_tier(record, TIER_MEMORY,
+                                  holder_node=self.ctx.node.node_id)
         yield from self.ctx.endpoint.send(
             owner, f"cr:{self.ctx.app_id}", self.ctx.rank, DL_TAG,
             ("dl-ack", version), nbytes=16)

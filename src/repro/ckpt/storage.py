@@ -24,10 +24,28 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.errors import CheckpointError, NoCheckpoint
 from repro.obs.registry import get_registry
 
+#: Checkpoint storage tiers, fastest first.  L1 lives in partner nodes'
+#: RAM (ReStore-style: written at memory/network speed, lost with its
+#: holders), L2 is the writer's local disk (the paper's measured IDE
+#: path), L3 is the replicated fabric (k-way remote disk copies).
+TIER_MEMORY = "memory"
+TIER_DISK = "disk"
+TIER_FABRIC = "fabric"
+TIER_ORDER: Tuple[str, ...] = (TIER_MEMORY, TIER_DISK, TIER_FABRIC)
+
 
 @dataclass
 class CheckpointRecord:
-    """One stored local checkpoint."""
+    """One stored local checkpoint.
+
+    Where the copies live is first-class: ``tier`` names the record's
+    *home* tier (what kind of storage the writer targeted) and
+    ``holders`` maps each tier to the node ids holding a copy there.  A
+    record written through a :class:`~repro.store.tiers.TieredStore` can
+    have copies in several tiers at once; the legacy stores populate a
+    single tier.  ``in_memory`` / ``holder_nodes`` remain as read/write
+    views of the home tier for older call sites.
+    """
 
     app_id: str
     rank: int
@@ -46,16 +64,81 @@ class CheckpointRecord:
     channel_msgs: List[Tuple] = field(default_factory=list)
     #: Message log (logging-enabled uncoordinated protocol).
     msg_log: List[Tuple] = field(default_factory=list)
-    #: Diskless checkpointing: the record lives in buddy nodes' MEMORY
-    #: (fast to write and read, but a copy dies with its holder; the
-    #: record is lost once every holder has crashed).
-    in_memory: bool = False
-    holder_nodes: List[str] = field(default_factory=list)
+    #: Home tier: ``memory`` for diskless/L1-only records (fast to write
+    #: and read, but a copy dies with its holder), ``disk`` otherwise.
+    tier: str = TIER_DISK
+    #: Per-tier holder map: tier name -> node ids holding a copy there.
+    #: Empty for the idealized legacy disk store (global stable storage).
+    holders: Dict[str, List[str]] = field(default_factory=dict)
+    #: Delta checkpointing: the version this incremental image applies on
+    #: top of (``None`` = a full image).  The chain ends at a full base;
+    #: restores replay base + deltas (:mod:`repro.store.delta`).
+    delta_of: Optional[int] = None
+    #: Logical full-image size for delta records (``nbytes`` is then the
+    #: delta payload actually written).
+    full_nbytes: Optional[int] = None
+
+    #: Node-liveness probe bound by the registering store (see
+    #: :meth:`CheckpointStore._register`); ``None`` = assume up.
+    _live = None
+
+    # -- per-tier holder accessors -------------------------------------
+
+    def tier_holders(self, tier: str) -> List[str]:
+        """The (mutable) holder list for one tier."""
+        return self.holders.setdefault(tier, [])
+
+    def add_holder(self, tier: str, node_id: str) -> None:
+        held = self.tier_holders(tier)
+        if node_id not in held:
+            held.append(node_id)
+
+    def all_holders(self) -> List[str]:
+        """Every holder across all tiers, fastest tier first, deduped."""
+        out: List[str] = []
+        for tier in TIER_ORDER:
+            for h in self.holders.get(tier, ()):
+                if h not in out:
+                    out.append(h)
+        return out
+
+    @property
+    def is_delta(self) -> bool:
+        return self.delta_of is not None
+
+    # -- legacy views (home tier) --------------------------------------
+
+    @property
+    def in_memory(self) -> bool:
+        """Legacy flag view: is the home tier volatile (diskless)?"""
+        return self.tier == TIER_MEMORY
+
+    @in_memory.setter
+    def in_memory(self, value: bool) -> None:
+        self.tier = TIER_MEMORY if value else TIER_DISK
+
+    @property
+    def holder_nodes(self) -> List[str]:
+        """Legacy view: the (mutable) home-tier holder list."""
+        return self.tier_holders(self.tier)
+
+    @holder_nodes.setter
+    def holder_nodes(self, nodes) -> None:
+        self.holders[self.tier] = list(nodes)
 
     @property
     def holder_node(self) -> Optional[str]:
-        """First surviving holder (None for disk records)."""
-        return self.holder_nodes[0] if self.holder_nodes else None
+        """First *live* home-tier holder (None for idealized disk records
+        or when every holder is DOWN).
+
+        Routed through the registering store's liveness probe, exactly
+        like ``record_available`` — a holder whose node has crashed never
+        names itself as the place to read from.
+        """
+        for h in self.holders.get(self.tier, ()):
+            if self._live is None or self._live(h):
+                return h
+        return None
 
 
 class CheckpointStore:
@@ -112,51 +195,81 @@ class CheckpointStore:
     # writing
     # ------------------------------------------------------------------
 
+    def _holder_live(self, node_id: str) -> bool:
+        """Liveness of one holder under this store's probe (no probe =
+        assume up, the idealized stable-storage default)."""
+        return self.node_liveness is None or bool(self.node_liveness(node_id))
+
+    def _register(self, key: Tuple[str, int, int],
+                  record: CheckpointRecord) -> None:
+        """Enter ``record`` in the repository and bind the liveness probe
+        so ``record.holder_node`` never names a DOWN holder."""
+        record._live = self._holder_live
+        self._records[key] = record
+
     def write(self, node, record: CheckpointRecord,
               bandwidth: Optional[float] = None):
         """Process generator: dump ``record`` through ``node``'s disk."""
         yield from node.disk.write(record.nbytes, bandwidth=bandwidth)
-        self._records[(record.app_id, record.rank, record.version)] = record
+        self._register((record.app_id, record.rank, record.version), record)
+        self._m_writes.inc()
+        self._m_bytes.inc(record.nbytes)
+
+    def write_tier(self, record: CheckpointRecord, tier: str,
+                   holder_node: str) -> None:
+        """Register a copy of ``record`` in ``tier`` held on
+        ``holder_node``.
+
+        A second copy of the same snapshot (same key and ``taken_at``)
+        adds a holder — redundancy by mirroring.  No IO is charged here:
+        the caller pays the transfer/disk costs appropriate to the tier;
+        registration itself is free at this granularity.
+        """
+        key = (record.app_id, record.rank, record.version)
+        existing = self._records.get(key)
+        if existing is not None and existing.taken_at == record.taken_at:
+            # A mirror copy of the same snapshot: one more holder.
+            existing.add_holder(tier, holder_node)
+            return
+        if tier == TIER_MEMORY:
+            record.tier = TIER_MEMORY
+        record.holders[tier] = [holder_node]
+        self._register(key, record)
         self._m_writes.inc()
         self._m_bytes.inc(record.nbytes)
 
     def write_memory(self, record: CheckpointRecord,
                      holder_node: str) -> None:
-        """Register a diskless (in-memory) copy held on ``holder_node``.
-
-        A second copy of the same (app, rank, version) adds a holder —
-        diskless redundancy by mirroring.  No IO is charged here: the
-        sender paid the network transfer and a memory store is effectively
-        free at this granularity.
-        """
-        key = (record.app_id, record.rank, record.version)
-        existing = self._records.get(key)
-        if existing is not None and existing.in_memory \
-                and existing.taken_at == record.taken_at:
-            # A mirror copy of the same snapshot: one more holder.
-            if holder_node not in existing.holder_nodes:
-                existing.holder_nodes.append(holder_node)
-            return
-        record.in_memory = True
-        record.holder_nodes = [holder_node]
-        self._records[key] = record
-        self._m_writes.inc()
-        self._m_bytes.inc(record.nbytes)
+        """Register a diskless (in-memory) copy held on ``holder_node``."""
+        self.write_tier(record, TIER_MEMORY, holder_node)
 
     def drop_volatile(self, node_id: str) -> int:
         """A node crashed: the in-memory copies it held are gone.
 
-        Returns the number of records that lost their LAST copy.
+        Strips the node from every record's memory-tier holder list and
+        drops memory-home records whose LAST copy (across all tiers) it
+        was.  Returns the number of records lost outright.
         """
         lost = 0
         for key, rec in list(self._records.items()):
-            if rec.in_memory and node_id in rec.holder_nodes:
-                rec.holder_nodes.remove(node_id)
-                if not rec.holder_nodes:
+            held = rec.holders.get(TIER_MEMORY)
+            if held and node_id in held:
+                held.remove(node_id)
+                if rec.tier == TIER_MEMORY and not any(
+                        rec.holders.get(t) for t in TIER_ORDER):
                     del self._records[key]
                     self._m_volatile_lost.inc()
                     lost += 1
         return lost
+
+    def on_membership(self, node_id: str, event: str) -> None:
+        """Membership upcall (``crash`` / ``recover`` / ``remove``).
+
+        The base store only cares that a crashed node's RAM is gone;
+        subclasses add repair and breach accounting.
+        """
+        if event == "crash":
+            self.drop_volatile(node_id)
 
     def commit(self, app_id: str, version: int) -> None:
         """Mark a coordinated version as a recovery line."""
@@ -304,6 +417,40 @@ class CheckpointStore:
             return bool(record.holder_nodes)
         return any(self.node_liveness(h) for h in record.holder_nodes)
 
+    def _holder_ok(self, node_id: str,
+                   from_node: Optional[str] = None) -> bool:
+        """Can ``from_node`` read a copy held on ``node_id``?  The base
+        store has no partition model so this is pure liveness; the
+        replicated store additionally requires fabric reachability."""
+        return self._holder_live(node_id)
+
+    def available_holders(self, record: CheckpointRecord,
+                          from_node: Optional[str] = None) -> List[str]:
+        """Usable holders of ``record``, fastest tier first, deduped."""
+        out: List[str] = []
+        for tier in TIER_ORDER:
+            for h in record.holders.get(tier, ()):
+                if h not in out and self._holder_ok(h, from_node):
+                    out.append(h)
+        return out
+
+    def available_by_tier(self, record: CheckpointRecord,
+                          from_node: Optional[str] = None
+                          ) -> Dict[str, List[str]]:
+        """Per-tier usable holders — the tier-by-tier fallback order a
+        shrink-to-fit restore walks (and the CLI dumps)."""
+        out: Dict[str, List[str]] = {}
+        for tier in TIER_ORDER:
+            held = [h for h in record.holders.get(tier, ())
+                    if self._holder_ok(h, from_node)]
+            if held:
+                out[tier] = held
+        return out
+
+    def repair_tier(self, record: CheckpointRecord) -> str:
+        """Which tier re-replication should top up for this record."""
+        return record.tier
+
     def mirror_fanout(self) -> int:
         """Diskless in-memory copies per record.
 
@@ -316,6 +463,13 @@ class CheckpointStore:
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
+
+    def iter_records(self, app_id: Optional[str] = None):
+        """Iterate ``(key, record)`` pairs in key order — the public
+        repository walk (repair, CLI dumps, invariant checkers)."""
+        for key in sorted(self._records):
+            if app_id is None or key[0] == app_id:
+                yield key, self._records[key]
 
     def committed_versions(self, app_id: str) -> List[int]:
         return list(self._committed.get(app_id, []))

@@ -7,8 +7,11 @@ A thin operational front end for trying the system without writing code:
 * ``metrics [--format text|prom]`` — same workload, raw telemetry dump;
 * ``trace --chrome OUT.json`` — run traced, export Chrome trace JSON;
 * ``chaos --campaign NAME`` — run a deterministic fault campaign;
-* ``store [--k 2 --crash]`` — run a replicated-store workload and dump
-  placement, the replica map, and repair status;
+* ``store [flags] [placement|replica-map|repair|tiers]`` — run a
+  replicated- or tiered-store workload and dump placement, the replica
+  map, repair status, or the per-tier holder/delta-chain map (no
+  subcommand = every section; ``--tiers memory,disk,fabric`` builds the
+  multi-level store);
 * ``examples`` — list the bundled example scripts;
 * ``rtt [--transport ...]`` — quick Figure-5-style latency probe.
 """
@@ -177,14 +180,21 @@ def cmd_check(args) -> int:
 
 
 def cmd_store(args) -> int:
+    import warnings
+
     from repro.apps import ComputeSleep
     from repro.cluster.spec import ClusterSpec
     from repro.core import (AppSpec, CheckpointConfig, FaultPolicy,
                             StarfishCluster)
     from repro.faults import CrashNode, FaultPlan, RecoverNode
+    tiers = tuple(args.tiers.split(",")) if args.tiers else None
     spec = ClusterSpec(nodes=args.nodes, seed=args.seed,
                        replication_factor=args.k,
-                       placement_policy=args.placement)
+                       placement_policy=args.placement,
+                       store_tiers=tiers,
+                       delta_depth=args.delta_depth if tiers else 0,
+                       tier_policy=args.tier_policy if tiers
+                       else "write-through")
     sf = StarfishCluster.build(spec=spec)
     nprocs = min(3, args.nodes)
     handle = sf.submit(AppSpec(
@@ -199,20 +209,42 @@ def cmd_store(args) -> int:
                 .at(2.8, RecoverNode()))
         plan.apply_to(sf, offset=sf.engine.now)
     sf.run_to_completion(handle)
-    store, app_id = sf.store, handle.app_id
-    sections = (("placement", "replicas", "repair") if args.what == "all"
-                else (args.what,))
+    store = sf.store
+    sub = getattr(args, "store_cmd", None)
+    what = getattr(args, "what", None)
+    if what is not None:
+        warnings.warn(
+            "repro store --what is deprecated and will be removed in the "
+            "next release; use the placement | replica-map | repair | "
+            "tiers subcommands instead",
+            DeprecationWarning, stacklevel=2)
+    if sub is not None:
+        sections = ({"replica-map": "replicas"}.get(sub, sub),)
+    elif what is not None and what != "all":
+        sections = (what,)
+    else:
+        sections = ("placement", "replicas", "repair")
+        if tiers is not None:
+            sections += ("tiers",)
+    app_id = getattr(args, "app", None) or handle.app_id
+    rank = getattr(args, "rank", None)
+    version = getattr(args, "version", None)
+
+    def keep(key) -> bool:
+        return ((rank is None or key[1] == rank)
+                and (version is None or key[2] == version))
 
     if "placement" in sections:
         print(f"placement policy={store.policy.name} k={store.k} "
               f"nodes={args.nodes}")
-        version = store.max_version(app_id)
+        newest = store.max_version(app_id)
         for (key, rec, _avail) in store.replica_map(app_id):
-            if key[2] != version:
+            if key[2] != (version if version is not None else newest) \
+                    or not keep(key):
                 continue
             primary = rec.holder_nodes[0] if rec.holder_nodes else "?"
             extra = store.policy.replicas(key, primary,
-                                          store._candidates(primary),
+                                          store.candidates(primary),
                                           store.k)
             print(f"  rank {key[1]} v{key[2]}: primary {primary} "
                   f"-> replicas {extra or '[]'}")
@@ -222,6 +254,8 @@ def cmd_store(args) -> int:
         print(f"replica map app={app_id} committed={committed} "
               f"restorable={restorable} deficit={store.replica_deficit()}")
         for (key, rec, avail) in store.replica_map(app_id):
+            if not keep(key):
+                continue
             print(f"  {key[0]} rank={key[1]} v{key[2]} "
                   f"holders={rec.holder_nodes} reachable={avail}")
     if "repair" in sections:
@@ -231,6 +265,23 @@ def cmd_store(args) -> int:
             status = store.repair.status()
             print("repair: " + " ".join(f"{k}={status[k]}"
                                         for k in sorted(status)))
+    if "tiers" in sections:
+        if not hasattr(store, "tier_map"):
+            print("tiers: disabled (build with --tiers memory,disk,fabric)")
+        else:
+            print(f"tier map app={app_id} tiers={'+'.join(store.tiers)} "
+                  f"promotion={store.promotion} "
+                  f"delta_depth={store.delta_depth}")
+            for (key, rec, by_tier) in store.tier_map(app_id):
+                if not keep(key):
+                    continue
+                held = " ".join(
+                    f"{t}={by_tier.get(t, [])}" for t in store.tiers)
+                delta = (f" delta_of=v{rec.delta_of}"
+                         f" full={rec.full_nbytes}B"
+                         if rec.is_delta else " full-image")
+                print(f"  rank={key[1]} v{key[2]} nbytes={rec.nbytes}"
+                      f"{delta} {held}")
     return 0
 
 
@@ -342,8 +393,13 @@ def main(argv=None) -> int:
     check.set_defaults(fn=cmd_check)
 
     store = sub.add_parser("store", help="run a checkpointed workload on "
-                                         "the replicated store and inspect "
-                                         "placement/replicas/repair")
+                                         "the replicated/tiered store and "
+                                         "inspect placement/replicas/"
+                                         "repair/tiers")
+    # Build flags live on THIS parser only (before the subcommand token);
+    # the inspection subcommands define --app/--rank/--version only —
+    # argparse child defaults would otherwise clobber parent-parsed
+    # values (bpo-9351).
     store.add_argument("--nodes", type=int, default=5)
     store.add_argument("--k", type=int, default=2,
                        help="replication factor (copies per record)")
@@ -355,9 +411,34 @@ def main(argv=None) -> int:
     store.add_argument("--crash", action="store_true",
                        help="crash an app host mid-run (and recover it) to "
                             "exercise failure-driven repair")
-    store.add_argument("--what", default="all",
-                       choices=["placement", "replicas", "repair", "all"])
-    store.set_defaults(fn=cmd_store)
+    store.add_argument("--tiers", default=None, metavar="T1,T2,...",
+                       help="build a multi-level TieredStore instead "
+                            "(comma list from: memory, disk, fabric)")
+    store.add_argument("--delta-depth", type=int, default=0,
+                       help="delta-checkpoint chain depth (with --tiers)")
+    store.add_argument("--tier-policy", default="write-through",
+                       choices=["write-through", "write-back"],
+                       help="tier promotion policy (with --tiers)")
+    store.add_argument("--what", default=None,
+                       choices=["placement", "replicas", "repair", "all"],
+                       help="DEPRECATED (one-release warning): use the "
+                            "subcommands instead")
+    store.set_defaults(fn=cmd_store, store_cmd=None)
+    store_sub = store.add_subparsers(dest="store_cmd", metavar="SECTION")
+    for sname, shelp in (
+            ("placement", "per-rank primary -> replica picks"),
+            ("replica-map", "holder map, committed/restorable line, "
+                            "deficit"),
+            ("repair", "repair-service status counters"),
+            ("tiers", "per-tier holder map and delta chains")):
+        sp = store_sub.add_parser(sname, help=shelp)
+        sp.add_argument("--app", default=None,
+                        help="application id filter (default: the "
+                             "workload just run)")
+        sp.add_argument("--rank", type=int, default=None,
+                        help="only this rank's records")
+        sp.add_argument("--version", type=int, default=None,
+                        help="only this checkpoint version")
 
     rtt = sub.add_parser("rtt", help="quick Figure-5-style latency probe")
     rtt.add_argument("--transport", default="bip-myrinet",

@@ -66,6 +66,21 @@ class ClusterSpec:
     placement_policy: str = "ring"
     #: Repair-service re-replication budget, bytes/second.
     repair_bandwidth: float = 4.0e6
+    #: Multi-level checkpoint tiers (:class:`repro.store.TieredStore`).
+    #: ``None`` (default) keeps the legacy single-level stores; a tuple
+    #: drawn from :data:`STORE_TIERS` (e.g. ``("memory", "disk",
+    #: "fabric")``) builds the L1/L2/L3 hierarchy.  The replica width of
+    #: the memory/fabric levels is ``replication_factor`` (default 2
+    #: when unset).
+    store_tiers: Optional[Tuple[str, ...]] = None
+    #: Delta-checkpoint chain depth (tiered store only): ``0`` dumps
+    #: full images; ``n > 0`` stores up to ``n`` incremental images
+    #: between full bases.
+    delta_depth: int = 0
+    #: Tier promotion policy (tiered store only): ``write-through``
+    #: waits for every tier inside the dump; ``write-back`` returns
+    #: after the fastest tier and flushes the rest in the background.
+    tier_policy: str = "write-through"
     #: Schedule-perturbation seed (``repro.check``).  ``None`` (default)
     #: keeps the untouched deterministic schedule; an int installs a
     #: :class:`repro.check.SchedulePerturbation` on the engine that
@@ -104,6 +119,39 @@ class ClusterSpec:
             raise ValueError(
                 "ClusterSpec.delivery_jitter needs a perturb_seed (the "
                 "jitter draws come from the perturbation's seeded stream)")
+        if self.store_tiers is not None:
+            if not isinstance(self.store_tiers, tuple):
+                object.__setattr__(self, "store_tiers",
+                                   tuple(self.store_tiers))
+            if not self.store_tiers:
+                raise ValueError(
+                    "ClusterSpec.store_tiers must name at least one tier "
+                    "(or be None for the legacy stores)")
+            for t in self.store_tiers:
+                if t not in STORE_TIERS:
+                    raise ValueError(
+                        f"ClusterSpec.store_tiers entries must be drawn "
+                        f"from {STORE_TIERS}, got {t!r}")
+            if len(set(self.store_tiers)) != len(self.store_tiers):
+                raise ValueError(
+                    f"ClusterSpec.store_tiers has duplicates: "
+                    f"{self.store_tiers}")
+        if self.delta_depth < 0:
+            raise ValueError(
+                f"ClusterSpec.delta_depth must be >= 0, got "
+                f"{self.delta_depth}")
+        if self.delta_depth > 0 and self.store_tiers is None:
+            raise ValueError(
+                "ClusterSpec.delta_depth needs store_tiers (delta "
+                "checkpoints are a tiered-store feature)")
+        if self.tier_policy not in TIER_POLICIES:
+            raise ValueError(
+                f"ClusterSpec.tier_policy must be one of {TIER_POLICIES}, "
+                f"got {self.tier_policy!r}")
+        if self.tier_policy != "write-through" and self.store_tiers is None:
+            raise ValueError(
+                "ClusterSpec.tier_policy needs store_tiers (promotion "
+                "policies are a tiered-store feature)")
 
     def with_(self, **overrides) -> "ClusterSpec":
         """A copy with some fields replaced (specs are frozen)."""
@@ -132,6 +180,14 @@ class ClusterSpec:
 #: :data:`repro.store.placement.POLICIES` by a unit test — this module
 #: must not import the store package at runtime, layering).
 PLACEMENT_POLICIES = ("ring", "random", "partition-aware")
+
+#: Valid ``store_tiers`` entries (kept in sync with
+#: :data:`repro.ckpt.storage.TIER_ORDER` by the same unit test).
+STORE_TIERS = ("memory", "disk", "fabric")
+
+#: Valid ``tier_policy`` names (sync:
+#: :data:`repro.store.tiers.PROMOTIONS`).
+TIER_POLICIES = ("write-through", "write-back")
 
 #: Sentinel distinguishing "kwarg not passed" from an explicit default.
 _UNSET = object()

@@ -100,15 +100,32 @@ class StarfishCluster:
             self._boot_daemon(node_id)
 
     def _build_store(self, cluster: Cluster) -> CheckpointStore:
-        """The checkpoint store, per ``ClusterSpec.replication_factor``.
+        """The checkpoint store, per ``ClusterSpec``.
 
-        ``None`` keeps the paper's idealized single-copy stable storage
-        (and the determinism goldens byte-identical); an explicit k
-        builds the replicated store with honest node-local durability
-        plus, for k >= 2, the failure-driven repair daemon.
+        ``store_tiers`` builds the multi-level :class:`~repro.store.
+        TieredStore` (L1 memory / L2 disk / L3 fabric, delta capture);
+        otherwise ``replication_factor`` picks the k-way
+        :class:`~repro.store.ReplicatedStore`; otherwise the paper's
+        idealized single-copy stable storage (and the determinism
+        goldens byte-identical).  Replicating stores with ``k >= 2``
+        get the failure-driven repair daemon.
         """
         spec = getattr(cluster, "spec", None)
         k = spec.replication_factor if spec is not None else None
+        tiers = spec.store_tiers if spec is not None else None
+        if tiers is not None:
+            from repro.store import RepairService, TieredStore
+            store = TieredStore(self.engine, cluster, tiers=tiers,
+                                k=k if k is not None else 2,
+                                policy=spec.placement_policy,
+                                delta_depth=spec.delta_depth,
+                                promotion=spec.tier_policy)
+            if store.k > 1:
+                store.repair = RepairService(
+                    self.engine, cluster, store,
+                    bandwidth=spec.repair_bandwidth)
+            cluster.watchers.append(store.on_membership)
+            return store
         if k is not None:
             from repro.store import RepairService, ReplicatedStore
             store = ReplicatedStore(self.engine, cluster, k=k,
@@ -130,10 +147,9 @@ class StarfishCluster:
 
         store.node_liveness = _memory_live
         # Diskless checkpoints live in node memory: a crash destroys the
-        # copies that node was holding for its buddies.
-        cluster.watchers.append(
-            lambda node_id, event: store.drop_volatile(node_id)
-            if event == "crash" else None)
+        # copies that node was holding for its buddies (the base store's
+        # on_membership does exactly that and nothing more).
+        cluster.watchers.append(store.on_membership)
         return store
 
     # ------------------------------------------------------------------

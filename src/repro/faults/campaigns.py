@@ -168,6 +168,18 @@ CAMPAIGNS: Dict[str, Campaign] = {c.name: c for c in (
         cluster_spec=ClusterSpec(replication_factor=2),
         checkers=ALL_CHECKERS + (CheckpointSurvivability(),)),
     Campaign(
+        name="tier-failover",
+        description="two spaced app-host crashes against the full "
+                    "L1-memory/L2-disk/L3-fabric tiered store with delta "
+                    "checkpoints; recovery shrinks to the fastest "
+                    "surviving tier and CheckpointSurvivability(k) must "
+                    "stay green",
+        plan=_crash_burst_plan,
+        cluster_spec=ClusterSpec(
+            store_tiers=("memory", "disk", "fabric"),
+            replication_factor=2, delta_depth=3),
+        checkers=ALL_CHECKERS + (CheckpointSurvivability(),)),
+    Campaign(
         name="solo-crash",
         description="crash one app-hosting node mid-exchange under a "
                     "message-passing workload, recover it later; built for "

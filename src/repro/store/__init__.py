@@ -1,35 +1,68 @@
-"""Replicated checkpoint storage fabric (ReStore-style, ISSUE 4).
+"""Checkpoint storage backends (replicated fabric, multi-level tiers).
 
-Layered between the C/R protocols and the disk/memory models:
+The public store surface (ISSUE 7's api_redesign):
 
-* :class:`ReplicatedStore` — the :class:`~repro.ckpt.storage.
-  CheckpointStore` surface with k-replica fan-out, pluggable placement,
-  reachability-aware availability and read-pinned GC;
-* :class:`RepairService` — failure-driven, budgeted re-replication;
-* :mod:`~repro.store.placement` — the placement policies (ring
-  successor, seeded-random, partition-aware) and the diskless protocol's
+* :class:`~repro.store.base.StoreBackend` — the ``typing.Protocol``
+  every store implements; protocol code programs against it only;
+* :class:`~repro.ckpt.storage.CheckpointStore` — the paper's idealized
+  single-copy stable storage (the default);
+* :class:`~repro.store.replicated.ReplicatedStore` — k-replica fan-out,
+  pluggable placement, reachability-aware availability, read-pinned GC;
+* :class:`~repro.store.tiers.TieredStore` — the L1 memory / L2 disk /
+  L3 fabric hierarchy with write-through/write-back promotion and delta
+  checkpoints (:mod:`~repro.store.delta`);
+* :class:`~repro.store.repair.RepairService` — failure-driven, budgeted
+  re-replication;
+* :mod:`~repro.store.placement` — placement policies (ring successor,
+  seeded-random, partition-aware) and the diskless protocol's
   :func:`rotating_mirrors` rule.
 
-Enable it per cluster with ``ClusterSpec(replication_factor=2)``; the
-default (``None``) keeps the paper's idealized single-copy stable
-storage, byte-identical to previous releases.
+Enable per cluster with ``ClusterSpec(replication_factor=2)`` or
+``ClusterSpec(store_tiers=("memory", "disk", "fabric"))``; the default
+keeps the idealized store, byte-identical to previous releases.
 """
 
+from repro.ckpt.storage import (CheckpointRecord, CheckpointStore,
+                                TIER_DISK, TIER_FABRIC, TIER_MEMORY,
+                                TIER_ORDER)
+from repro.store.base import StoreBackend
+from repro.store.delta import (BLOCK, Delta, delta_apply, delta_encode,
+                               squash)
 from repro.store.placement import (PartitionAwarePlacement, PlacementPolicy,
                                    POLICIES, RandomPlacement, RingPlacement,
                                    make_placement, rotating_mirrors)
 from repro.store.repair import DEFAULT_REPAIR_BANDWIDTH, RepairService
 from repro.store.replicated import ReplicatedStore
+from repro.store.tiers import (MIN_DELTA_NBYTES, PROMOTIONS, TieredStore,
+                               WRITE_BACK, WRITE_THROUGH, normalize_tiers)
 
 __all__ = [
+    "BLOCK",
+    "CheckpointRecord",
+    "CheckpointStore",
     "DEFAULT_REPAIR_BANDWIDTH",
+    "Delta",
+    "MIN_DELTA_NBYTES",
     "PartitionAwarePlacement",
     "PlacementPolicy",
     "POLICIES",
+    "PROMOTIONS",
     "RandomPlacement",
     "RepairService",
     "ReplicatedStore",
     "RingPlacement",
+    "StoreBackend",
+    "TieredStore",
+    "TIER_DISK",
+    "TIER_FABRIC",
+    "TIER_MEMORY",
+    "TIER_ORDER",
+    "WRITE_BACK",
+    "WRITE_THROUGH",
+    "delta_apply",
+    "delta_encode",
     "make_placement",
+    "normalize_tiers",
     "rotating_mirrors",
+    "squash",
 ]

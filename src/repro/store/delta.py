@@ -1,0 +1,82 @@
+"""Delta (incremental) checkpoint images.
+
+The thread-based MPI C/R line of work motivates incremental capture: the
+common-case checkpoint writes only the pages that changed since the last
+one.  We model that at byte granularity over the VM checkpointers'
+``bytes`` images: :func:`delta_encode` diffs two images block-by-block
+(fixed :data:`BLOCK` size, adjacent dirty blocks merged into one patch)
+and :func:`delta_apply` replays a patch list over a base.  A chain of
+deltas behind a full base is restored by :func:`squash`, and the store
+cuts a fresh full base once the chain reaches its configured depth.
+
+Deltas are pure data (frozen, hashable patches) so records stay
+deepcopy/replay-safe; only ``bytes`` images are delta-able — native
+(live-object) checkpoints always dump full.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+#: Diff granularity: one "page" of a checkpoint image.
+BLOCK = 4096
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One incremental image: patches to overlay on the previous image.
+
+    ``length`` is the new image's total size (the base is truncated or
+    zero-padded to it before patching — images may grow or shrink);
+    ``patches`` is an ascending tuple of ``(offset, payload)`` runs.
+    """
+
+    length: int
+    patches: Tuple[Tuple[int, bytes], ...]
+
+    @property
+    def nbytes(self) -> int:
+        """Payload bytes actually carried (what a delta write costs)."""
+        return sum(len(p) for _off, p in self.patches)
+
+
+def delta_encode(base: bytes, new: bytes, block: int = BLOCK) -> Delta:
+    """Diff ``new`` against ``base`` into a :class:`Delta`.
+
+    Whole-block comparison with adjacent dirty blocks merged: a run of
+    changed pages becomes one ``(offset, payload)`` patch.  Any tail the
+    base does not cover is dirty by definition.
+    """
+    patches = []
+    run_start = None
+    n = len(new)
+    for off in range(0, n, block):
+        chunk = new[off:off + block]
+        if chunk == base[off:off + block]:
+            if run_start is not None:
+                patches.append((run_start, bytes(new[run_start:off])))
+                run_start = None
+        elif run_start is None:
+            run_start = off
+    if run_start is not None:
+        patches.append((run_start, bytes(new[run_start:n])))
+    return Delta(length=n, patches=tuple(patches))
+
+
+def delta_apply(base: bytes, delta: Delta) -> bytes:
+    """Replay one delta over ``base`` (truncate/pad to length first)."""
+    buf = bytearray(base[:delta.length])
+    if len(buf) < delta.length:
+        buf.extend(b"\x00" * (delta.length - len(buf)))
+    for off, payload in delta.patches:
+        buf[off:off + len(payload)] = payload
+    return bytes(buf)
+
+
+def squash(base: bytes, deltas: Sequence[Delta]) -> bytes:
+    """Replay a delta chain (oldest first) over a full base image."""
+    image = base
+    for delta in deltas:
+        image = delta_apply(image, delta)
+    return image

@@ -98,33 +98,36 @@ class RepairService:
     def _next_job(self, skip):
         """The first under-replicated record with a viable source+target.
 
-        Deterministic scan order (sorted keys) keeps same-seed campaign
-        reports byte-identical."""
+        Deterministic scan order (the store's sorted-key walk) keeps
+        same-seed campaign reports byte-identical.  Everything here goes
+        through the public :class:`StoreBackend` surface — iter_records /
+        node_up / reachable / candidates / repair_tier."""
         store = self.store
         from repro.cluster.node import NodeState
         n_up = sum(1 for n in self.cluster.nodes.values()
                    if n.state is NodeState.UP)
         target_copies = min(store.k, max(1, n_up))
-        for key in sorted(store._records):
+        for key, rec in store.iter_records():
             if key in skip:
                 continue
-            rec = store._records[key]
-            live = [h for h in rec.holder_nodes if store._node_up(h)]
+            tier = store.repair_tier(rec)
+            live = store.repair_sources(rec, tier)
             if not live or len(live) >= target_copies:
                 continue
             source = live[0]
-            # Never re-target a node already on the holder list: a
-            # crashed-but-recoverable disk holder would double-count.
-            candidates = [c for c in store._candidates(source)
-                          if c not in rec.holder_nodes
-                          and store._reachable(source, c)]
+            # Never re-target a node already holding a copy in ANY tier:
+            # a crashed-but-recoverable holder would double-count.
+            candidates = [c for c in store.candidates(source)
+                          if c not in rec.all_holders()
+                          and store.reachable(source, c)]
             picks = store.policy.replicas(key, source, candidates, 2)
             if not picks:
                 continue
-            return (key, rec, source, picks[0])
+            return (key, rec, source, picks[0], tier)
         return None
 
-    def _repair_one(self, key, rec, source, target):
+    def _repair_one(self, key, rec, source, target, tier):
+        from repro.ckpt.storage import TIER_MEMORY
         engine = self.engine
         t0 = engine.now
         fabric = self.cluster.myrinet
@@ -132,25 +135,25 @@ class RepairService:
         yield engine.timeout(fabric.spec.layers.one_way_fixed
                              + rec.nbytes / rate)
         store = self.store
-        if store._records.get(key) is not rec:
+        if not store.has(*key) or store.peek(*key) is not rec:
             self._m_jobs_failed.inc()       # GCed mid-copy
             return False
         tnode = self.cluster.nodes.get(target)
         if tnode is None or not tnode.is_up \
-                or not store._node_up(source):
+                or not store.node_up(source):
             self._m_jobs_failed.inc()
             return False
-        if not rec.in_memory:
+        if tier != TIER_MEMORY:
             try:
                 yield from tnode.disk.write(rec.nbytes)
             except Interrupt:
                 self._m_jobs_failed.inc()
                 return False
-        if store._records.get(key) is not rec or not store._node_up(target):
+        if not store.has(*key) or store.peek(*key) is not rec \
+                or not store.node_up(target):
             self._m_jobs_failed.inc()
             return False
-        if target not in rec.holder_nodes:
-            rec.holder_nodes.append(target)
+        rec.add_holder(tier, target)
         self._m_jobs_ok.inc()
         self._m_bytes.inc(rec.nbytes)
         self._h_job.observe(engine.now - t0)

@@ -23,7 +23,8 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.ckpt.storage import CheckpointRecord, CheckpointStore
+from repro.ckpt.storage import (CheckpointRecord, CheckpointStore,
+                                TIER_ORDER)
 from repro.errors import CheckpointError, Interrupt, NoCheckpoint
 from repro.obs.registry import get_registry
 from repro.store.placement import PlacementPolicy, make_placement
@@ -45,10 +46,10 @@ class ReplicatedStore(CheckpointStore):
             rng = engine.rng.stream("store.place") if engine is not None \
                 else None
             self.policy = make_placement(policy, rng=rng,
-                                         reachable=self._reachable)
+                                         reachable=self.reachable)
         # Availability == node liveness, atomically with the crash itself
         # (no watcher-callback window where a dead holder still counts).
-        self.node_liveness = self._node_up
+        self.node_liveness = self.node_up
         #: Attached :class:`~repro.store.repair.RepairService` (None for
         #: k=1, where there is nothing to re-replicate toward).
         self.repair = None
@@ -79,27 +80,40 @@ class ReplicatedStore(CheckpointStore):
     # cluster probes
     # ------------------------------------------------------------------
 
-    def _node_up(self, node_id: str) -> bool:
+    def node_up(self, node_id: str) -> bool:
+        """Is the node alive (UP or transiently degraded, not DOWN)?"""
         from repro.cluster.node import NodeState
         node = self.cluster.nodes.get(node_id)
         return node is not None and node.state is not NodeState.DOWN
 
-    def _reachable(self, src: str, dst: str) -> bool:
+    def reachable(self, src: str, dst: str) -> bool:
         """Data-fabric reachability (honors open partitions)."""
         if src == dst:
             return True
         return self.cluster.myrinet._reachable(src, dst)
 
-    def _candidates(self, primary: str) -> List[str]:
+    def candidates(self, primary: str) -> List[str]:
+        """UP nodes other than ``primary``, in deterministic order — the
+        placement policies' input universe."""
         from repro.cluster.node import NodeState
         return sorted(n.node_id for n in self.cluster.nodes.values()
                       if n.state is NodeState.UP and n.node_id != primary)
+
+    # Pre-PR7 private spellings, kept for older call sites.
+    _node_up = node_up
+    _reachable = reachable
+    _candidates = candidates
+
+    def _holder_ok(self, node_id: str,
+                   from_node: Optional[str] = None) -> bool:
+        return self.node_up(node_id) and (
+            from_node is None or self.reachable(from_node, node_id))
 
     def replica_targets(self, primary: str,
                         record: CheckpointRecord) -> List[str]:
         """Where the policy wants this record's extra copies right now."""
         key = (record.app_id, record.rank, record.version)
-        return self.policy.replicas(key, primary, self._candidates(primary),
+        return self.policy.replicas(key, primary, self.candidates(primary),
                                     self.k)
 
     def mirror_fanout(self) -> int:
@@ -121,15 +135,21 @@ class ReplicatedStore(CheckpointStore):
         """
         yield from node.disk.write(record.nbytes, bandwidth=bandwidth)
         record.holder_nodes = [node.node_id]
-        self._records[(record.app_id, record.rank, record.version)] = record
+        self._register((record.app_id, record.rank, record.version), record)
         self._m_writes.inc()
         self._m_bytes.inc(record.nbytes)
         yield from self._replicate(node, record)
 
-    def _replicate(self, node, record: CheckpointRecord):
-        targets = self.replica_targets(node.node_id, record)
+    def _replicate(self, node, record: CheckpointRecord, tier=None,
+                   targets=None):
+        """Stream copies of ``record`` into ``tier`` (default: its home
+        tier) on ``targets`` (default: the placement policy's picks)."""
+        if targets is None:
+            targets = self.replica_targets(node.node_id, record)
         if not targets:
             return
+        if tier is None:
+            tier = record.tier
         engine = self.engine
         fabric = self.cluster.myrinet
         t0 = engine.now
@@ -140,11 +160,11 @@ class ReplicatedStore(CheckpointStore):
             yield engine.timeout(record.nbytes / fabric.spec.bandwidth)
             tnode = self.cluster.nodes.get(target)
             if tnode is None or not tnode.is_up \
-                    or not self._reachable(node.node_id, target):
+                    or not self.reachable(node.node_id, target):
                 self._m_repl_failed.inc()
                 continue
             proc = tnode.spawn(
-                self._ingest(record, target, fabric),
+                self._ingest(record, target, fabric, tier),
                 name=f"replica:{record.app_id}:{record.rank}"
                      f":{record.version}:{target}"
                      if engine.tracer is not None else None)
@@ -153,38 +173,36 @@ class ReplicatedStore(CheckpointStore):
             yield proc
         self._h_fanout.observe(engine.now - t0)
 
-    def _ingest(self, record: CheckpointRecord, target: str, fabric):
-        """Replica-holder side: wire latency, disk write, register."""
+    def _ingest(self, record: CheckpointRecord, target: str, fabric,
+                tier=None):
+        """Replica-holder side: wire latency, disk write (durable tiers
+        only — a memory-tier copy lands in the holder's RAM), register."""
+        from repro.ckpt.storage import TIER_MEMORY
+        if tier is None:
+            tier = record.tier
         try:
             yield self.engine.timeout(fabric.spec.layers.one_way_fixed)
             tnode = self.cluster.nodes.get(target)
             if tnode is None or not tnode.is_up:
                 self._m_repl_failed.inc()
                 return
-            yield from tnode.disk.write(record.nbytes)
+            if tier != TIER_MEMORY:
+                yield from tnode.disk.write(record.nbytes)
         except Interrupt:
             # The holder crashed mid-transfer: the copy is gone.
             self._m_repl_failed.inc()
             return
         key = (record.app_id, record.rank, record.version)
-        if self._records.get(key) is not record or not self._node_up(target):
+        if self._records.get(key) is not record or not self.node_up(target):
             self._m_repl_failed.inc()
             return
-        if target not in record.holder_nodes:
-            record.holder_nodes.append(target)
+        record.add_holder(tier, target)
         self._m_repl_ok.inc()
         self._m_repl_bytes.inc(record.nbytes)
 
     # ------------------------------------------------------------------
     # reading: nearest reachable holder
     # ------------------------------------------------------------------
-
-    def available_holders(self, record: CheckpointRecord,
-                          from_node: Optional[str] = None) -> List[str]:
-        """Holders that are up (and reachable from ``from_node``)."""
-        return [h for h in record.holder_nodes
-                if self._node_up(h)
-                and (from_node is None or self._reachable(from_node, h))]
 
     def record_available(self, app_id: str, rank: int, version: int,
                          from_node: Optional[str] = None) -> bool:
@@ -278,20 +296,33 @@ class ReplicatedStore(CheckpointStore):
     def drop_disk_holders(self, node_id: str) -> int:
         """A node (and its disk) left the cluster for good.
 
-        Returns the number of records that lost their LAST copy."""
+        Strips the node from every record's durable (disk/fabric) holder
+        lists; a record with no copy left in ANY tier is gone.  Returns
+        the number of records lost outright."""
+        from repro.ckpt.storage import TIER_MEMORY
         lost = 0
         for key, rec in list(self._records.items()):
-            if not rec.in_memory and node_id in rec.holder_nodes:
-                rec.holder_nodes.remove(node_id)
-                if not rec.holder_nodes:
-                    del self._records[key]
-                    self._m_repl_lost.inc()
-                    lost += 1
+            hit = False
+            for tier, held in rec.holders.items():
+                if tier != TIER_MEMORY and node_id in held:
+                    held.remove(node_id)
+                    hit = True
+            if hit and not any(rec.holders.get(t) for t in TIER_ORDER):
+                del self._records[key]
+                self._m_repl_lost.inc()
+                lost += 1
         return lost
 
     # ------------------------------------------------------------------
     # repair bookkeeping
     # ------------------------------------------------------------------
+
+    def repair_sources(self, record: CheckpointRecord,
+                       tier: str) -> List[str]:
+        """Live holders credited against the replication target for
+        ``tier`` — and usable as copy sources.  The tiered store credits
+        every durable tier toward the fabric target."""
+        return [h for h in record.tier_holders(tier) if self.node_up(h)]
 
     def replica_deficit(self) -> int:
         """Total missing copies across all records (the repair backlog).
@@ -304,8 +335,8 @@ class ReplicatedStore(CheckpointStore):
         target = min(self.k, max(1, n_up))
         deficit = 0
         for rec in self._records.values():
-            live = sum(1 for h in rec.holder_nodes if self._node_up(h))
-            deficit += max(0, target - live)
+            live = self.repair_sources(rec, self.repair_tier(rec))
+            deficit += max(0, target - len(live))
         return deficit
 
     def replica_map(self, app_id: Optional[str] = None):

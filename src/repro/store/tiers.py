@@ -1,0 +1,410 @@
+"""Multi-level checkpoint storage: L1 memory / L2 disk / L3 fabric.
+
+:class:`TieredStore` composes the storage models the repo already has
+into a ReStore-style hierarchy (ISSUE 7):
+
+* **L1 — in-memory partner copies**: each dump streams to ``k`` partner
+  nodes' RAM over the fast fabric (written at network speed, read back
+  at memory speed, lost with their holders).  The writer's own RAM never
+  counts — it dies with the writer.
+* **L2 — local disk**: the paper's measured IDE path, exactly today's
+  default store.
+* **L3 — replicated fabric**: the :class:`~repro.store.replicated.
+  ReplicatedStore` ``k``-way fan-out onto remote disks.
+
+Configure the levels per cluster with ``ClusterSpec(store_tiers=...)``;
+any non-empty subset works, e.g. ``("memory",)`` is pure diskless and
+``("memory", "disk", "fabric")`` is the full hierarchy.
+
+**Promotion**: ``write-through`` (default) makes the protocol's dump
+wait for every configured tier — the commit certifies the full
+hierarchy.  ``write-back`` returns after the FIRST (fastest) tier and a
+background flusher pushes the remaining tiers later; faster waves, but a
+crash in the window leaves only the fast-tier copies.
+
+**Delta checkpoints** (``delta_depth > 0``): ``bytes`` images are diffed
+against the rank's previous image (:mod:`repro.store.delta`); the stored
+record carries only the changed blocks (``record.nbytes`` = delta
+payload, ``record.full_nbytes`` = logical size, ``record.delta_of`` =
+the link's base version).  Every ``delta_depth`` deltas the chain is cut
+with a fresh full base.  Restores replay base + deltas; GC never
+collects a base a retained delta still needs.
+
+**Shrink-to-fit recovery**: reads walk :meth:`available_by_tier` —
+memory first, then local disk, then the nearest durable holder — per
+chain link, so losing a tier degrades restore speed instead of losing
+the line.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.ckpt.storage import (CheckpointRecord, TIER_DISK, TIER_FABRIC,
+                                TIER_MEMORY, TIER_ORDER)
+from repro.errors import CheckpointError, NoCheckpoint
+from repro.obs.registry import get_registry
+from repro.sim.channel import Channel
+from repro.store.delta import delta_encode, squash
+from repro.store.replicated import ReplicatedStore
+
+#: Promotion policies.
+WRITE_THROUGH = "write-through"
+WRITE_BACK = "write-back"
+PROMOTIONS = (WRITE_THROUGH, WRITE_BACK)
+
+#: Metadata floor charged for a delta that carries (almost) no payload.
+MIN_DELTA_NBYTES = 512
+
+
+def normalize_tiers(tiers) -> Tuple[str, ...]:
+    """Validate and order a tier selection fastest-first."""
+    if not tiers:
+        raise CheckpointError("store_tiers must name at least one tier")
+    seen = set()
+    for t in tiers:
+        if t not in TIER_ORDER:
+            raise CheckpointError(
+                f"unknown store tier {t!r} (known: {', '.join(TIER_ORDER)})")
+        if t in seen:
+            raise CheckpointError(f"duplicate store tier {t!r}")
+        seen.add(t)
+    return tuple(t for t in TIER_ORDER if t in seen)
+
+
+class TieredStore(ReplicatedStore):
+    """Multi-level checkpoint store (L1 memory / L2 disk / L3 fabric)."""
+
+    def __init__(self, engine, cluster, tiers=TIER_ORDER, k: int = 2,
+                 policy="ring", delta_depth: int = 0,
+                 promotion: str = WRITE_THROUGH):
+        super().__init__(engine, cluster, k=k, policy=policy)
+        self.tiers = normalize_tiers(tiers)
+        if promotion not in PROMOTIONS:
+            raise CheckpointError(
+                f"unknown promotion policy {promotion!r} "
+                f"(known: {', '.join(PROMOTIONS)})")
+        if int(delta_depth) < 0:
+            raise CheckpointError(
+                f"delta_depth must be >= 0, got {delta_depth}")
+        self.promotion = promotion
+        self.delta_depth = int(delta_depth)
+        #: Home tier: what the record's legacy ``in_memory`` flag means.
+        self.home_tier = (TIER_MEMORY if self.tiers == (TIER_MEMORY,)
+                          else TIER_DISK if TIER_DISK in self.tiers
+                          else TIER_FABRIC)
+        #: (app_id, rank) -> (version, full image bytes) — the diff base
+        #: for the NEXT dump (always the previous full content).
+        self._base_cache: Dict[Tuple[str, int], Tuple[int, bytes]] = {}
+        #: (app_id, rank) -> deltas since the last full base.
+        self._chain_len: Dict[Tuple[str, int], int] = {}
+        #: Write-back: (writer node id, key, record, pending tiers).
+        self._backlog: deque = deque()
+        reg = get_registry(engine)
+        self._m_tier_writes = {
+            t: reg.counter("store.tier.writes", tier=t,
+                           help="tier copies written") for t in TIER_ORDER}
+        self._m_tier_reads = {
+            t: reg.counter("store.tier.reads", tier=t,
+                           help="chain-link reads served per tier")
+            for t in TIER_ORDER}
+        self._m_deltas = reg.counter(
+            "store.delta.records", help="incremental (delta) dumps stored")
+        self._m_delta_saved = reg.counter(
+            "store.delta.bytes_saved",
+            help="bytes NOT written thanks to delta capture")
+        self._m_squashes = reg.counter(
+            "store.delta.squashes",
+            help="delta chains cut with a fresh full base")
+        self._m_flushes = reg.counter(
+            "store.tier.flushes", help="write-back flushes completed")
+        self._m_flush_dropped = reg.counter(
+            "store.tier.flush_dropped",
+            help="write-back flushes abandoned (writer died / record GCed)")
+        reg.gauge_fn("store.tier.flush_backlog",
+                     lambda: float(len(self._backlog)))
+        self._flush_wake = None
+        if self.promotion == WRITE_BACK:
+            self._flush_wake = Channel(engine, name="store-tier-flush")
+            engine.process(self._flush_loop(), name="store-tier-flush")
+
+    # ------------------------------------------------------------------
+    # writing: delta capture + per-tier fan-out
+    # ------------------------------------------------------------------
+
+    def write(self, node, record: CheckpointRecord,
+              bandwidth: Optional[float] = None):
+        """Process generator: dump ``record`` through the tier stack.
+
+        Write-through waits for every configured tier; write-back
+        returns after the fastest and leaves the rest to the flusher.
+        """
+        self._deltify(record)
+        record.tier = self.home_tier
+        key = (record.app_id, record.rank, record.version)
+        self._register(key, record)
+        self._m_writes.inc()
+        self._m_bytes.inc(record.nbytes)
+        if self.promotion == WRITE_BACK and len(self.tiers) > 1:
+            inline, deferred = self.tiers[:1], self.tiers[1:]
+        else:
+            inline, deferred = self.tiers, ()
+        for tier in inline:
+            yield from self._write_into(node, record, tier, bandwidth)
+        if deferred:
+            self._backlog.append((node.node_id, key, record, deferred))
+            self._flush_wake.put(True)
+
+    def _write_into(self, node, record: CheckpointRecord, tier: str,
+                    bandwidth: Optional[float] = None):
+        """Process generator: land one tier's copies of ``record``."""
+        if tier == TIER_DISK:
+            yield from node.disk.write(record.nbytes, bandwidth=bandwidth)
+            if self.node_up(node.node_id):
+                record.add_holder(TIER_DISK, node.node_id)
+                self._m_tier_writes[TIER_DISK].inc()
+        elif tier == TIER_MEMORY:
+            # The writer's RAM dies with the writer, so L1 wants k FULL
+            # partner copies (the fabric tier's k counts the primary's
+            # own disk; replicas() hands back k-1 picks).
+            targets = self.policy.replicas(
+                (record.app_id, record.rank, record.version),
+                node.node_id, self.candidates(node.node_id), self.k + 1)
+            yield from self._replicate(node, record, tier=TIER_MEMORY,
+                                       targets=targets)
+            self._m_tier_writes[TIER_MEMORY].inc()
+        else:
+            yield from self._replicate(node, record, tier=TIER_FABRIC)
+            self._m_tier_writes[TIER_FABRIC].inc()
+
+    def _flush_loop(self):
+        """Write-back daemon: push deferred tiers in arrival order."""
+        while True:
+            yield self._flush_wake.get()
+            while self._backlog:
+                node_id, key, record, tiers = self._backlog.popleft()
+                if self._records.get(key) is not record:
+                    self._m_flush_dropped.inc()      # GCed before flush
+                    continue
+                node = self.cluster.nodes.get(node_id)
+                ok = True
+                for tier in tiers:
+                    if node is None or not self.node_up(node_id):
+                        ok = False                   # writer died first
+                        break
+                    yield from self._write_into(node, record, tier)
+                if ok:
+                    self._m_flushes.inc()
+                else:
+                    self._m_flush_dropped.inc()
+
+    # ------------------------------------------------------------------
+    # delta capture
+    # ------------------------------------------------------------------
+
+    def _deltify(self, record: CheckpointRecord) -> None:
+        """Turn ``record`` into an incremental image when it can be one.
+
+        Only ``bytes`` images (the VM checkpointers) are delta-able;
+        native live-object dumps always go full.  The diff base is the
+        rank's previous full content, cached writer-side — rebuilding it
+        from the store would charge a read we never perform.
+        """
+        if not isinstance(record.image, (bytes, bytearray)):
+            return
+        rkey = (record.app_id, record.rank)
+        full = bytes(record.image)
+        prev = self._base_cache.get(rkey)
+        chain = self._chain_len.get(rkey, 0)
+        self._base_cache[rkey] = (record.version, full)
+        if self.delta_depth <= 0 or prev is None \
+                or not self.has(record.app_id, record.rank, prev[0]):
+            self._chain_len[rkey] = 0
+            return
+        if chain >= self.delta_depth:
+            # Chain squash: cut a fresh full base.
+            self._chain_len[rkey] = 0
+            self._m_squashes.inc()
+            return
+        prev_version, prev_full = prev
+        delta = delta_encode(prev_full, full)
+        record.delta_of = prev_version
+        record.full_nbytes = record.nbytes
+        record.image = delta
+        record.nbytes = max(delta.nbytes, MIN_DELTA_NBYTES)
+        self._chain_len[rkey] = chain + 1
+        self._m_deltas.inc()
+        self._m_delta_saved.inc(max(0, record.full_nbytes - record.nbytes))
+
+    def _chain(self, app_id: str, rank: int, version: int):
+        """The record chain newest-first down to its full base.
+
+        Raises :class:`NoCheckpoint` when a link is gone entirely.
+        """
+        out = []
+        v = version
+        while True:
+            rec = self.peek(app_id, rank, v)
+            out.append(((app_id, rank, v), rec))
+            if rec.delta_of is None:
+                return out
+            v = rec.delta_of
+
+    def _chain_needed(self, app_id: str, floor: int) -> set:
+        """Keys below ``floor`` still needed as delta bases by records at
+        or above it (or read-pinned)."""
+        needed: set = set()
+        for key, rec in self._records.items():
+            if key[0] != app_id:
+                continue
+            if key[2] < floor and not self._pins.get(key):
+                continue
+            base = rec.delta_of
+            r = rec
+            while base is not None:
+                bkey = (app_id, key[1], base)
+                if bkey in needed:
+                    break
+                needed.add(bkey)
+                r = self._records.get(bkey)
+                base = r.delta_of if r is not None else None
+        return needed
+
+    # ------------------------------------------------------------------
+    # reading: shrink-to-fit tier walk + chain replay
+    # ------------------------------------------------------------------
+
+    def record_available(self, app_id: str, rank: int, version: int,
+                         from_node: Optional[str] = None) -> bool:
+        """A tiered record is usable iff EVERY chain link down to its
+        full base still has a reachable copy in some tier."""
+        rec = self._records.get((app_id, rank, version))
+        while rec is not None:
+            if not self.available_holders(rec, from_node=from_node):
+                return False
+            if rec.delta_of is None:
+                return True
+            rec = self._records.get((app_id, rank, rec.delta_of))
+        return False
+
+    def read(self, node, app_id: str, rank: int, version: int,
+             bandwidth: Optional[float] = None):
+        """Process generator: load a record, fastest tier per link.
+
+        Delta chains read every link (base first) and replay the deltas;
+        the returned record is a full-image VIEW of the stored head
+        (callers see ``image``/``nbytes`` as if the dump had been full).
+        All links are read-pinned for the duration.
+        """
+        chain = self._chain(app_id, rank, version)
+        for key, _rec in chain:
+            self._pin(key)
+        try:
+            for _key, rec in reversed(chain):
+                yield from self._fetch(node, rec, bandwidth)
+            self._m_reads.inc()
+            head = chain[0][1]
+            if head.delta_of is None:
+                return head
+            base = chain[-1][1].image
+            deltas = [rec.image for _k, rec in reversed(chain[:-1])]
+            return replace(
+                head, image=squash(base, deltas),
+                nbytes=head.full_nbytes or head.nbytes,
+                delta_of=None, full_nbytes=None,
+                holders={t: list(h) for t, h in head.holders.items()})
+        finally:
+            for key, _rec in chain:
+                self._unpin(key)
+
+    def _fetch(self, node, rec: CheckpointRecord,
+               bandwidth: Optional[float] = None):
+        """Process generator: pull ONE chain link from its fastest tier."""
+        by_tier = self.available_by_tier(rec, from_node=node.node_id)
+        if TIER_MEMORY in by_tier:
+            from repro.calibration import BIP_BANDWIDTH, US
+            yield self.engine.timeout(200 * US
+                                      + rec.nbytes / BIP_BANDWIDTH)
+            self._m_tier_reads[TIER_MEMORY].inc()
+            return
+        for tier in (TIER_DISK, TIER_FABRIC):
+            held = by_tier.get(tier)
+            if not held:
+                continue
+            if node.node_id in held:
+                yield from node.disk.read(rec.nbytes, bandwidth=bandwidth)
+            else:
+                snode = self.cluster.nodes[held[0]]
+                yield from snode.disk.read(rec.nbytes)
+                yield self.engine.timeout(
+                    self.cluster.myrinet.spec.one_way(rec.nbytes))
+                self._m_remote_reads.inc()
+            self._m_tier_reads[tier].inc()
+            return
+        raise NoCheckpoint(
+            f"no tier holds a reachable copy of (app={rec.app_id}, "
+            f"rank={rec.rank}, version={rec.version}); "
+            f"holders={rec.holders}")
+
+    # ------------------------------------------------------------------
+    # GC: never collect a base a retained delta still needs
+    # ------------------------------------------------------------------
+
+    def gc_committed(self, app_id: str, keep: int = 1) -> int:
+        committed = self._committed.get(app_id)
+        if not committed or keep < 1 or len(committed) <= keep:
+            return 0
+        floor = sorted(committed)[-keep]
+        self._gc_floor[app_id] = max(floor, self._gc_floor.get(app_id, 0))
+        needed = self._chain_needed(app_id, floor)
+        victims = [k for k in self._records
+                   if k[0] == app_id and k[2] < floor
+                   and not self._pins.get(k) and k not in needed]
+        for key in victims:
+            del self._records[key]
+        self._committed[app_id] = [v for v in committed if v >= floor]
+        return len(victims)
+
+    def _unpin(self, key) -> None:
+        count = self._pins.get(key, 0) - 1
+        if count > 0:
+            self._pins[key] = count
+            return
+        self._pins.pop(key, None)
+        floor = self._gc_floor.get(key[0])
+        if floor is not None and key[2] < floor \
+                and key not in self._chain_needed(key[0], floor):
+            self._records.pop(key, None)
+
+    # ------------------------------------------------------------------
+    # repair plumbing
+    # ------------------------------------------------------------------
+
+    def repair_tier(self, record: CheckpointRecord) -> str:
+        """Re-replication tops up the most durable configured tier."""
+        return self.tiers[-1]
+
+    def repair_sources(self, record: CheckpointRecord,
+                       tier: str) -> List[str]:
+        """Every durable copy counts toward the fabric target (the
+        primary's local-disk copy is as good a source as a replica)."""
+        if tier == TIER_MEMORY:
+            return super().repair_sources(record, tier)
+        out: List[str] = []
+        for t in (TIER_DISK, TIER_FABRIC):
+            for h in record.holders.get(t, ()):
+                if h not in out and self.node_up(h):
+                    out.append(h)
+        return out
+
+    def tier_map(self, app_id: Optional[str] = None):
+        """Rows of (key, record, per-tier live holders) for the CLI."""
+        return [(key, rec, self.available_by_tier(rec))
+                for key, rec in self.iter_records(app_id)]
+
+    def __repr__(self) -> str:
+        return (f"<TieredStore tiers={'+'.join(self.tiers)} k={self.k} "
+                f"promotion={self.promotion} delta_depth={self.delta_depth} "
+                f"{len(self._records)} records>")
