@@ -14,7 +14,10 @@ in *simulated* seconds:
   headline number.  The logging protocols' :class:`SoloReplayPlanner`
   respawns *only* the crashed rank (1); the rollback planners restart
   the whole world (>= 2 — uncoordinated dominoes, coordinated rolls the
-  full line).
+  full line); active replication respawns *nothing* (0 — a surviving
+  copy is promoted in place, and the failure-free column is the
+  replication tax: every send rides the total-order cast and every rank
+  runs twice).
 
 Both runs of every cell must produce identical per-rank results — replay
 reconvergence is asserted, not assumed.  Results go to
@@ -41,9 +44,9 @@ NPROCS = 4
 HERE = Path(__file__).parent
 OUT_PATH = HERE / "BENCH_recovery.json"
 
-PROTOCOLS = fast_or(("sender-logging", "uncoordinated"),
+PROTOCOLS = fast_or(("sender-logging", "uncoordinated", "replication"),
                     ("sender-logging", "causal-logging",
-                     "uncoordinated", "stop-and-sync"))
+                     "uncoordinated", "stop-and-sync", "replication"))
 #: Long enough that every protocol is still mid-run when the crash lands
 #: (pessimistic logging stretches iterations ~20x in simulated time).
 ITERATIONS = 400
@@ -61,14 +64,21 @@ def _run(protocol: str, crash: bool):
         # images at this interval would keep the disk head ~70% busy and
         # the pessimistic per-send log writes would measure head queueing
         # instead of the protocols' own costs.
-        checkpoint=CheckpointConfig(protocol=protocol, level="vm",
-                                    interval=0.15))
+        checkpoint=CheckpointConfig(
+            protocol=protocol, level="vm", interval=0.15,
+            replicas=2 if protocol == "replication" else 1))
     handle = sf.submit(spec)
     if crash:
-        # Crash rank 1's host right after its first committed checkpoint.
-        while not sf.store.versions_of(handle.app_id, 1):
-            sf.engine.run(until=sf.engine.now + 0.05)
-            assert sf.engine.now < 10.0, "no rank-1 checkpoint"
+        if protocol == "replication":
+            # Replication takes no checkpoints to wait on; crash rank 1's
+            # primary host at a fixed point well into the exchange.
+            sf.engine.run(until=sf.engine.now + 1.0)
+        else:
+            # Crash rank 1's host right after its first committed
+            # checkpoint.
+            while not sf.store.versions_of(handle.app_id, 1):
+                sf.engine.run(until=sf.engine.now + 0.05)
+                assert sf.engine.now < 10.0, "no rank-1 checkpoint"
         sf.crash_node(handle._record().placement[1])
     results = sf.run_to_completion(handle, timeout=240.0)
     restarted = sf.engine.metrics.group_by("daemon.ranks_restarted", "app")
@@ -131,9 +141,12 @@ def test_recovery_modes(benchmark):
     print_report(report)
     for c in report["configs"]:
         assert c["restarts"] >= 1
-        # The acceptance gate: message logging restarts exactly the
-        # crashed rank; every rollback planner restarts at least two.
-        if c["solo"]:
+        # The acceptance gate: replication restarts nothing (failover),
+        # message logging restarts exactly the crashed rank, and every
+        # rollback planner restarts at least two.
+        if c["protocol"] == "replication":
+            assert c["ranks_restarted"] == 0, c
+        elif c["solo"]:
             assert c["ranks_restarted"] == 1, c
         else:
             assert c["ranks_restarted"] >= 2, c

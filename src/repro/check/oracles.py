@@ -201,3 +201,57 @@ class ReplayOracle:
                        f"restored state already consumed {recv_count} "
                        f"messages from rank {sender} but its log covers "
                        f"only #{log_end} — orphan messages exist")
+
+
+class ReplicaOracle:
+    """Per-copy invariant checker for the active-replication protocol.
+
+    The two properties instant failover stands on, asserted exactly at
+    the breaking event:
+
+    * **no-orphan-send** — a delivered data message's per-channel ssn is
+      exactly the next one expected.  Every send (from every copy of the
+      sender) rides the total-order multicast FIFO, so a *gap* means a
+      send escaped the ordering substrate: a survivor would depend on a
+      message no live copy can account for — the replication analogue of
+      the logging protocols' orphan messages.  (``ssn < expected`` is a
+      legitimate sibling duplicate and must be suppressed *before* the
+      oracle sees it.)
+    * **failover-exactly-once** — a copy is promoted to primary at most
+      once, and never while it already is the primary.  A double
+      promotion means two copies of one rank both believe they own the
+      rank's sends and results.
+    """
+
+    __slots__ = ("protocol", "rank", "_primary", "violations")
+
+    def __init__(self, protocol):
+        self.protocol = protocol
+        self.rank: Optional[int] = None      # set on start()
+        self._primary = False                # set on bind for copy 0
+        self.violations: int = 0
+
+    def bind(self, rank: int, *, primary: bool) -> None:
+        self.rank = rank
+        self._primary = primary
+
+    def _fail(self, invariant: str, detail: str) -> None:
+        self.violations += 1
+        raise OracleViolation(
+            f"[{self.protocol.name} rank={self.rank}] {invariant}: {detail}")
+
+    def delivered(self, sender: int, ssn: int, expected: int) -> None:
+        """A non-duplicate data message is about to enter matching."""
+        if ssn != expected:
+            self._fail("no-orphan-send",
+                       f"message #{ssn} from rank {sender} delivered but "
+                       f"#{expected} was expected next — a send escaped "
+                       f"the total-order multicast")
+
+    def promoted(self) -> None:
+        """This copy is being promoted to primary (failover)."""
+        if self._primary:
+            self._fail("failover-exactly-once",
+                       "promoted a copy that is already the primary — "
+                       "two copies would own this rank")
+        self._primary = True

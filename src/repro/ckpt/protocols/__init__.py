@@ -1,4 +1,4 @@
-"""Distributed checkpoint and message-logging protocols.
+"""Distributed checkpoint, message-logging, and replication protocols.
 
 All protocols implement :class:`~repro.ckpt.protocols.base.CrProtocol`
 against the narrow :class:`~repro.ckpt.protocols.base.CrContext` interface,
@@ -33,6 +33,8 @@ from repro.ckpt.protocols.uncoordinated import UncoordinatedProtocol
 from repro.ckpt.protocols.diskless import DisklessProtocol
 from repro.ckpt.protocols.msg_logging import (CausalLoggingProtocol,
                                               SenderLoggingProtocol)
+from repro.ckpt.protocols.replication import (ReplicaFailoverPlanner,
+                                              ReplicationProtocol)
 
 PROTOCOLS = {
     "stop-and-sync": StopAndSyncProtocol,
@@ -41,6 +43,7 @@ PROTOCOLS = {
     "diskless": DisklessProtocol,
     "sender-logging": SenderLoggingProtocol,
     "causal-logging": CausalLoggingProtocol,
+    "replication": ReplicationProtocol,
 }
 
 
@@ -64,6 +67,8 @@ __all__ = [
     "DependencyRollbackPlanner",
     "DisklessProtocol",
     "PROTOCOLS",
+    "ReplicaFailoverPlanner",
+    "ReplicationProtocol",
     "RestartPlanner",
     "SelfPacedWaveScheduler",
     "SenderLoggingProtocol",

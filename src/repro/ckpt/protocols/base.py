@@ -81,6 +81,12 @@ class CrContext:
         live traffic must be held back until replay finishes."""
         return False
 
+    def replica_index(self) -> int:
+        """This process's copy index under active replication
+        (0 = primary; backups never register addresses or report
+        results until promoted)."""
+        return 0
+
     def comm_state(self) -> dict:
         """Communicator call counters (collective-tag sequences); the
         message-logging protocols checkpoint them so a solo-restarted

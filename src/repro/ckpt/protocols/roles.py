@@ -193,6 +193,19 @@ class DeliveryTap:
         """
         return None
 
+    def route_send(self, dest_world: int, comm_id: str, src_comm_rank: int,
+                   tag: int, data, nbytes: int, pb, pre_delay: float):
+        """Optionally *replace* the point-to-point wire send.
+
+        Return a process generator to carry the message yourself (the
+        active-replication tap reroutes every data send onto the GCS
+        total-order multicast so all replicas of the destination observe
+        one sequence); return ``None`` for the normal VNI send.
+        ``pre_delay`` is the software-stack cost the endpoint would have
+        folded into the wire send — a replacement route owes it.
+        """
+        return None
+
     def on_deliver(self, src_world: int, inbound, pb):
         """An arriving data message, *before* the receive counter moves.
 

@@ -180,7 +180,11 @@ def cmd_check(args) -> int:
 
 
 def cmd_store(args) -> int:
-    import warnings
+    if getattr(args, "what", None) is not None:
+        print("repro store: --what has been removed; use the "
+              "placement | replica-map | repair | tiers subcommands "
+              "instead", file=sys.stderr)
+        return 2
 
     from repro.apps import ComputeSleep
     from repro.cluster.spec import ClusterSpec
@@ -211,17 +215,8 @@ def cmd_store(args) -> int:
     sf.run_to_completion(handle)
     store = sf.store
     sub = getattr(args, "store_cmd", None)
-    what = getattr(args, "what", None)
-    if what is not None:
-        warnings.warn(
-            "repro store --what is deprecated and will be removed in the "
-            "next release; use the placement | replica-map | repair | "
-            "tiers subcommands instead",
-            DeprecationWarning, stacklevel=2)
     if sub is not None:
         sections = ({"replica-map": "replicas"}.get(sub, sub),)
-    elif what is not None and what != "all":
-        sections = (what,)
     else:
         sections = ("placement", "replicas", "repair")
         if tiers is not None:
@@ -419,10 +414,10 @@ def main(argv=None) -> int:
     store.add_argument("--tier-policy", default="write-through",
                        choices=["write-through", "write-back"],
                        help="tier promotion policy (with --tiers)")
-    store.add_argument("--what", default=None,
-                       choices=["placement", "replicas", "repair", "all"],
-                       help="DEPRECATED (one-release warning): use the "
-                            "subcommands instead")
+    # Removed flag (was deprecated for one release): still parsed so the
+    # command can fail with a pointer to its replacement subcommands
+    # instead of a generic argparse error.
+    store.add_argument("--what", default=None, help=argparse.SUPPRESS)
     store.set_defaults(fn=cmd_store, store_cmd=None)
     store_sub = store.add_subparsers(dest="store_cmd", metavar="SECTION")
     for sname, shelp in (

@@ -24,12 +24,16 @@ class CheckpointConfig:
     ``interval``: periodic checkpointing period in simulated seconds
     (``None`` = only on explicit request).
     ``logging``: receiver-side message logging (uncoordinated only).
+    ``replicas``: copies per rank under active replication
+    (``"replication"`` only): 1 primary + ``replicas - 1`` backups on
+    distinct nodes, with instant failover instead of rollback.
     """
 
     protocol: Optional[str] = None
     level: str = "vm"
     interval: Optional[float] = None
     logging: bool = False
+    replicas: int = 1
 
     def __post_init__(self):
         from repro.ckpt.protocols import PROTOCOLS
@@ -37,6 +41,12 @@ class CheckpointConfig:
             raise DaemonError(f"unknown C/R protocol {self.protocol!r}")
         if self.level not in ("native", "vm"):
             raise DaemonError(f"unknown checkpoint level {self.level!r}")
+        if self.replicas < 1:
+            raise DaemonError("replicas must be >= 1")
+        if self.replicas > 1 and self.protocol != "replication":
+            raise DaemonError(
+                "replicas > 1 needs protocol='replication' (rank replica "
+                f"groups), got protocol={self.protocol!r}")
 
 
 @dataclass(frozen=True)

@@ -79,12 +79,17 @@ class AppProcess:
     """One rank of one application, hosted on one node."""
 
     def __init__(self, daemon, record, rank: int, restore: Optional[dict],
-                 addressbook: Dict[int, Tuple[str, str]]):
+                 addressbook: Dict[int, Tuple[str, str]],
+                 replica: int = 0):
         self.daemon = daemon
         self.engine = daemon.engine
         self.node = daemon.node
         self.record = record
         self.rank = rank
+        #: Copy index under active replication (0 = primary).  Backups run
+        #: the identical program but own no address and report no result
+        #: until :meth:`promote` makes them the rank's primary.
+        self.replica = replica
         self.restore_info = restore
         self.was_restored = False
         self.app_log: List[Tuple[float, int, str]] = []
@@ -95,7 +100,7 @@ class AppProcess:
         self.endpoint = MpiEndpoint(
             self.engine, self.node, app_id=record.app_id, world_rank=rank,
             addressbook=addressbook, transport=record.transport,
-            polling=record.polling)
+            polling=record.polling, register=replica == 0)
         self.services = _Services(self)
         world = tuple(sorted(record.placement))
         self.mpi = MpiApi(self.endpoint, nprocs=len(world),
@@ -150,7 +155,10 @@ class AppProcess:
         # Per-process series; a restarted rank is a new AppProcess, so the
         # series reset here to keep the seed's fresh-instance semantics.
         reg = get_registry(self.engine)
-        labels = dict(app=record.app_id, rank=str(rank))
+        # Backup copies get their own series (rank "1r2" = rank 1, copy
+        # 2): sharing the primary's label would reset and double-count it.
+        rank_label = f"{rank}r{replica}" if replica else str(rank)
+        labels = dict(app=record.app_id, rank=rank_label)
         self._m_steps = reg.counter("app.steps", **labels,
                                     help="committed program steps")
         self._m_aborted = reg.counter(
@@ -210,6 +218,25 @@ class AppProcess:
             return
         ev = self.protocol.request_checkpoint()
         del ev  # fire and forget; commit is observable in the store
+
+    def promote(self) -> None:
+        """Failover upcall (active replication): this backup copy is now
+        the rank's primary.  It owns the rank's address from here on; if
+        it already finished (its watcher reported nothing while it was a
+        backup), the held result is reported now."""
+        if self.replica == 0:
+            return
+        self.replica = 0
+        self.endpoint.addressbook[self.rank] = (self.node.node_id,
+                                               self.endpoint.port)
+        if self.protocol is not None and \
+                hasattr(self.protocol, "on_promoted"):
+            self.protocol.on_promoted()
+        if self.done.triggered:
+            kind, value = self.done.value
+            if kind == "ok":
+                self.daemon.gm.cast(("app-rank-done", self.record.app_id,
+                                     self.rank, value))
 
     def deliver_cr(self, payload, src_rank: int) -> None:
         self.bus.post(CheckpointEvent(op="message", source=src_rank,
@@ -673,6 +700,9 @@ class _CrContextImpl(CrContext):
     def restoring(self) -> bool:
         info = self.rt.restore_info
         return bool(info) and info.get("mode") == "log-replay"
+
+    def replica_index(self) -> int:
+        return self.rt.replica
 
     def comm_state(self) -> dict:
         return self.rt.mpi.export_comm_state()

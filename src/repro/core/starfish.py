@@ -200,9 +200,10 @@ class StarfishCluster:
         return daemon
 
     def _make_process(self, daemon: StarfishDaemon, record: AppRecord,
-                      rank: int, restore) -> AppProcess:
+                      rank: int, restore, replica: int = 0) -> AppProcess:
         book = self.books.setdefault(record.app_id, {})
-        return AppProcess(daemon, record, rank, restore, book)
+        return AppProcess(daemon, record, rank, restore, book,
+                          replica=replica)
 
     # ------------------------------------------------------------------
     # daemons & settling
@@ -271,7 +272,7 @@ class StarfishCluster:
             ckpt_level=spec.checkpoint.level,
             ckpt_interval=spec.checkpoint.interval,
             transport=spec.transport, polling=spec.polling,
-            placement=spec.placement)
+            placement=spec.placement, replicas=spec.checkpoint.replicas)
         return AppHandle(self, app_id)
 
     def run_to_completion(self, handle: AppHandle,

@@ -164,7 +164,7 @@ class StarfishDaemon:
 
     @staticmethod
     def _record_blob(r: AppRecord) -> dict:
-        return {
+        blob = {
             "app_id": r.app_id, "owner": r.owner, "nprocs": r.nprocs,
             "program": r.program, "params": dict(r.params),
             "ft_policy": r.ft_policy, "ckpt_protocol": r.ckpt_protocol,
@@ -174,6 +174,12 @@ class StarfishDaemon:
             "results": dict(r.results), "done_ranks": list(r.done_ranks),
             "restarts": r.restarts, "world_version": r.world_version,
         }
+        if r.replicas:
+            # Only under active replication: absent otherwise, so blobs
+            # (and everything derived from them) stay byte-stable.
+            blob["replicas"] = {rank: list(backups)
+                                for rank, backups in r.replicas.items()}
+        return blob
 
     @staticmethod
     def _record_from_blob(b: dict) -> AppRecord:
@@ -189,6 +195,8 @@ class StarfishDaemon:
         rec.done_ranks = list(b["done_ranks"])
         rec.restarts = b["restarts"]
         rec.world_version = b["world_version"]
+        rec.replicas = {int(rank): tuple(backups)
+                        for rank, backups in b.get("replicas", {}).items()}
         return rec
 
     # ------------------------------------------------------------------
@@ -266,12 +274,34 @@ class StarfishDaemon:
         record = self.registry.maybe(app_id)
         if record is None or record.finished:
             return
-        solo = bool(restore) and restore.get("mode") == "log-replay"
+        mode = restore.get("mode") if restore else None
         record.placement = dict(placement)
         record.world_version = world_version
         record.restarts += 1
         self._count_restart(app_id)
         record.status = AppStatus.RUNNING
+        if mode == "failover":
+            # Active replication: a surviving copy of each lost rank is
+            # promoted to primary *in place*.  Nothing respawns, survivors
+            # never stopped, and ``daemon.ranks_restarted`` stays absent
+            # — that is the mode's whole point.
+            record.replicas = {int(r): tuple(backups) for r, backups
+                               in restore["replicas"].items()}
+            for rank, node_id in sorted(restore["promote"].items()):
+                if node_id != self.node.node_id:
+                    continue
+                handle = self.handles.get((app_id, rank))
+                if handle is None:
+                    # The copy may have finished already (rank-done moved
+                    # it to lingering); promoting it re-reports the result.
+                    for h in self._lingering.get(app_id, ()):
+                        if getattr(h, "rank", None) == rank:
+                            handle = h
+                            break
+                if handle is not None and hasattr(handle, "promote"):
+                    handle.promote()
+            return
+        solo = mode == "log-replay"
         if solo:
             # Log-based recovery (planner.solo): only the crashed ranks
             # restart — survivors, and their "done" bookkeeping, are
@@ -349,6 +379,12 @@ class StarfishDaemon:
         if record is None or record.finished or rank not in record.placement:
             return
         if record.placement.get(rank) == target_node:
+            return
+        if record.replicas:
+            # Active replication has no recovery line to migrate from,
+            # and moving one copy would co-locate or orphan its siblings.
+            self._log(f"migrate {app_id} refused: replicated apps "
+                      "do not migrate")
             return
         # One daemon decides (deterministic): the app's restart authority.
         planner = self._planner_for(record)
@@ -435,14 +471,24 @@ class StarfishDaemon:
 
     def _spawn_local_ranks(self, record: AppRecord, restore,
                            only_ranks: Optional[Set[int]] = None):
-        mine = [r for r in record.ranks_on(self.node.node_id)
+        mine = [(r, 0) for r in record.ranks_on(self.node.node_id)
                 if only_ranks is None or r in only_ranks]
+        # Backup copies under active replication: same rank, same program,
+        # copy index >= 1.  A node hosts at most one copy of a given rank
+        # (placement excludes co-location), so the handle key stays
+        # (app_id, rank).
+        mine += [(r, i) for (r, i) in record.copies_on(self.node.node_id)
+                 if only_ranks is None or r in only_ranks]
         if not mine:
             return
         self._ensure_lwg_pump(record.app_id)
-        for rank in mine:
+        for rank, copy in mine:
             yield self.engine.timeout(SPAWN_COST)
-            handle = self.process_factory(self, record, rank, restore)
+            if copy:
+                handle = self.process_factory(self, record, rank, restore,
+                                              replica=copy)
+            else:
+                handle = self.process_factory(self, record, rank, restore)
             self.handles[(record.app_id, rank)] = handle
             handle.start()
             # Initialization configuration messages (Table 1).
@@ -461,6 +507,11 @@ class StarfishDaemon:
         current = self.handles.get((app_id, rank))
         if current is not handle:
             return  # superseded by a restart
+        if getattr(handle, "replica", 0):
+            # A backup copy's outcome is not the rank's: only the primary
+            # reports.  If this copy is promoted after finishing, its
+            # promote() re-reports the result it is holding.
+            return
         if kind == "ok":
             self.gm.cast(("app-rank-done", app_id, rank, value))
         elif kind == "error":
@@ -575,6 +626,16 @@ class StarfishDaemon:
         dead_nodes = {m.node for m in ev.left}
         alive_nodes = {m.node for m in ev.view.members}
         for record in self.registry.active():
+            if record.replicas:
+                # Deterministic at every daemon: forget backup copies the
+                # dead nodes were hosting.  This never removes a lost
+                # rank's failover candidates — those are on alive nodes —
+                # and crashed backups are simply not re-replicated (no
+                # re-replication service; see the replication module).
+                pruned = {r: tuple(n for n in backups
+                                   if n not in dead_nodes)
+                          for r, backups in record.replicas.items()}
+                record.replicas = {r: b for r, b in pruned.items() if b}
             lost = [r for r, n in record.placement.items()
                     if n in dead_nodes]
             if not lost:
@@ -644,6 +705,27 @@ class StarfishDaemon:
         planner = self._planner_for(record)
         restore = planner.plan(self, record, lost) \
             if planner is not None else None
+        if restore is not None and restore.get("mode") == "failover":
+            # Active replication: promote a surviving copy of each lost
+            # rank.  No replacement nodes to pick, no respawns, and no
+            # world-version bump — the world never changed size.
+            placement = dict(record.placement)
+            placement.update(restore["promote"])
+            needed = set(placement.values())
+            for backups in restore["replicas"].values():
+                needed.update(backups)
+            old_members = set(self.lwg.members(app_id))
+            for node_id in sorted(needed):
+                ep = self.gm.view.member_on(node_id)
+                if ep is not None and ep not in old_members:
+                    self.lwg.join(app_id, ep)
+            for ep in sorted(old_members):
+                if ep.node not in needed or ep not in self.gm.view.members:
+                    self.lwg.leave(app_id, ep)
+            self.gm.cast(("app-restart", app_id, placement, restore,
+                          record.world_version))
+            self._log(f"failover {app_id}: promote {restore['promote']}")
+            return
         solo = bool(restore) and restore.get("mode") == "log-replay"
         # Fresh placement for the dead ranks.  Native-level checkpoints can
         # only restore on the same data representation (paper §4), so the
@@ -665,6 +747,10 @@ class StarfishDaemon:
         # Fix the lightweight group membership before respawning.
         old_members = set(self.lwg.members(app_id))
         new_nodes = set(placement.values())
+        for backups in record.replicas.values():
+            # k-exhausted replication fallback: the (pruned) backup hosts
+            # respawn their copies too, so they stay group members.
+            new_nodes.update(backups)
         for node_id in sorted(new_nodes):
             ep = self.gm.view.member_on(node_id)
             if ep is not None and ep not in old_members:
@@ -729,8 +815,14 @@ class StarfishDaemon:
                ckpt_protocol: Optional[str] = None, ckpt_level: str = "vm",
                ckpt_interval: Optional[float] = None,
                transport: str = "bip-myrinet", polling: bool = True,
-               placement: Optional[Dict[int, str]] = None) -> str:
-        """Submit an application; returns its app id."""
+               placement: Optional[Dict[int, str]] = None,
+               replicas: int = 1) -> str:
+        """Submit an application; returns its app id.
+
+        ``replicas``: copies per rank under active replication (protocol
+        ``"replication"``): 1 primary + ``replicas - 1`` backups, each on
+        a distinct node chosen by the ring placement policy.
+        """
         if app_id in self.registry or app_id in self._pending_submits:
             raise DaemonError(f"duplicate app id {app_id!r}")
         if nprocs < 1:
@@ -745,10 +837,16 @@ class StarfishDaemon:
             ckpt_protocol=ckpt_protocol, ckpt_level=ckpt_level,
             ckpt_interval=ckpt_interval, transport=transport,
             polling=polling, placement=placement)
+        if replicas > 1:
+            record.replicas = self._place_replicas(app_id, placement,
+                                                   replicas)
         # Create the lightweight group, then announce the app (sender FIFO
         # keeps this order at every daemon).
+        hosting = set(placement.values())
+        for backups in record.replicas.values():
+            hosting.update(backups)
         members = []
-        for node_id in sorted(set(placement.values())):
+        for node_id in sorted(hosting):
             ep = self.gm.view.member_on(node_id) if self.gm.view else None
             if ep is None:
                 raise PlacementError(f"no daemon on node {node_id!r}")
@@ -756,6 +854,31 @@ class StarfishDaemon:
         self.lwg.create(app_id, members)
         self.gm.cast(("app-submit", self._record_blob(record)))
         return app_id
+
+    def _place_replicas(self, app_id: str, placement: Dict[int, str],
+                        replicas: int) -> Dict[int, Tuple[str, ...]]:
+        """Backup-copy placement (active replication): ``replicas - 1``
+        nodes per rank via the store's ring policy, never the primary's
+        node — co-located copies would die together, defeating the mode.
+        """
+        from repro.store.placement import make_placement
+        if self.gm.view is None:
+            raise PlacementError("daemon has no view of the cluster")
+        policy = make_placement("ring")
+        schedulable = sorted(m.node for m in self.gm.view.members
+                             if m.node not in self.disabled_nodes)
+        out: Dict[int, Tuple[str, ...]] = {}
+        for rank in sorted(placement):
+            primary = placement[rank]
+            candidates = [n for n in schedulable if n != primary]
+            backups = policy.replicas((app_id, rank, 0), primary,
+                                      candidates, replicas)
+            if len(backups) < replicas - 1:
+                raise PlacementError(
+                    f"cannot place {replicas} distinct copies of rank "
+                    f"{rank}: only {1 + len(backups)} schedulable nodes")
+            out[rank] = tuple(backups)
+        return out
 
     # ------------------------------------------------------------------
     # client sessions (ASCII protocol)

@@ -47,9 +47,25 @@ class AppRecord:
     done_ranks: List[int] = field(default_factory=list)
     restarts: int = 0
     world_version: int = 0
+    #: Active replication (protocol "replication"): backup copies per
+    #: rank — ``{rank: (node_id, ...)}``, never including the rank's
+    #: primary (that stays in ``placement``).  Empty for every other
+    #: protocol, and then absent from the record blob so replication
+    #: cannot perturb the determinism goldens.
+    replicas: Dict[int, Tuple[str, ...]] = field(default_factory=dict)
 
     def ranks_on(self, node_id: str) -> List[int]:
         return sorted(r for r, n in self.placement.items() if n == node_id)
+
+    def copies_on(self, node_id: str) -> List[Tuple[int, int]]:
+        """Backup copies hosted on ``node_id`` as ``(rank, copy_index)``
+        pairs (copy_index >= 1; the primary is copy 0 via ``ranks_on``)."""
+        out = []
+        for rank in sorted(self.replicas):
+            for i, nid in enumerate(self.replicas[rank]):
+                if nid == node_id:
+                    out.append((rank, i + 1))
+        return out
 
     def nodes(self) -> List[str]:
         return sorted(set(self.placement.values()))

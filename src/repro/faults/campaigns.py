@@ -33,7 +33,9 @@ def _default_workload(protocol: Optional[str], policy, nodes: int) -> AppSpec:
     exact."""
     from repro.apps import ComputeSleep
     checkpoint = (CheckpointConfig(protocol=protocol, level="vm",
-                                   interval=0.8)
+                                   interval=0.8,
+                                   replicas=2 if protocol == "replication"
+                                   else 1)
                   if protocol is not None else CheckpointConfig())
     return AppSpec(program=ComputeSleep, nprocs=3,
                    params={"steps": 30, "step_time": 0.25,
@@ -67,7 +69,9 @@ def _jacobi_workload(protocol: Optional[str], policy, nodes: int) -> AppSpec:
     the converged residual makes golden-run comparison exact."""
     from repro.apps import Jacobi1D
     checkpoint = (CheckpointConfig(protocol=protocol, level="native",
-                                   interval=0.8)
+                                   interval=0.8,
+                                   replicas=2 if protocol == "replication"
+                                   else 1)
                   if protocol is not None else CheckpointConfig())
     return AppSpec(program=Jacobi1D, nprocs=3,
                    params={"n": 120, "iterations": 150, "iters_per_step": 10,
@@ -187,6 +191,14 @@ CAMPAIGNS: Dict[str, Campaign] = {c.name: c for c in (
                     "under any protocol)",
         plan=_solo_crash_plan,
         workload=_jacobi_workload),
+    Campaign(
+        name="replica-failover",
+        description="crash a primary-hosting node under active rank "
+                    "replication (k=2), recover it later; the rank fails "
+                    "over to its surviving copy with zero ranks restarted "
+                    "and no rollback wave (runs under any protocol; only "
+                    "'replication' places copies)",
+        plan=_solo_crash_plan),
     Campaign(
         name="blackout",
         description="crash every node; the run must fail with a typed "

@@ -48,14 +48,19 @@ class MpiEndpoint:
 
     def __init__(self, engine, node, app_id: str, world_rank: int,
                  addressbook: Dict[int, Tuple[str, str]],
-                 transport: str = "bip-myrinet", polling: bool = True):
+                 transport: str = "bip-myrinet", polling: bool = True,
+                 register: bool = True):
         self.engine = engine
         self.node = node
         self.app_id = app_id
         self.world_rank = world_rank
         self.addressbook = addressbook
         self.port = f"mpi:{app_id}:{world_rank}"
-        addressbook[world_rank] = (node.node_id, self.port)
+        if register:
+            # Backup replicas of a rank (active replication) share the
+            # rank's world slot but must not clobber the primary's
+            # address; a promoted backup registers itself on failover.
+            addressbook[world_rank] = (node.node_id, self.port)
         self.vni = Vni(engine, node, port=self.port, transport=transport,
                        polling=polling)
         self.polling = polling
@@ -139,6 +144,17 @@ class MpiEndpoint:
                                    tag, data, nbytes, pb)
             if gen is not None:
                 yield from gen
+            # Replacement route: active replication carries data sends on
+            # the total-order multicast instead of the point-to-point wire.
+            route = self.tap.route_send(dest_world, comm_id, src_comm_rank,
+                                        tag, data, nbytes, pb,
+                                        pre_delay + self.layers.mpi_send)
+            if route is not None:
+                try:
+                    yield from route
+                finally:
+                    self._h_send.observe(self.engine.now - t0)
+                return
         node_id, port = addr
         try:
             yield from self.vni.send(node_id, port, packet,

@@ -65,3 +65,13 @@ def test_examples_listing(capsys):
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
+
+
+def test_store_what_flag_removed(capsys):
+    # --what had its one-release DeprecationWarning window; it now fails
+    # fast (before any cluster is built) and points at the subcommands.
+    assert main(["store", "--nodes", "3", "--what", "placement"]) == 2
+    err = capsys.readouterr().err
+    assert "--what has been removed" in err
+    for section in ("placement", "replica-map", "repair", "tiers"):
+        assert section in err

@@ -1,0 +1,77 @@
+"""Cross-mode recovery matrix: every protocol x every store flavour.
+
+One parametrized crash-recovery run over all entries of the
+:data:`~repro.ckpt.protocols.PROTOCOLS` registry crossed with the three
+store builds (legacy single-copy, k=2 replicated, memory/disk tiered),
+asserting the defining recovery shape of each fault-tolerance mode:
+
+* rollback protocols (coordinated and uncoordinated C/R) restart every
+  rank — ``daemon.ranks_restarted == nprocs``;
+* message-logging protocols restart exactly the crashed rank — ``== 1``;
+* active replication restarts nothing — ``== 0`` (a surviving copy is
+  promoted in place).
+
+The workload needs no committed checkpoint for these shapes to hold
+(rollback without one restarts from the initial state), so the crash
+lands at a fixed simulated time and the whole matrix stays fast.
+"""
+
+import pytest
+
+from repro.apps import ComputeSleep
+from repro.ckpt.protocols import PROTOCOLS
+from repro.cluster.spec import ClusterSpec
+from repro.core.appspec import AppSpec, CheckpointConfig
+from repro.core.policies import FaultPolicy
+from repro.core.starfish import StarfishCluster
+
+NPROCS = 3
+
+#: protocol -> ranks a crash must restart (the mode's defining shape).
+EXPECTED_RANKS_RESTARTED = {
+    "stop-and-sync": NPROCS,
+    "chandy-lamport": NPROCS,
+    "uncoordinated": NPROCS,
+    "diskless": NPROCS,
+    "sender-logging": 1,
+    "causal-logging": 1,
+    "replication": 0,
+}
+
+STORES = {
+    "legacy": ClusterSpec(nodes=5, seed=7),
+    "replicated-k2": ClusterSpec(nodes=5, seed=7, replication_factor=2),
+    "tiered": ClusterSpec(nodes=5, seed=7, store_tiers=("memory", "disk"),
+                          replication_factor=2),
+}
+
+
+def test_matrix_covers_the_whole_registry():
+    # A new protocol must declare its recovery shape here to ship.
+    assert set(EXPECTED_RANKS_RESTARTED) == set(PROTOCOLS)
+
+
+def _run_cell(protocol: str, spec: ClusterSpec):
+    sf = StarfishCluster.build(spec=spec)
+    app = AppSpec(
+        program=ComputeSleep, nprocs=NPROCS,
+        params={"steps": 16, "step_time": 0.25, "state_bytes": 4096},
+        ft_policy=FaultPolicy.RESTART,
+        checkpoint=CheckpointConfig(
+            protocol=protocol, level="vm", interval=0.8,
+            replicas=2 if protocol == "replication" else 1))
+    handle = sf.submit(app)
+    sf.engine.run(until=sf.engine.now + 1.2)
+    sf.crash_node(handle._record().placement[1])
+    results = sf.run_to_completion(handle, timeout=180.0)
+    restarted = sf.engine.metrics.group_by("daemon.ranks_restarted", "app")
+    return results, handle.restarts, restarted.get(handle.app_id, 0)
+
+
+@pytest.mark.parametrize("store", sorted(STORES))
+@pytest.mark.parametrize("protocol", sorted(PROTOCOLS))
+def test_recovery_shape(protocol, store):
+    results, restarts, ranks_restarted = _run_cell(protocol, STORES[store])
+    assert restarts >= 1
+    assert ranks_restarted == EXPECTED_RANKS_RESTARTED[protocol]
+    assert results == {r: 16 for r in range(NPROCS)}

@@ -304,13 +304,13 @@ def test_cli_store_subcommands_filter_by_rank_and_version(capsys):
     assert "repair:" in capsys.readouterr().out
 
 
-def test_cli_store_legacy_what_flag_warns_deprecation(capsys):
+def test_cli_store_legacy_what_flag_removed(capsys):
+    # --what had its one-release deprecation window; it now fails fast.
     from repro.cli import main
-    with pytest.warns(DeprecationWarning, match="--what is deprecated"):
-        rc = main(["store", "--nodes", "4", "--k", "2", "--seed", "3",
-                   "--what", "placement"])
-    assert rc == 0
-    assert "placement policy=ring k=2" in capsys.readouterr().out
+    rc = main(["store", "--nodes", "4", "--k", "2", "--seed", "3",
+               "--what", "placement"])
+    assert rc == 2
+    assert "--what has been removed" in capsys.readouterr().err
 
 
 def test_cli_store_default_sections_unchanged(capsys):
