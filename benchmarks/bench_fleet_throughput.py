@@ -1,0 +1,112 @@
+"""Fleet control plane — admission throughput vs cluster size.
+
+The ``repro.fleet`` scheduler admits multi-tenant jobs against quotas
+and places them through the ring placement policy; the controller ticks
+every 0.25 simulated seconds.  This bench sweeps cluster size and
+measures, in *simulated* seconds:
+
+* ``admit_latency_s`` — mean submit-to-admission latency across the
+  batch (every job is submitted at t=0, so this is the queue drain);
+* ``makespan_s``      — submit of the first job to completion of the
+  last;
+* ``jobs_per_sim_s``  — completed jobs per simulated second.
+
+Results go to ``benchmarks/BENCH_fleet.json``; fast mode
+(``REPRO_BENCH_FAST=1``) shrinks the sweep and lands in
+``BENCH_fleet_fast.json`` so CI smoke runs never clobber the committed
+full-sweep baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.cluster import ClusterSpec
+from repro.core import AppSpec, FaultPolicy, StarfishCluster
+from repro.apps import ComputeSleep
+from repro.fleet import FleetController, FleetOracle, JobState
+
+from bench_helpers import FAST, fast_or, print_table, quiet_gcs
+
+SEED = 29
+HERE = Path(__file__).parent
+OUT_PATH = HERE / "BENCH_fleet.json"
+
+NODE_COUNTS = fast_or((4, 8), (4, 8, 16, 32))
+JOBS = fast_or(6, 24)
+
+
+def run_cell(nodes: int) -> dict:
+    t_wall = time.perf_counter()
+    sf = StarfishCluster.build(spec=ClusterSpec(
+        nodes=nodes, seed=SEED, gcs_config=quiet_gcs()))
+    controller = FleetController(sf)   # unlimited quotas
+    start = sf.engine.now
+    jobs = [controller.submit(AppSpec(
+        program=ComputeSleep, nprocs=2,
+        params={"steps": 3, "step_time": 0.05},
+        ft_policy=FaultPolicy.RESTART,
+        tenant=f"t{i % 3}")) for i in range(JOBS)]
+    deadline = start + 300.0
+    while controller.pending_work() and sf.engine.now < deadline:
+        sf.engine.run(until=sf.engine.now + 0.5)
+    controller.close()
+    assert all(j.state == JobState.DONE for j in jobs), \
+        [(j.job_id, j.state) for j in jobs if j.state != JobState.DONE]
+    FleetOracle().verify(controller.scheduler)
+
+    latencies = [j.admitted_at - j.submit_time for j in jobs]
+    makespan = max(j.finished_at for j in jobs) - start
+    return {"nodes": nodes, "jobs": len(jobs),
+            "admit_latency_s": round(sum(latencies) / len(latencies), 6),
+            "makespan_s": round(makespan, 6),
+            "jobs_per_sim_s": round(len(jobs) / makespan, 4),
+            "events": sf.engine.events_processed,
+            "wall_s": round(time.perf_counter() - t_wall, 3)}
+
+
+def sweep() -> list:
+    return [run_cell(nodes) for nodes in NODE_COUNTS]
+
+
+def build_report(cells: list) -> dict:
+    return {"bench": "fleet_throughput", "fast": FAST, "seed": SEED,
+            "jobs": JOBS, "configs": cells}
+
+
+def out_path(fast: bool = FAST) -> Path:
+    return HERE / "BENCH_fleet_fast.json" if fast else OUT_PATH
+
+
+def run_and_write(fast: bool = FAST) -> dict:
+    report = build_report(sweep())
+    out_path(fast).write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return report
+
+
+def print_report(report: dict) -> None:
+    print_table(
+        "Fleet control plane: admission latency and job throughput",
+        ["nodes", "jobs", "admit sim-s", "makespan sim-s", "jobs/sim-s",
+         "wall s"],
+        [[c["nodes"], c["jobs"], f"{c['admit_latency_s']:.4f}",
+          f"{c['makespan_s']:.3f}", f"{c['jobs_per_sim_s']:.3f}",
+          f"{c['wall_s']:.2f}"]
+         for c in report["configs"]])
+
+
+def test_fleet_throughput(benchmark):
+    report = benchmark.pedantic(run_and_write, rounds=1, iterations=1)
+    print_report(report)
+    for c in report["configs"]:
+        # Admission happens within a handful of controller ticks.
+        assert 0 < c["admit_latency_s"] < 5.0, c
+        assert c["makespan_s"] > 0 and c["jobs_per_sim_s"] > 0
+
+
+if __name__ == "__main__":
+    print_report(run_and_write())
+    print(f"\nwrote {out_path()}")

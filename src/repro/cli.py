@@ -280,6 +280,112 @@ def cmd_store(args) -> int:
     return 0
 
 
+def cmd_fleet_churn(args) -> int:
+    from repro.errors import CampaignError, FleetOracleViolation
+    from repro.fleet import report_bytes, run_fleet_churn, sweep_fleet_churn
+    fh = None
+    if args.json is not None:
+        try:
+            fh = open(args.json, "w")  # fail on a bad path *before* the run
+        except OSError as exc:
+            print(f"repro fleet churn: cannot write {args.json}: "
+                  f"{exc.strerror}", file=sys.stderr)
+            return 1
+    try:
+        if args.seeds > 0:
+            summary = sweep_fleet_churn(nodes=args.nodes, seed=args.seed,
+                                        seeds=args.seeds)
+            payload = json.dumps(summary, sort_keys=True, indent=1)
+            for run in summary["runs"]:
+                print(f"  perturb_seed={run['perturb_seed']}: "
+                      f"done={run['done']} rejected={run['rejected']} "
+                      f"migrations={run['migrations']} "
+                      f"victim_migrated_at={run['victim_migrated_at']} "
+                      f"oracle={run['oracle']}")
+            print(f"fleet churn sweep: {summary['sweeps']} runs green "
+                  f"(nodes={summary['nodes']} seed={summary['seed']})")
+        else:
+            report = run_fleet_churn(nodes=args.nodes, seed=args.seed,
+                                     perturb_seed=args.perturb_seed)
+            payload = report_bytes(report)
+            done = sum(1 for j in report["jobs"] if j["state"] == "done")
+            print(f"fleet churn: {done}/{report['submitted']} jobs done, "
+                  f"{len(report['migrations'])} proactive migrations, "
+                  f"victim migrated at rel "
+                  f"t={report['victim_migrated_at']}, "
+                  f"oracle={report['oracle']}")
+    except (CampaignError, FleetOracleViolation) as exc:
+        if fh is not None:
+            fh.close()
+        print(f"repro fleet churn: {exc}", file=sys.stderr)
+        return 1
+    if fh is not None:
+        with fh:
+            fh.write(payload + "\n")
+    return 0
+
+
+def cmd_fleet_serve(args) -> int:
+    from repro.core import StarfishCluster
+    from repro.fleet import ControlAPI, FleetController, FleetHTTPServer
+    sf = StarfishCluster.build(nodes=args.nodes)
+    controller = FleetController(sf)
+    sf.engine.run(until=sf.engine.now + 1.0)   # first heartbeat round
+    api = ControlAPI(controller)
+    server = FleetHTTPServer(api, host=args.host, port=args.port)
+    print(f"fleet gateway on {server.url} over a simulated "
+          f"{args.nodes}-node cluster (POST /v1/step to advance time)")
+    if args.self_test:
+        return _fleet_self_test(server)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+    return 0
+
+
+def _fleet_self_test(server) -> int:
+    """Exercise the gateway over real sockets, then shut it down."""
+    import urllib.request
+    server.start_background()
+    rc = 0
+    try:
+        def get(path):
+            with urllib.request.urlopen(server.url + path, timeout=10) as r:
+                return r.read().decode()
+
+        def post(path, body):
+            req = urllib.request.Request(
+                server.url + path, data=json.dumps(body).encode(),
+                headers={"Content-Type": "application/json"})
+            with urllib.request.urlopen(req, timeout=10) as r:
+                return json.loads(r.read().decode())
+
+        nodes = json.loads(get("/v1/nodes"))
+        job = post("/v1/submit", {"tenant": "selftest",
+                                  "program": "computesleep", "nprocs": 2,
+                                  "params": {"steps": 3,
+                                             "step_time": 0.05}})
+        status = post("/v1/step", {"dt": 2.0})
+        final = json.loads(get(f"/v1/jobs/{job['job']['job_id']}"))
+        metrics = get("/metrics?tenant=selftest")
+        print(f"  nodes: {len(nodes['nodes'])} tracked, ok={nodes['ok']}")
+        print(f"  submit: job {job['job']['job_id']} -> "
+              f"{final['job']['state']} at t={status['time']:.3f}")
+        wanted = "fleet_jobs_submitted"
+        print(f"  metrics: {wanted} exported="
+              f"{wanted in metrics}")
+        ok = (nodes["ok"] and final["job"]["state"] == "done"
+              and wanted in metrics)
+        print(f"self-test: {'PASS' if ok else 'FAIL'}")
+        rc = 0 if ok else 1
+    finally:
+        server.shutdown()
+    return rc
+
+
 def cmd_rtt(args) -> int:
     from repro.apps import PingPong
     from repro.core import AppSpec, StarfishCluster
@@ -434,6 +540,39 @@ def main(argv=None) -> int:
                         help="only this rank's records")
         sp.add_argument("--version", type=int, default=None,
                         help="only this checkpoint version")
+
+    fleet = sub.add_parser(
+        "fleet", help="the multi-tenant fleet control plane: churn "
+                      "campaign or a real HTTP gateway over a simulated "
+                      "cluster")
+    fleet_sub = fleet.add_subparsers(dest="fleet_cmd", required=True,
+                                     metavar="ACTION")
+    churn = fleet_sub.add_parser(
+        "churn", help="run the deterministic fleet churn scenario "
+                      "(3 tenants, quotas, proactive migration) with the "
+                      "FleetOracle as the gate")
+    churn.add_argument("--nodes", type=int, default=16)
+    churn.add_argument("--seed", type=int, default=0)
+    churn.add_argument("--seeds", type=int, default=0, metavar="N",
+                       help="also sweep perturbation seeds 1..N "
+                            "(0 = single run)")
+    churn.add_argument("--perturb-seed", type=int, default=None,
+                       metavar="PSEED",
+                       help="run once under this perturbation seed")
+    churn.add_argument("--json", default=None, metavar="OUT.json",
+                       help="write the report (or sweep summary) as JSON")
+    churn.set_defaults(fn=cmd_fleet_churn)
+    serve = fleet_sub.add_parser(
+        "serve", help="serve the fleet ControlAPI over real HTTP "
+                      "(simulated cluster behind it)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="0 = pick a free port")
+    serve.add_argument("--nodes", type=int, default=8)
+    serve.add_argument("--self-test", action="store_true",
+                       help="start, exercise every endpoint via real "
+                            "HTTP requests, shut down (CI smoke)")
+    serve.set_defaults(fn=cmd_fleet_serve)
 
     rtt = sub.add_parser("rtt", help="quick Figure-5-style latency probe")
     rtt.add_argument("--transport", default="bip-myrinet",

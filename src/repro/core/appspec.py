@@ -64,6 +64,12 @@ class AppSpec:
     #: Optional explicit placement {rank: node_id}; default is the
     #: daemons' least-loaded placement.
     placement: Optional[Dict[int, str]] = None
+    #: Fleet-scheduler metadata (:mod:`repro.fleet`): the accounting
+    #: tenant (``None`` = use ``owner``) and the admission priority
+    #: (higher admits first; FIFO within a priority band).  Ignored by
+    #: direct ``StarfishCluster.submit()`` calls.
+    tenant: Optional[str] = None
+    priority: int = 0
 
     def __post_init__(self):
         if self.nprocs < 1:

@@ -345,11 +345,46 @@ class StarfishCluster:
         """Move one rank to ``target_node`` by rolling the application back
         to its last recovery line with an updated placement (paper §3.2.1:
         C/R doubles as process migration — e.g. when "a better node
-        becomes available")."""
-        if target_node not in self.cluster.nodes:
-            raise DaemonError(f"unknown node {target_node!r}")
-        self.any_daemon().gm.cast(("app-migrate", handle.app_id, rank,
-                                   target_node))
+        becomes available").
+
+        Every precondition is validated here, up-front: a request the
+        daemon layer would silently refuse (dead or unregistered target,
+        unknown rank, same-node move, replicated app) raises a typed
+        :class:`~repro.errors.PlacementError` instead of casting an op
+        that strands the caller waiting for a migration that never runs.
+        """
+        from repro.cluster.node import NodeState
+        from repro.errors import PlacementError
+        node = self.cluster.nodes.get(target_node)
+        if node is None:
+            raise PlacementError(f"unknown node {target_node!r}")
+        if node.state is not NodeState.UP:
+            raise PlacementError(
+                f"target node {target_node!r} is {node.state.value}, "
+                "not up")
+        record = handle._record()       # raises UnknownApplication
+        if record.finished:
+            raise DaemonError(f"app {handle.app_id} already finished "
+                              f"({record.status.value})")
+        if rank not in record.placement:
+            raise PlacementError(
+                f"app {handle.app_id} has no rank {rank} "
+                f"(ranks: {sorted(record.placement)})")
+        if record.placement.get(rank) == target_node:
+            raise PlacementError(
+                f"rank {rank} of {handle.app_id} already runs on "
+                f"{target_node!r}")
+        if record.replicas:
+            raise PlacementError(
+                f"app {handle.app_id} uses active replication; replicated "
+                "apps do not migrate (failover moves ranks instead)")
+        caster = self.any_daemon()
+        view = caster.gm.view
+        if view is None or view.member_on(target_node) is None:
+            raise PlacementError(
+                f"no daemon registered on {target_node!r} in the current "
+                "Starfish group view")
+        caster.gm.cast(("app-migrate", handle.app_id, rank, target_node))
 
     def __repr__(self) -> str:
         return (f"<StarfishCluster {len(self.live_daemons())}/"

@@ -81,10 +81,39 @@ class StarfishDaemon:
         self._m_local: Dict[str, Any] = {}
         self._m_restarts: Dict[str, Any] = {}
         self._m_ranks_restarted: Dict[str, Any] = {}
+        self._m_ranks_migrated: Dict[str, Any] = {}
         self._m_view_changes = self._registry.counter(
             "daemon.view_changes", node=node.node_id,
             help="main-group view changes handled")
         self._m_view_changes.reset()
+        # Structured counterparts of the heartbeat/membership log lines:
+        # FleetView and `repro metrics` read these instead of parsing
+        # ``_log`` output.
+        self._m_members_joined = self._registry.counter(
+            "daemon.membership.joined", node=node.node_id,
+            help="members that joined main-group views seen here")
+        self._m_members_left = self._registry.counter(
+            "daemon.membership.left", node=node.node_id,
+            help="members that left main-group views seen here")
+        self._m_hb_sent = self._registry.counter(
+            "daemon.heartbeat.sent", node=node.node_id,
+            help="fleet heartbeat payloads produced by this daemon")
+        self._m_hb_ranks = self._registry.gauge(
+            "daemon.heartbeat.ranks", node=node.node_id,
+            help="primary ranks hosted, per the last heartbeat")
+        self._m_hb_copies = self._registry.gauge(
+            "daemon.heartbeat.copies", node=node.node_id,
+            help="replica copies hosted, per the last heartbeat")
+        self._m_hb_apps = self._registry.gauge(
+            "daemon.heartbeat.apps", node=node.node_id,
+            help="applications with local processes, per the last heartbeat")
+        self._m_hb_store_bytes = self._registry.gauge(
+            "daemon.heartbeat.store_bytes", node=node.node_id,
+            help="checkpoint-store bytes held, per the last heartbeat")
+        for inst in (self._m_members_joined, self._m_members_left,
+                     self._m_hb_sent, self._m_hb_ranks, self._m_hb_copies,
+                     self._m_hb_apps, self._m_hb_store_bytes):
+            inst.reset()   # fresh daemon instance on this node
         self._absorbed = False
         #: App ids submitted here whose replicated record is still in
         #: flight (duplicate-submission guard).
@@ -128,8 +157,26 @@ class StarfishDaemon:
         if counter is None:
             counter = self._registry.counter(
                 "daemon.ranks_restarted", app=app_id,
-                help="application ranks respawned by restarts")
+                help="application ranks respawned by failure restarts")
             self._m_ranks_restarted[app_id] = counter
+        counter.inc(n)
+
+    def _count_respawns(self, app_id: str, n: int, cause: str) -> None:
+        """Migration-driven respawns land on ``daemon.ranks_migrated``,
+        not ``daemon.ranks_restarted``: the latter measures recovery work
+        paid to *failures* only, so a proactively-migrated app can prove
+        it never paid one (the fleet's ``ranks_restarted == 0`` gate)."""
+        if cause != "migration":
+            self._count_ranks_restarted(app_id, n)
+            return
+        if not n:
+            return
+        counter = self._m_ranks_migrated.get(app_id)
+        if counter is None:
+            counter = self._registry.counter(
+                "daemon.ranks_migrated", app=app_id,
+                help="application ranks respawned by requested migrations")
+            self._m_ranks_migrated[app_id] = counter
         counter.inc(n)
 
     # ------------------------------------------------------------------
@@ -270,7 +317,10 @@ class StarfishDaemon:
         yield from self._spawn_local_ranks(record, restore=None)
 
     def _op_app_restart(self, payload, source):
-        _, app_id, placement, restore, world_version = payload
+        # Failure restarts cast 5-tuples (byte-stable with older runs);
+        # migrations append a cause so respawns are attributed correctly.
+        _, app_id, placement, restore, world_version = payload[:5]
+        cause = payload[5] if len(payload) > 5 else "failure"
         record = self.registry.maybe(app_id)
         if record is None or record.finished:
             return
@@ -313,7 +363,7 @@ class StarfishDaemon:
                 self._kill_rank(app_id, rank, "solo restart")
             mine = [r for r in record.ranks_on(self.node.node_id)
                     if r in lost]
-            self._count_ranks_restarted(app_id, len(mine))
+            self._count_respawns(app_id, len(mine), cause)
             yield from self._spawn_local_ranks(record, restore=restore,
                                                only_ranks=lost)
             return
@@ -322,8 +372,8 @@ class StarfishDaemon:
         record.done_ranks = []
         # Kill any local survivors: coordinated rollback restarts everyone.
         self._kill_local(app_id, "rollback")
-        self._count_ranks_restarted(
-            app_id, len(record.ranks_on(self.node.node_id)))
+        self._count_respawns(
+            app_id, len(record.ranks_on(self.node.node_id)), cause)
         yield from self._spawn_local_ranks(record, restore=restore)
 
     def _op_app_grow(self, payload, source):
@@ -417,7 +467,8 @@ class StarfishDaemon:
             if ep.node not in new_nodes:
                 self.lwg.leave(app_id, ep)
         self.gm.cast(("app-restart", app_id, placement, restore,
-                      record.world_version + (0 if solo else 1)))
+                      record.world_version + (0 if solo else 1),
+                      "migration"))
         self._log(f"migrate {app_id} rank {rank} -> {target_node} "
                   f"(from {restore})")
 
@@ -621,6 +672,10 @@ class StarfishDaemon:
 
     def _on_main_view(self, ev: ViewEvent):
         self._m_view_changes.inc()
+        if ev.joined:
+            self._m_members_joined.inc(len(ev.joined))
+        if ev.left:
+            self._m_members_left.inc(len(ev.left))
         if not ev.left:
             return
         dead_nodes = {m.node for m in ev.left}
@@ -879,6 +934,48 @@ class StarfishDaemon:
                     f"{rank}: only {1 + len(backups)} schedulable nodes")
             out[rank] = tuple(backups)
         return out
+
+    # ------------------------------------------------------------------
+    # fleet heartbeat (load/liveness payload for repro.fleet.FleetView)
+    # ------------------------------------------------------------------
+
+    def heartbeat(self) -> Dict[str, Any]:
+        """One fleet heartbeat: this node's liveness + load payload.
+
+        The same numbers are published as ``daemon.heartbeat.*``
+        instruments, so :class:`repro.fleet.FleetView` and the ``repro
+        metrics`` CLI read identical values — nothing parses ``_log``
+        output.
+        """
+        nid = self.node.node_id
+        ranks = copies = 0
+        apps: List[str] = []
+        for rec in self.registry.active():
+            mine = len(rec.ranks_on(nid))
+            held = len(rec.copies_on(nid))
+            ranks += mine
+            copies += held
+            if mine or held:
+                apps.append(rec.app_id)
+        store_bytes = self._store_bytes_held()
+        self._m_hb_sent.inc()
+        self._m_hb_ranks.set(ranks)
+        self._m_hb_copies.set(copies)
+        self._m_hb_apps.set(len(apps))
+        self._m_hb_store_bytes.set(store_bytes)
+        return {"node": nid, "time": self.engine.now,
+                "epoch": self.gm.view.epoch if self.gm.view else -1,
+                "ranks": ranks, "copies": copies, "apps": apps,
+                "store_bytes": store_bytes}
+
+    def _store_bytes_held(self) -> int:
+        """Checkpoint-store bytes whose replicas live on this node."""
+        nid = self.node.node_id
+        total = 0
+        for _key, record in self.store.iter_records():
+            if nid in record.all_holders():
+                total += record.nbytes
+        return total
 
     # ------------------------------------------------------------------
     # client sessions (ASCII protocol)

@@ -152,6 +152,20 @@ class InvariantViolation(CampaignError):
 
 
 # ---------------------------------------------------------------------------
+# Fleet control plane
+# ---------------------------------------------------------------------------
+
+class FleetError(StarfishError):
+    """Errors from the fleet control plane (:mod:`repro.fleet`)."""
+
+
+class FleetOracleViolation(FleetError):
+    """The :class:`repro.fleet.FleetOracle` found a violated fleet
+    invariant (quota breach, placement on a forbidden node, or a job
+    left in a non-terminal state without a typed reason)."""
+
+
+# ---------------------------------------------------------------------------
 # MPI
 # ---------------------------------------------------------------------------
 

@@ -133,6 +133,23 @@ def _crash_burst_plan(app_id: str, nodes: int) -> FaultPlan:
             .at(6.0, RecoverNode()))
 
 
+def _fleet_churn_plan(app_id: str, nodes: int) -> FaultPlan:
+    """The fleet control plane's churn schedule (see
+    :mod:`repro.fleet.campaign`, which layers tenants + a controller on
+    the same timeline): degrade ``n3``'s disk, open a loss window, crash
+    and recover ``n3``, then crash and recover the last node."""
+    from repro.faults.actions import DiskSlowdown
+    last = f"n{nodes - 1}"
+    return (FaultPlan()
+            .at(1.5, DiskSlowdown(node="n3", factor=6.0, duration=3.0))
+            .at(4.5, FrameLossWindow(prob=0.05, duration=1.0,
+                                     fabric="tcp-ethernet"))
+            .at(6.0, CrashNode(node="n3", cause="fleet-churn"))
+            .at(8.0, RecoverNode(node="n3"))
+            .at(9.0, CrashNode(node=last, cause="fleet-churn"))
+            .at(11.0, RecoverNode(node=last)))
+
+
 def _blackout_plan(app_id: str, nodes: int) -> FaultPlan:
     plan = FaultPlan()
     for i in range(nodes):
@@ -199,6 +216,13 @@ CAMPAIGNS: Dict[str, Campaign] = {c.name: c for c in (
                     "and no rollback wave (runs under any protocol; only "
                     "'replication' places copies)",
         plan=_solo_crash_plan),
+    Campaign(
+        name="fleet-churn",
+        description="the fleet control plane's churn schedule: disk "
+                    "slowdown on n3, an Ethernet loss window, crash + "
+                    "recover n3, crash + recover the last node",
+        plan=_fleet_churn_plan,
+        nodes=8),
     Campaign(
         name="blackout",
         description="crash every node; the run must fail with a typed "

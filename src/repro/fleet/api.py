@@ -1,0 +1,129 @@
+"""The ControlAPI: the fleet's JSON request/response surface.
+
+One dict in, one dict out — the same surface serves in-sim callers
+(campaigns, tests) and the real HTTP gateway
+(:mod:`repro.fleet.http` / ``repro fleet serve``).  Every response
+carries ``ok``; failures carry the *typed* error class name and message
+instead of a traceback::
+
+    api.handle({"op": "submit", "tenant": "acme",
+                "program": "computesleep", "nprocs": 3})
+    -> {"ok": True, "job": {...}}
+
+Ops: ``submit``, ``status``, ``jobs``, ``nodes``, ``migrate``,
+``drain``, ``uncordon``, ``metrics`` (Prometheus text, per-tenant via a
+label-filtered :class:`~repro.obs.RegistryView`), and ``step`` (advance
+the simulation — the gateway's only way to make time pass).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.core.appspec import AppSpec, CheckpointConfig
+from repro.core.starfish import AppHandle
+from repro.errors import ReproError
+from repro.fleet.controller import FleetController
+from repro.obs import to_prometheus
+
+
+class ControlAPI:
+    """Dispatches JSON requests against one :class:`FleetController`."""
+
+    def __init__(self, controller: FleetController):
+        self.controller = controller
+        self.sf = controller.sf
+
+    def handle(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        op = str(request.get("op", ""))
+        handler = getattr(self, "_op_" + op, None)
+        if handler is None:
+            return {"ok": False, "error": "UnknownOp",
+                    "message": f"unknown op {op!r}"}
+        try:
+            return {"ok": True, **handler(request)}
+        except ReproError as exc:
+            return {"ok": False, "error": type(exc).__name__,
+                    "message": str(exc)}
+        except (KeyError, TypeError, ValueError) as exc:
+            return {"ok": False, "error": "BadRequest",
+                    "message": f"{type(exc).__name__}: {exc}"}
+
+    # ------------------------------------------------------------------
+    # ops
+    # ------------------------------------------------------------------
+
+    def _op_submit(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        program_name = str(req["program"])
+        program = self.sf.program_registry.get(program_name)
+        if program is None:
+            raise KeyError(
+                f"unknown program {program_name!r}; known: "
+                f"{sorted(self.sf.program_registry)}")
+        checkpoint = CheckpointConfig(
+            protocol=req.get("ckpt"),
+            level=str(req.get("level", "vm")),
+            interval=(float(req["interval"]) if req.get("interval")
+                      is not None else None),
+            replicas=int(req.get("replicas", 1)))
+        spec = AppSpec(
+            program=program, nprocs=int(req["nprocs"]),
+            params=dict(req.get("params", {})),
+            ft_policy=str(req.get("ft", "kill")),
+            checkpoint=checkpoint,
+            owner=str(req.get("tenant", "local")),
+            tenant=req.get("tenant"),
+            priority=int(req.get("priority", 0)))
+        job = self.controller.submit(spec)
+        return {"job": job.snapshot()}
+
+    def _op_status(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        job_id = str(req["job_id"])
+        job = self.controller.scheduler.jobs.get(job_id)
+        if job is None:
+            raise KeyError(f"unknown job {job_id!r}")
+        return {"job": job.snapshot()}
+
+    def _op_jobs(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        return {"jobs": self.controller.scheduler.snapshot()}
+
+    def _op_nodes(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        return {"time": self.controller.engine.now,
+                "nodes": self.controller.view.snapshot()}
+
+    def _op_migrate(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        app_id = str(req.get("app_id") or req["job_id"])
+        self.sf.migrate(AppHandle(self.sf, app_id),
+                        int(req["rank"]), str(req["target"]))
+        return {"app_id": app_id, "rank": int(req["rank"]),
+                "target": str(req["target"])}
+
+    def _op_drain(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        node = str(req["node"])
+        if node not in self.sf.cluster.nodes:
+            raise KeyError(f"unknown node {node!r}")
+        self.controller.drain(node)
+        return {"node": node, "health":
+                self.controller.view.row(node).health.value}
+
+    def _op_uncordon(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        node = str(req["node"])
+        if node not in self.sf.cluster.nodes:
+            raise KeyError(f"unknown node {node!r}")
+        self.controller.uncordon(node)
+        return {"node": node, "health":
+                self.controller.view.row(node).health.value}
+
+    def _op_metrics(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        registry = self.controller.registry
+        tenant = req.get("tenant")
+        if tenant is not None:
+            registry = registry.view(tenant=str(tenant))
+        return {"text": to_prometheus(registry)}
+
+    def _op_step(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        """Advance the simulation by ``dt`` seconds (gateway clock)."""
+        dt = float(req.get("dt", 1.0))
+        engine = self.controller.engine
+        engine.run(until=engine.now + max(0.0, dt))
+        return {"time": engine.now}

@@ -1,0 +1,143 @@
+"""A thin real HTTP gateway over the in-sim ControlAPI.
+
+``repro fleet serve`` boots a simulated cluster + fleet controller and
+exposes the :class:`~repro.fleet.api.ControlAPI` through a stdlib
+``http.server`` — real sockets, real curl, simulated cluster::
+
+    GET  /v1/nodes               fleet view (JSON)
+    GET  /v1/jobs                all jobs (JSON)
+    GET  /v1/jobs/<job_id>       one job (JSON)
+    GET  /metrics[?tenant=x]     Prometheus text (per-tenant filtered)
+    POST /v1/submit              {"tenant", "program", "nprocs", ...}
+    POST /v1/migrate             {"app_id", "rank", "target"}
+    POST /v1/drain               {"node"}
+    POST /v1/uncordon            {"node"}
+    POST /v1/step                {"dt": seconds}  -- advance sim time
+
+The server is deliberately single-threaded: the simulation engine is not
+thread-safe, so requests serialize and the sim only advances inside an
+explicit ``/v1/step`` (or between requests, driven by the CLI loop).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, HTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.fleet.api import ControlAPI
+
+#: GET path -> ControlAPI op (POST ops are /v1/<op> verbatim).
+_POST_OPS = ("submit", "migrate", "drain", "uncordon", "step")
+
+
+class FleetHTTPServer:
+    """Owns the listening socket; serve inline or on a helper thread."""
+
+    def __init__(self, api: ControlAPI, host: str = "127.0.0.1",
+                 port: int = 0):
+        self.api = api
+        gateway = self
+
+        class Handler(BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.1"
+
+            def log_message(self, fmt, *args):   # quiet by default
+                pass
+
+            def do_GET(self):
+                status, ctype, body = gateway._get(self.path)
+                self._reply(status, ctype, body)
+
+            def do_POST(self):
+                length = int(self.headers.get("Content-Length", 0))
+                raw = self.rfile.read(length) if length else b"{}"
+                status, ctype, body = gateway._post(self.path, raw)
+                self._reply(status, ctype, body)
+
+            def _reply(self, status: int, ctype: str, body: bytes):
+                self.send_response(status)
+                self.send_header("Content-Type", ctype)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+        self._server = HTTPServer((host, port), Handler)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._server.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    # ------------------------------------------------------------------
+    # request handling (thread-unsafe by design; requests serialize in
+    # the single-threaded HTTPServer)
+    # ------------------------------------------------------------------
+
+    def _get(self, path: str) -> Tuple[int, str, bytes]:
+        parsed = urlparse(path)
+        parts = [p for p in parsed.path.split("/") if p]
+        query = {k: v[0] for k, v in parse_qs(parsed.query).items()}
+        if parsed.path == "/metrics":
+            response = self.api.handle({"op": "metrics", **query})
+            if response["ok"]:
+                return (200, "text/plain; version=0.0.4",
+                        response["text"].encode())
+            return self._json(response)
+        if parts[:2] == ["v1", "nodes"]:
+            return self._json(self.api.handle({"op": "nodes"}))
+        if parts[:2] == ["v1", "jobs"]:
+            if len(parts) == 3:
+                return self._json(self.api.handle(
+                    {"op": "status", "job_id": parts[2]}))
+            return self._json(self.api.handle({"op": "jobs"}))
+        return self._json({"ok": False, "error": "NotFound",
+                           "message": f"no route {parsed.path!r}"})
+
+    def _post(self, path: str, raw: bytes) -> Tuple[int, str, bytes]:
+        parts = [p for p in urlparse(path).path.split("/") if p]
+        if len(parts) == 2 and parts[0] == "v1" and parts[1] in _POST_OPS:
+            try:
+                body: Dict[str, Any] = json.loads(raw.decode() or "{}")
+            except json.JSONDecodeError as exc:
+                return self._json({"ok": False, "error": "BadRequest",
+                                   "message": f"invalid JSON: {exc}"})
+            return self._json(self.api.handle({"op": parts[1], **body}))
+        return self._json({"ok": False, "error": "NotFound",
+                           "message": f"no route {path!r}"})
+
+    @staticmethod
+    def _json(response: Dict[str, Any]) -> Tuple[int, str, bytes]:
+        status = 200 if response.get("ok") else (
+            404 if response.get("error") in ("NotFound", "UnknownOp",
+                                             "KeyError") else 400)
+        body = json.dumps(response, sort_keys=True).encode()
+        return status, "application/json", body
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def serve_forever(self) -> None:
+        self._server.serve_forever()
+
+    def start_background(self) -> "FleetHTTPServer":
+        """Serve on a helper thread (tests / ``--self-test``)."""
+        self._thread = threading.Thread(target=self._server.serve_forever,
+                                        name="fleet-http", daemon=True)
+        self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None

@@ -1,0 +1,68 @@
+"""The FleetOracle: invariants of the fleet control plane.
+
+Checked after (or during) a fleet run, typically across a perturbation
+sweep (``repro fleet churn --seeds N``):
+
+1. **No quota breach** — no tenant's concurrent ranks/apps ever exceeded
+   its :class:`~repro.fleet.scheduler.TenantQuota` (high-water marks are
+   recorded at every admission, so a transient breach can't hide).
+2. **No placement on forbidden nodes** — every admission's placement is
+   disjoint from the nodes that were cordoned, draining, suspect, or
+   down at that admission.
+3. **Typed terminal states** — every job is terminal (done, failed, or
+   rejected), and every rejection carries one of the typed reasons in
+   :data:`~repro.fleet.scheduler.REJECT_REASONS`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import FleetOracleViolation
+from repro.fleet.scheduler import JobScheduler, JobState, REJECT_REASONS
+
+
+class FleetOracle:
+    """Validates one scheduler's history; raises on demand."""
+
+    def check(self, scheduler: JobScheduler,
+              require_terminal: bool = True) -> List[str]:
+        """All violations found (empty = green)."""
+        violations: List[str] = []
+        for tenant, (ranks, apps) in sorted(scheduler.high_water.items()):
+            quota = scheduler.quota(tenant)
+            if quota.max_ranks is not None and ranks > quota.max_ranks:
+                violations.append(
+                    f"quota breach: tenant {tenant} reached {ranks} "
+                    f"concurrent ranks (max {quota.max_ranks})")
+            if quota.max_apps is not None and apps > quota.max_apps:
+                violations.append(
+                    f"quota breach: tenant {tenant} reached {apps} "
+                    f"concurrent apps (max {quota.max_apps})")
+        for adm in scheduler.admissions:
+            bad = sorted(set(adm.placement.values()) & set(adm.forbidden))
+            if bad:
+                violations.append(
+                    f"forbidden placement: {adm.job_id} admitted onto "
+                    f"{','.join(bad)} at t={adm.time:.6f}")
+        for job_id in sorted(scheduler.jobs):
+            job = scheduler.jobs[job_id]
+            if job.state == JobState.REJECTED \
+                    and job.reason not in REJECT_REASONS:
+                violations.append(
+                    f"untyped rejection: {job_id} rejected with "
+                    f"reason {job.reason!r}")
+            elif require_terminal and not job.terminal:
+                violations.append(
+                    f"non-terminal job: {job_id} ended as {job.state}")
+        return violations
+
+    def verify(self, scheduler: JobScheduler,
+               require_terminal: bool = True) -> None:
+        """Raise :class:`FleetOracleViolation` on the first violation."""
+        violations = self.check(scheduler,
+                                require_terminal=require_terminal)
+        if violations:
+            raise FleetOracleViolation(
+                f"{len(violations)} fleet invariant violation(s): "
+                + "; ".join(violations))

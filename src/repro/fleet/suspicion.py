@@ -1,0 +1,89 @@
+"""Failure suspicion from observability signals.
+
+The scorer turns ``repro.obs`` signals into a per-node **SuspicionScore**
+in ``[0, 1]``; the controller proactively drains nodes whose score
+crosses the threshold *before* they crash (the agent-intelligence
+fault-tolerance idea: pay a cheap planned migration instead of an
+expensive recovery).
+
+The formula (documented in DESIGN.md §18)::
+
+    score(n) = min(1,  w_missed * missed_heartbeats(n)
+                     + w_disk   * [disk slowdown active on n]
+                     + w_loss   * [frame-loss window active])
+
+Inputs come from two places, both already structured:
+
+* ``missed_heartbeats`` — the :class:`~repro.fleet.view.FleetView` row
+  (a paused or wedged daemon stops producing payloads);
+* fault windows — ``fault.inject`` events in the registry's event log:
+  ``disk-slowdown`` / ``disk-slowdown-end`` carry the affected nodes,
+  ``frame-loss`` / ``frame-loss-end`` are fabric-global (so they weigh
+  below the threshold on their own — a lossy network is not one sick
+  node).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Set
+
+from repro.fleet.view import FleetView, NodeHealth
+
+
+@dataclass(frozen=True)
+class SuspicionConfig:
+    """Weights and threshold of the suspicion formula."""
+
+    w_missed: float = 0.25    # per consecutive missed heartbeat
+    w_disk: float = 0.6       # an active disk slowdown on the node
+    w_loss: float = 0.2       # an active fabric-wide frame-loss window
+    threshold: float = 0.5    # >= threshold => suspect
+
+
+class SuspicionScorer:
+    """Incremental scorer over the engine's ``fault.inject`` events."""
+
+    def __init__(self, registry, config: SuspicionConfig = None):
+        self._registry = registry
+        self.config = config or SuspicionConfig()
+        self._seen = 0
+        #: Nodes with an active disk slowdown.
+        self._slow_disks: Set[str] = set()
+        #: Open fabric-wide frame-loss windows.
+        self._loss_depth = 0
+
+    def _ingest(self) -> None:
+        """Fold fault events emitted since the last call."""
+        records = self._registry.events.records("fault.inject")
+        for ev in records[self._seen:]:
+            fields = ev.field_dict
+            action = fields.get("action")
+            if action == "disk-slowdown":
+                self._slow_disks |= set(
+                    str(fields.get("nodes", "")).split(","))
+            elif action == "disk-slowdown-end":
+                self._slow_disks -= set(
+                    str(fields.get("nodes", "")).split(","))
+            elif action == "frame-loss":
+                self._loss_depth += 1
+            elif action == "frame-loss-end":
+                self._loss_depth = max(0, self._loss_depth - 1)
+        self._seen = len(records)
+
+    def update(self, view: FleetView) -> None:
+        """Re-score every known node; annotates the view rows in place."""
+        self._ingest()
+        cfg = self.config
+        for info in view.nodes.values():
+            if info.health is NodeHealth.DOWN:
+                info.suspicion = 1.0
+                info.suspect = True
+                continue
+            score = cfg.w_missed * info.missed
+            if info.node_id in self._slow_disks:
+                score += cfg.w_disk
+            if self._loss_depth:
+                score += cfg.w_loss
+            info.suspicion = min(1.0, score)
+            info.suspect = info.suspicion >= cfg.threshold

@@ -30,12 +30,13 @@ from repro.obs.export import (chrome_trace, flatten, to_prometheus,
 from repro.obs.instruments import (DEFAULT_LATENCY_BUCKETS, Counter, Gauge,
                                    Histogram, NULL_COUNTER, NULL_GAUGE,
                                    NULL_HISTOGRAM)
-from repro.obs.registry import NULL_REGISTRY, MetricsRegistry, get_registry
+from repro.obs.registry import (NULL_REGISTRY, MetricsRegistry, RegistryView,
+                                get_registry)
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "DEFAULT_LATENCY_BUCKETS",
     "NULL_COUNTER", "NULL_GAUGE", "NULL_HISTOGRAM",
-    "MetricsRegistry", "NULL_REGISTRY", "get_registry",
+    "MetricsRegistry", "NULL_REGISTRY", "RegistryView", "get_registry",
     "EventLog", "ObsEvent",
     "flatten", "to_text", "to_prometheus", "chrome_trace",
 ]

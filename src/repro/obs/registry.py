@@ -136,6 +136,16 @@ class MetricsRegistry:
         return [(name, labels, float(fn()))
                 for (name, labels), fn in sorted(self._gauge_fns.items())]
 
+    def view(self, **labels: Any) -> "RegistryView":
+        """A read-only slice: only series whose labels include ``labels``.
+
+        The view quacks like a registry to every exporter
+        (``instruments()`` / ``sampled_gauges()`` / ``collect()``), so
+        ``to_prometheus(registry.view(tenant="acme"))`` renders one
+        tenant's series without copying anything.
+        """
+        return RegistryView(self, labels)
+
     def collect(self) -> Dict[str, float]:
         """Flat snapshot of every series (see :func:`repro.obs.flatten`)."""
         from repro.obs.export import flatten
@@ -156,6 +166,38 @@ class MetricsRegistry:
         state = "enabled" if self.enabled else "disabled"
         return (f"<MetricsRegistry {state} series={len(self._instruments)} "
                 f"events={len(self.events)}>")
+
+
+class RegistryView:
+    """A label-filtered, read-only facade over a :class:`MetricsRegistry`.
+
+    Exposes exactly the surface the exporters consume — so per-tenant /
+    per-node metric endpoints (``/metrics?tenant=...`` in
+    :mod:`repro.fleet.http`) are a filter, not a second registry.
+    """
+
+    def __init__(self, registry: MetricsRegistry, want: Dict[str, Any]):
+        self._registry = registry
+        self._want = {k: str(v) for k, v in want.items()}
+
+    def _match(self, label_dict: Dict[str, str]) -> bool:
+        return all(label_dict.get(k) == v for k, v in self._want.items())
+
+    def instruments(self) -> List[Instrument]:
+        return [inst for inst in self._registry.instruments()
+                if self._match(inst.label_dict)]
+
+    def sampled_gauges(self) -> List[Tuple[str, LabelPairs, float]]:
+        return [(name, labels, v)
+                for name, labels, v in self._registry.sampled_gauges()
+                if self._match(dict(labels))]
+
+    def collect(self) -> Dict[str, float]:
+        from repro.obs.export import flatten
+        return flatten(self)
+
+    def __repr__(self) -> str:
+        return f"<RegistryView {self._want} of {self._registry!r}>"
 
 
 #: Shared disabled registry: the fallback for engines (or test doubles)

@@ -1,0 +1,148 @@
+"""ControlAPI (in-sim JSON surface) and the real HTTP gateway.
+
+The HTTP tests run the stdlib server on a helper thread and drive it
+with real ``urllib`` requests — the same path ``repro fleet serve
+--self-test`` exercises in CI.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core import StarfishCluster
+from repro.fleet import (ControlAPI, FleetController, FleetHTTPServer,
+                         TenantQuota)
+
+
+@pytest.fixture()
+def api():
+    sf = StarfishCluster.build(nodes=4)
+    controller = FleetController(
+        sf, quotas={"acme": TenantQuota(max_ranks=8, max_apps=4)})
+    sf.engine.run(until=sf.engine.now + 1.0)   # first heartbeat round
+    return ControlAPI(controller)
+
+
+def _submit(api, **over):
+    req = {"op": "submit", "tenant": "acme", "program": "computesleep",
+           "nprocs": 2, "params": {"steps": 3, "step_time": 0.05}}
+    req.update(over)
+    return api.handle(req)
+
+
+def test_submit_status_and_step(api):
+    response = _submit(api)
+    assert response["ok"]
+    job_id = response["job"]["job_id"]
+    assert response["job"]["state"] == "queued"
+    api.handle({"op": "step", "dt": 2.0})
+    status = api.handle({"op": "status", "job_id": job_id})
+    assert status["ok"] and status["job"]["state"] == "done"
+    jobs = api.handle({"op": "jobs"})
+    assert [j["job_id"] for j in jobs["jobs"]] == [job_id]
+
+
+def test_nodes_reflects_fleet_view(api):
+    response = api.handle({"op": "nodes"})
+    assert response["ok"]
+    rows = {r["node"]: r for r in response["nodes"]}
+    assert set(rows) == {"n0", "n1", "n2", "n3"}
+    assert all(r["health"] == "active" for r in rows.values())
+
+
+def test_drain_and_uncordon_ops(api):
+    assert api.handle({"op": "drain", "node": "n3"})["health"] == "draining"
+    api.handle({"op": "step", "dt": 1.0})
+    nodes = api.handle({"op": "nodes"})["nodes"]
+    assert next(r for r in nodes if r["node"] == "n3")["health"] == "drained"
+    assert api.handle({"op": "uncordon",
+                       "node": "n3"})["health"] == "active"
+
+
+def test_typed_errors_not_tracebacks(api):
+    unknown = api.handle({"op": "status", "job_id": "nope-j9"})
+    assert not unknown["ok"] and unknown["error"] == "BadRequest"
+    bad_op = api.handle({"op": "frobnicate"})
+    assert not bad_op["ok"] and bad_op["error"] == "UnknownOp"
+    bad_program = _submit(api, program="nope")
+    assert not bad_program["ok"] and bad_program["error"] == "BadRequest"
+    response = _submit(api)
+    api.handle({"op": "step", "dt": 1.0})
+    bad_migrate = api.handle({"op": "migrate",
+                              "app_id": response["job"]["job_id"],
+                              "rank": 0, "target": "n99"})
+    assert not bad_migrate["ok"]
+    assert bad_migrate["error"] == "PlacementError"
+
+
+def test_metrics_op_filters_by_tenant(api):
+    _submit(api)
+    _submit(api, tenant="globex")
+    api.handle({"op": "step", "dt": 1.0})
+    everything = api.handle({"op": "metrics"})["text"]
+    assert 'tenant="acme"' in everything
+    assert 'tenant="globex"' in everything
+    acme = api.handle({"op": "metrics", "tenant": "acme"})["text"]
+    assert 'tenant="acme"' in acme and 'tenant="globex"' not in acme
+
+
+# ---------------------------------------------------------------------------
+# real HTTP
+# ---------------------------------------------------------------------------
+
+@pytest.fixture()
+def server(api):
+    gw = FleetHTTPServer(api).start_background()
+    yield gw
+    gw.shutdown()
+
+
+def _get(server, path):
+    with urllib.request.urlopen(server.url + path, timeout=10) as r:
+        return r.status, r.headers.get("Content-Type"), r.read().decode()
+
+
+def _post(server, path, body):
+    req = urllib.request.Request(
+        server.url + path, data=json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(req, timeout=10) as r:
+        return json.loads(r.read().decode())
+
+
+def test_http_submit_step_status_roundtrip(server):
+    job = _post(server, "/v1/submit",
+                {"tenant": "acme", "program": "computesleep", "nprocs": 2,
+                 "params": {"steps": 3, "step_time": 0.05}})
+    assert job["ok"]
+    _post(server, "/v1/step", {"dt": 2.0})
+    status, ctype, body = _get(server,
+                               f"/v1/jobs/{job['job']['job_id']}")
+    assert status == 200 and ctype == "application/json"
+    assert json.loads(body)["job"]["state"] == "done"
+    status, _ctype, body = _get(server, "/v1/nodes")
+    assert status == 200 and len(json.loads(body)["nodes"]) == 4
+
+
+def test_http_metrics_endpoint_with_tenant_filter(server):
+    _post(server, "/v1/submit",
+          {"tenant": "acme", "program": "computesleep", "nprocs": 1,
+           "params": {"steps": 1, "step_time": 0.05}})
+    status, ctype, body = _get(server, "/metrics?tenant=acme")
+    assert status == 200 and ctype.startswith("text/plain")
+    assert "fleet_jobs_submitted" in body
+    assert 'tenant="acme"' in body
+
+
+def test_http_error_statuses(server):
+    with pytest.raises(urllib.error.HTTPError) as err:
+        _get(server, "/nope")
+    assert err.value.code == 404
+    with pytest.raises(urllib.error.HTTPError) as err:
+        _post(server, "/v1/submit", {"tenant": "acme", "program": "nope",
+                                     "nprocs": 1})
+    assert err.value.code == 400
+    body = json.loads(err.value.read().decode())
+    assert body["error"] == "BadRequest"

@@ -1,0 +1,80 @@
+"""End-to-end fleet churn acceptance (ISSUE 9).
+
+Three tenants, 13 submissions against quotas on a 16-node cluster under
+a churn fault schedule.  The headline assertions:
+
+* the victim app (one rank pinned on the doomed node) is proactively
+  migrated off *before* the scheduled crash and finishes with **zero**
+  failure restarts (it pays ``daemon.ranks_migrated`` instead);
+* the oversized submission is rejected with the typed quota reason;
+* the FleetOracle stays green;
+* the report is byte-identical run over run, and across perturbation
+  seeds (the 20-seed CI sweep runs a larger version of the same check).
+"""
+
+import pytest
+
+from repro.errors import CampaignError
+from repro.faults import CAMPAIGNS
+from repro.fleet import report_bytes, run_fleet_churn, sweep_fleet_churn
+from repro.fleet.campaign import CRASH_AT, SUSPECT_NODE
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_fleet_churn(nodes=16, seed=0, strict=True)
+
+
+def test_proactive_migration_beats_the_crash(report):
+    assert report["victim_migrated_at"] is not None
+    assert report["victim_migrated_at"] < CRASH_AT
+    victim = report["victim"]
+    assert report["ranks_restarted"].get(victim, 0) == 0
+    assert report["ranks_migrated"].get(victim, 0) >= 1
+    moves = [m for m in report["migrations"] if m["app"] == victim]
+    assert moves and moves[0]["src"] == SUSPECT_NODE
+
+
+def test_tenants_quotas_and_outcomes(report):
+    states = {}
+    for job in report["jobs"]:
+        states[job["state"]] = states.get(job["state"], 0) + 1
+    assert states.get("done", 0) >= 10
+    rejected = [j for j in report["jobs"] if j["state"] == "rejected"]
+    assert any(j["reason"] == "quota-exceeded" for j in rejected)
+    assert report["oracle"] == "ok"
+    tenants = {j["tenant"] for j in report["jobs"]}
+    assert tenants == {"acme", "globex", "initech"}
+
+
+def test_crashes_really_landed(report):
+    crash_lines = [line for line in report["faults"]
+                   if "crash-node" in line]
+    assert len(crash_lines) == 2
+    assert any(SUSPECT_NODE in line for line in crash_lines)
+    assert report["duration"] >= 12.0
+
+
+def test_report_is_byte_identical():
+    a = run_fleet_churn(nodes=16, seed=0, strict=True)
+    b = run_fleet_churn(nodes=16, seed=0, strict=True)
+    assert report_bytes(a) == report_bytes(b)
+
+
+def test_small_perturbation_sweep_green():
+    summary = sweep_fleet_churn(nodes=16, seed=0, seeds=2)
+    assert summary["sweeps"] == 3            # base + 2 perturbed
+    assert all(r["oracle"] == "ok" for r in summary["runs"])
+    assert all(r["victim_migrated_at"] < CRASH_AT
+               for r in summary["runs"])
+
+
+def test_too_small_cluster_is_a_typed_error():
+    with pytest.raises(CampaignError, match=">= 8 nodes"):
+        run_fleet_churn(nodes=4)
+
+
+def test_fleet_churn_registered_as_chaos_campaign():
+    campaign = CAMPAIGNS["fleet-churn"]
+    assert campaign.expect_completion
+    assert campaign.nodes >= 8

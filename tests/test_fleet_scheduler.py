@@ -1,0 +1,164 @@
+"""JobScheduler unit tests: quotas, ordering, typed rejections, oracle.
+
+Pure scheduler-level tests over a hand-built :class:`FleetView` — no
+simulated cluster, so these pin the admission semantics in isolation:
+deterministic FIFO-within-priority order, per-tenant quota enforcement,
+typed rejection reasons, and the FleetOracle's invariants.
+"""
+
+import pytest
+
+from repro.apps import ComputeSleep
+from repro.core import AppSpec, FaultPolicy
+from repro.errors import FleetOracleViolation
+from repro.fleet import (Admission, FleetOracle, FleetView, JobScheduler,
+                         JobState, NodeHealth, REJECT_QUOTA,
+                         REJECT_SHUTDOWN, TenantQuota)
+
+
+def make_view(nodes=4):
+    view = FleetView()
+    for i in range(nodes):
+        info = view.row(f"n{i}")
+        info.last_heartbeat = 0.0
+    return view
+
+
+def spec(nprocs=2, tenant="acme", priority=0, placement=None):
+    return AppSpec(program=ComputeSleep, nprocs=nprocs,
+                   params={"steps": 3, "step_time": 0.05},
+                   ft_policy=FaultPolicy.RESTART,
+                   placement=placement, tenant=tenant, priority=priority)
+
+
+def test_job_ids_are_deterministic_per_tenant():
+    sched = JobScheduler(make_view())
+    ids = [sched.submit(spec(tenant=t), 0.0).job_id
+           for t in ("acme", "acme", "globex", "acme")]
+    assert ids == ["acme-j1", "acme-j2", "globex-j1", "acme-j3"]
+
+
+def test_fifo_within_priority_order():
+    sched = JobScheduler(make_view())
+    low1 = sched.submit(spec(priority=0), 0.0)
+    high = sched.submit(spec(priority=5, tenant="globex"), 0.0)
+    low2 = sched.submit(spec(priority=0, tenant="zeta"), 0.0)
+    later = sched.submit(spec(priority=5), 1.0)     # higher prio, later t
+    order = [j.job_id for j in sched.pending()]
+    assert order == [high.job_id, later.job_id, low1.job_id, low2.job_id]
+    admitted = sched.admit_ready(2.0)
+    assert [j.job_id for j in admitted] == order
+
+
+def test_oversized_submission_rejected_immediately_with_typed_reason():
+    sched = JobScheduler(make_view(),
+                         quotas={"acme": TenantQuota(max_ranks=4)})
+    job = sched.submit(spec(nprocs=9), 0.0)
+    assert job.state == JobState.REJECTED
+    assert job.reason == REJECT_QUOTA
+    assert job.terminal
+
+
+def test_quota_blocks_without_blocking_other_tenants():
+    sched = JobScheduler(
+        make_view(),
+        quotas={"acme": TenantQuota(max_ranks=2, max_apps=1)})
+    first = sched.submit(spec(nprocs=2), 0.0)
+    second = sched.submit(spec(nprocs=2), 0.0)           # same tenant
+    other = sched.submit(spec(nprocs=2, tenant="globex"), 0.0)
+    admitted = sched.admit_ready(1.0)
+    # acme's second job is quota-blocked but globex sails past it.
+    assert {j.job_id for j in admitted} == {first.job_id, other.job_id}
+    assert second.state == JobState.QUEUED
+    # Capacity frees -> the blocked job admits on the next round.
+    sched.complete(first, JobState.DONE, 2.0)
+    admitted = sched.admit_ready(3.0)
+    assert [j.job_id for j in admitted] == [second.job_id]
+    assert second.admitted_at == 3.0
+
+
+def test_placement_avoids_ineligible_nodes():
+    view = make_view(4)
+    view.row("n1").health = NodeHealth.CORDONED
+    view.row("n2").suspect = True
+    sched = JobScheduler(view)
+    job = sched.submit(spec(nprocs=4), 0.0)
+    sched.admit_ready(1.0)
+    assert job.state == JobState.RUNNING
+    used = set(job.placement.values())
+    assert used <= {"n0", "n3"}         # cycles over the eligible pair
+    adm = sched.admissions[0]
+    assert set(adm.forbidden) == {"n1", "n2"}
+
+
+def test_explicit_placement_waits_for_eligibility():
+    view = make_view(3)
+    view.row("n2").health = NodeHealth.DRAINING
+    sched = JobScheduler(view)
+    job = sched.submit(spec(nprocs=2, placement={0: "n0", 1: "n2"}), 0.0)
+    sched.admit_ready(1.0)
+    assert job.state == JobState.QUEUED      # named node not eligible
+    view.row("n2").health = NodeHealth.ACTIVE
+    sched.admit_ready(2.0)
+    assert job.state == JobState.RUNNING
+    assert job.placement == {0: "n0", 1: "n2"}
+
+
+def test_least_loaded_primary_and_ring_successors():
+    view = make_view(4)
+    view.row("n0").ranks = 3
+    view.row("n1").ranks = 0
+    view.row("n2").ranks = 1
+    sched = JobScheduler(view)
+    job = sched.submit(spec(nprocs=2), 0.0)
+    sched.admit_ready(1.0)
+    assert job.placement[0] == "n1"          # least loaded wins rank 0
+    assert job.placement[1] != "n1"          # successor elsewhere
+
+
+def test_shutdown_rejects_queued_jobs_with_typed_reason():
+    sched = JobScheduler(make_view(),
+                         quotas={"acme": TenantQuota(max_apps=1)})
+    first = sched.submit(spec(), 0.0)
+    second = sched.submit(spec(), 0.0)
+    sched.admit_ready(1.0)
+    rejected = sched.reject_queued(REJECT_SHUTDOWN, 2.0)
+    assert [j.job_id for j in rejected] == [second.job_id]
+    assert second.reason == REJECT_SHUTDOWN
+    assert first.state == JobState.RUNNING
+
+
+def test_oracle_green_run_and_violation_paths():
+    sched = JobScheduler(make_view(),
+                         quotas={"acme": TenantQuota(max_ranks=4)})
+    job = sched.submit(spec(nprocs=2), 0.0)
+    sched.admit_ready(1.0)
+    sched.complete(job, JobState.DONE, 2.0)
+    assert FleetOracle().check(sched) == []
+
+    # A fabricated quota breach and a forbidden placement must both trip.
+    sched.high_water["acme"] = (9, 1)
+    sched.admissions.append(Admission(
+        job_id="acme-j9", tenant="acme", time=3.0,
+        placement={0: "n1"}, forbidden=("n1",),
+        ranks_after=2, apps_after=1))
+    violations = FleetOracle().check(sched)
+    assert any("quota breach" in v for v in violations)
+    assert any("forbidden placement" in v for v in violations)
+    with pytest.raises(FleetOracleViolation):
+        FleetOracle().verify(sched)
+
+
+def test_oracle_rejects_untyped_rejection_and_non_terminal_jobs():
+    sched = JobScheduler(make_view())
+    job = sched.submit(spec(), 0.0)
+    job.state = JobState.REJECTED
+    job.reason = "because"                   # not a typed reason
+    hung = sched.submit(spec(tenant="globex"), 0.0)
+    violations = FleetOracle().check(sched)
+    assert any("untyped rejection" in v for v in violations)
+    assert any(f"non-terminal job: {hung.job_id}" in v
+               for v in violations)
+    # Mid-run checks skip the terminal requirement.
+    assert not any("non-terminal" in v for v in
+                   FleetOracle().check(sched, require_terminal=False))

@@ -1,0 +1,182 @@
+"""FleetView, daemon heartbeats, suspicion scoring, drain lifecycle.
+
+The heartbeat tests assert on *structured* payloads and ``repro.obs``
+instruments only — no daemon log parsing anywhere (ISSUE 9 satellite).
+"""
+
+import pytest
+
+from repro.apps import ComputeSleep
+from repro.core import (AppSpec, CheckpointConfig, FaultPolicy,
+                        StarfishCluster)
+from repro.fleet import (FleetController, FleetView, NodeHealth,
+                         SuspicionConfig, SuspicionScorer)
+from repro.obs import MetricsRegistry, to_prometheus
+
+
+# ---------------------------------------------------------------------------
+# daemon heartbeats (structured, through repro.obs)
+# ---------------------------------------------------------------------------
+
+def test_daemon_heartbeat_payload_and_instruments():
+    sf = StarfishCluster.build(nodes=3)
+    sf.submit(AppSpec(program=ComputeSleep, nprocs=2,
+                      params={"steps": 40, "step_time": 0.05},
+                      ft_policy=FaultPolicy.RESTART,
+                      placement={0: "n0", 1: "n1"}))
+    sf.engine.run(until=sf.engine.now + 0.5)
+    daemon = next(d for d in sf.live_daemons()
+                  if d.node.node_id == "n0")
+    payload = daemon.heartbeat()
+    assert payload["node"] == "n0"
+    assert payload["ranks"] == 1
+    assert payload["apps"] and payload["time"] == sf.engine.now
+    assert payload["epoch"] >= 0
+
+    # The same numbers are queryable as instruments — no log parsing.
+    metrics = sf.engine.metrics
+    sent = metrics.group_by("daemon.heartbeat.sent", "node")
+    assert sent.get("n0", 0) >= 1
+    ranks = metrics.group_by("daemon.heartbeat.ranks", "node")
+    assert ranks["n0"] == 1
+    daemon.heartbeat()
+    assert metrics.group_by("daemon.heartbeat.sent", "node")["n0"] >= 2
+
+
+def test_heartbeat_membership_counters():
+    sf = StarfishCluster.build(nodes=3)
+    sf.engine.run(until=sf.engine.now + 1.0)
+    sf.cluster.crash_node("n2")
+    sf.engine.run(until=sf.engine.now + 3.0)
+    left = sf.engine.metrics.group_by("daemon.membership.left", "node")
+    assert any(v >= 1 for v in left.values())
+
+
+# ---------------------------------------------------------------------------
+# FleetView bookkeeping
+# ---------------------------------------------------------------------------
+
+def test_view_observe_refresh_and_missed_beats():
+    view = FleetView(period=0.25)
+    view.observe({"node": "n0", "ranks": 2, "copies": 1,
+                  "apps": ["a"], "store_bytes": 64, "epoch": 3}, 1.0)
+    info = view.row("n0")
+    assert (info.ranks, info.copies, info.store_bytes) == (2, 1, 64)
+    view.refresh(1.25, down_nodes=())
+    assert info.missed == 0                   # exactly one period old
+    view.refresh(2.0, down_nodes=())
+    assert info.missed == 3                   # three periods of silence
+    view.refresh(2.0, down_nodes=("n0",))
+    assert info.health is NodeHealth.DOWN
+    assert info.ranks == 0
+    # A heartbeat after reboot returns the node to service.
+    view.observe({"node": "n0"}, 3.0)
+    assert info.health is NodeHealth.ACTIVE
+    assert "n0" in view.eligible()
+
+
+def test_eligible_excludes_everything_but_active():
+    view = FleetView()
+    for i, health in enumerate(NodeHealth):
+        info = view.row(f"n{i}")
+        info.health = health
+    view.row("n9").suspect = True
+    assert view.eligible() == ["n0"]          # ACTIVE and not suspect
+
+
+# ---------------------------------------------------------------------------
+# suspicion scoring
+# ---------------------------------------------------------------------------
+
+def test_suspicion_from_fault_events():
+    registry = MetricsRegistry()
+    view = FleetView()
+    for n in ("n0", "n1"):
+        view.observe({"node": n}, 0.0)
+    scorer = SuspicionScorer(registry)
+    registry.events.emit(1.0, "fault.inject", action="disk-slowdown",
+                         nodes="n1", factor=6.0)
+    scorer.update(view)
+    cfg = scorer.config
+    assert view.row("n1").suspicion == cfg.w_disk
+    assert view.row("n1").suspect            # w_disk >= threshold
+    assert not view.row("n0").suspect
+    # Fabric-wide loss alone stays below the threshold (not one sick
+    # node), but stacks on top of per-node signals.
+    registry.events.emit(2.0, "fault.inject", action="frame-loss",
+                         fabric="tcp-ethernet", prob=0.05)
+    scorer.update(view)
+    assert view.row("n0").suspicion == cfg.w_loss
+    assert not view.row("n0").suspect
+    assert view.row("n1").suspicion == min(1.0, cfg.w_disk + cfg.w_loss)
+    # End events clear both signals.
+    registry.events.emit(3.0, "fault.inject", action="disk-slowdown-end",
+                         nodes="n1")
+    registry.events.emit(3.0, "fault.inject", action="frame-loss-end",
+                         fabric="tcp-ethernet")
+    scorer.update(view)
+    assert view.row("n1").suspicion == 0.0
+    assert not view.row("n1").suspect
+
+
+def test_suspicion_from_missed_heartbeats_and_down_nodes():
+    view = FleetView(period=0.25)
+    view.observe({"node": "n0"}, 0.0)
+    view.observe({"node": "n1"}, 0.0)
+    view.refresh(1.0, down_nodes=("n1",))     # n0 silent for 3 periods
+    scorer = SuspicionScorer(
+        MetricsRegistry(), SuspicionConfig(w_missed=0.2, threshold=0.5))
+    scorer.update(view)
+    assert view.row("n0").suspicion == pytest.approx(0.6)   # 3 x 0.2
+    assert view.row("n0").suspect
+    assert view.row("n1").suspicion == 1.0    # down is certainty
+    assert view.row("n1").suspect
+
+
+# ---------------------------------------------------------------------------
+# drain lifecycle through the controller
+# ---------------------------------------------------------------------------
+
+def test_drain_state_machine_on_live_cluster():
+    sf = StarfishCluster.build(nodes=4)
+    controller = FleetController(sf, auto_drain=False)
+    handle = sf.submit(AppSpec(
+        program=ComputeSleep, nprocs=2,
+        params={"steps": 200, "step_time": 0.05, "state_bytes": 1024},
+        ft_policy=FaultPolicy.RESTART,
+        checkpoint=CheckpointConfig(protocol="stop-and-sync", level="vm",
+                                    interval=0.4),
+        placement={0: "n0", 1: "n2"}))
+    sf.engine.run(until=sf.engine.now + 1.0)
+    controller.drain("n2")
+    assert controller.view.row("n2").health is NodeHealth.DRAINING
+    assert "n2" not in controller.view.eligible()
+    sf.engine.run(until=sf.engine.now + 4.0)
+    # cordon -> proactive-migrate -> confirm-empty.
+    assert controller.view.row("n2").health is NodeHealth.DRAINED
+    assert controller.migrations and \
+        controller.migrations[0][3] == "n2"
+    record = handle._record()
+    assert "n2" not in record.placement.values()
+    # Operator drains never auto-uncordon; explicit uncordon does.
+    controller.uncordon("n2")
+    assert controller.view.row("n2").health is NodeHealth.ACTIVE
+    sf.run_to_completion(handle, timeout=300)
+
+
+# ---------------------------------------------------------------------------
+# RegistryView (per-tenant metric filtering)
+# ---------------------------------------------------------------------------
+
+def test_registry_view_filters_by_label():
+    registry = MetricsRegistry()
+    registry.counter("fleet.jobs_submitted", tenant="acme").inc(3)
+    registry.counter("fleet.jobs_submitted", tenant="globex").inc(5)
+    registry.counter("fleet.jobs_admitted", tenant="acme").inc(2)
+    view = registry.view(tenant="acme")
+    flat = view.collect()
+    assert flat and all("tenant=acme" in key for key in flat)
+    assert sum(v for k, v in flat.items()
+               if k.startswith("fleet.jobs_submitted")) == 3
+    text = to_prometheus(view)
+    assert 'tenant="acme"' in text and 'tenant="globex"' not in text

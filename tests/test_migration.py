@@ -43,11 +43,33 @@ def test_migrate_preserves_progress():
     assert sf.engine.now - t0 < 1.9
 
 
-def test_migrate_to_same_node_is_noop():
+def test_migrate_to_same_node_is_typed_error():
+    from repro.errors import PlacementError
     sf = StarfishCluster.build(nodes=3)
     handle = checkpointed_app(sf)
-    sf.migrate(handle, rank=1, target_node="n1")   # already there
+    with pytest.raises(PlacementError, match="already"):
+        sf.migrate(handle, rank=1, target_node="n1")   # already there
     sf.engine.run(until=sf.engine.now + 1.0)
+    assert handle._record().restarts == 0      # nothing was cast
+    sf.run_to_completion(handle, timeout=300)
+
+
+def test_migrate_validates_target_up_front():
+    """Bad migrations fail with a typed PlacementError before any cast:
+    unknown node, dead node, unknown rank (paper §3.2.1 hardening)."""
+    from repro.errors import PlacementError
+    sf = StarfishCluster.build(nodes=3)
+    handle = checkpointed_app(sf, steps=200)   # outlive the churn below
+    with pytest.raises(PlacementError, match="unknown node"):
+        sf.migrate(handle, rank=1, target_node="n99")
+    sf.cluster.crash_node("n2")
+    with pytest.raises(PlacementError, match="down"):
+        sf.migrate(handle, rank=1, target_node="n2")
+    sf.cluster.recover_node("n2")
+    sf.engine.run(until=sf.engine.now + 2.0)   # rejoin the group
+    with pytest.raises(PlacementError, match="no rank"):
+        sf.migrate(handle, rank=9, target_node="n2")
+    # None of the rejected calls disturbed the app.
     assert handle._record().restarts == 0
     sf.run_to_completion(handle, timeout=300)
 

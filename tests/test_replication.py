@@ -188,11 +188,13 @@ def test_failover_keeps_world_version_and_survivor_placement():
 
 
 def test_migrate_refused_for_replicated_apps():
+    from repro.errors import PlacementError
     sf = StarfishCluster.build(nodes=5, seed=7)
     handle = sf.submit(_replicated_spec(steps=12))
     sf.engine.run(until=sf.engine.now + 0.5)
     before = dict(handle._record().placement)
-    sf.migrate(handle, rank=0, target_node="n4")
+    with pytest.raises(PlacementError, match="active replication"):
+        sf.migrate(handle, rank=0, target_node="n4")
     sf.engine.run(until=sf.engine.now + 1.0)
     assert handle._record().placement == before
     sf.run_to_completion(handle, timeout=120.0)
