@@ -10,16 +10,35 @@ cluster size and message density for three workload shapes:
   small cluster (per-message hot-path cost);
 * ``jacobi``    — bulk-synchronous halo exchange with ``nprocs == nodes``
   and a small per-rank block, the event-dense scaling configuration
-  (8 -> 256 nodes in full mode);
+  (8 -> 256 nodes in full mode, plus 512/1024-node *sparse* rows: quiet
+  heartbeats and one collective wave, or the quadratic control-path
+  multicast dominates the sweep);
+* ``traffic``   — the :class:`~repro.apps.TrafficGenerator` control-path
+  churn workload (many short-lived client jobs through the fleet
+  scheduler);
 * ``chaos``     — the ``crash-recover`` fault campaign (full stack:
   GCS + daemons + C/R + fault injection + golden-run comparison).
 
+Selected configurations additionally run under the **calendar** event
+scheduler (``ClusterSpec.scheduler="calendar"``) as ``.../calendar``
+rows; their speedups are computed against the *heap* baseline row of the
+same configuration.
+
 Results go to ``benchmarks/BENCH_scaling.json``.  If a committed
 pre-change baseline (``BENCH_scaling_baseline.json``) exists, per-config
-speedups are computed against it; the engine-overhaul acceptance gate is
->= 1.5x events/sec on the 128-node event-dense Jacobi configuration.
-Speedup assertions only run when ``REPRO_BENCH_ASSERT_SPEEDUP=1`` (the
-ratio is only meaningful on the machine that recorded the baseline).
+speedups are computed against it; the acceptance gates are >= 1.5x
+events/sec on the 128-node event-dense Jacobi configuration (the PR-3
+hot-path overhaul) and >= 1.3x on the 256-node one (the scheduler-seam
+PR must not tax the default dispatch path).  The ``.../calendar`` rows'
+ratios are reported for comparison but not asserted — the pure-Python
+calendar queue trades constant-factor overhead for O(1) asymptotics
+against C-implemented ``heapq``.  Speedup assertions only run when
+``REPRO_BENCH_ASSERT_SPEEDUP=1`` (the ratio is only meaningful on the
+machine that recorded the baseline).
+
+Every configuration runs ``REPRO_BENCH_REPEATS`` times (default 2 full /
+1 fast) and reports the best events/sec — single-shot numbers swing
++-20% with machine load, which is larger than the effects measured here.
 
 Fast mode (``REPRO_BENCH_FAST=1``) shrinks the sweep to seconds for CI
 smoke coverage.
@@ -32,11 +51,12 @@ import os
 import time
 from pathlib import Path
 
-from repro.apps import Jacobi1D, PingPong
+from repro.apps import Jacobi1D, PingPong, TrafficGenerator
 from repro.cluster import ClusterSpec
 from repro.core import AppSpec, StarfishCluster
 from repro.faults import CampaignRunner
 from repro.faults.campaigns import get_campaign
+from repro.fleet import FleetController
 
 from bench_helpers import FAST, print_table, quiet_gcs
 
@@ -45,30 +65,55 @@ HERE = Path(__file__).parent
 OUT_PATH = HERE / "BENCH_scaling.json"
 BASELINE_PATH = HERE / "BENCH_scaling_baseline.json"
 
-#: The acceptance-gate configuration (event-dense, 128 nodes).
-TARGET_KEY = "jacobi/128/dense"
-TARGET_SPEEDUP = 1.5
+#: Acceptance gates: required events/sec speedup vs the pre-overhaul
+#: baseline, per configuration.  ``jacobi/128/dense`` is the PR-3
+#: hot-path-overhaul gate; ``jacobi/256/dense`` is the PR-10 gate (the
+#: scheduler seam and the bench restructuring must not tax the default
+#: heap data path at the largest dense configuration).
+TARGETS = {
+    "jacobi/128/dense": 1.5,
+    "jacobi/256/dense": 1.3,
+}
+
+#: Best-of-N repeats per configuration (machine noise is +-20%).
+REPEATS = int(os.environ.get("REPRO_BENCH_REPEATS", "1" if FAST else "2"))
 
 
-def _spec(nodes: int) -> ClusterSpec:
+def _spec(nodes: int, scheduler: str = "heap",
+          heartbeat: float = 2.0) -> ClusterSpec:
     # Quiet heartbeats keep the sweep focused on the data path; the chaos
     # configs use the campaign default (control-path-dense) instead.
-    return ClusterSpec(nodes=nodes, seed=SEED, gcs_config=quiet_gcs(2.0))
+    return ClusterSpec(nodes=nodes, seed=SEED, scheduler=scheduler,
+                       gcs_config=quiet_gcs(heartbeat))
 
 
-def _measure(label: str, nodes: int, density: str, fn):
-    """Run one config; events/sec over the engine's processed-event count."""
-    t0 = time.perf_counter()
-    engine, sim_end = fn()
-    wall = time.perf_counter() - t0
+def _config_key(label: str, nodes: int, density: str,
+                scheduler: str) -> str:
+    key = f"{label}/{nodes}/{density}"
+    return key if scheduler == "heap" else f"{key}/{scheduler}"
+
+
+def _measure(label: str, nodes: int, density: str, fn,
+             scheduler: str = "heap"):
+    """Run one config ``REPEATS`` times; keep the fastest run's
+    events/sec (the event count itself is deterministic)."""
+    best = None
+    for _ in range(max(1, REPEATS)):
+        t0 = time.perf_counter()
+        engine, sim_end = fn()
+        wall = time.perf_counter() - t0
+        if best is None or wall < best[0]:
+            best = (wall, engine.events_processed, sim_end)
+    wall, events, sim_end = best
     return {
-        "config": f"{label}/{nodes}/{density}",
+        "config": _config_key(label, nodes, density, scheduler),
         "workload": label,
         "nodes": nodes,
         "density": density,
+        "scheduler": scheduler,
         "wall_s": round(wall, 4),
-        "events": engine.events_processed,
-        "events_per_sec": round(engine.events_processed / wall, 1),
+        "events": events,
+        "events_per_sec": round(events / wall, 1),
         "sim_s": round(sim_end, 6),
     }
 
@@ -81,13 +126,27 @@ def run_pingpong(nodes: int, reps: int, sizes) -> tuple:
     return sf.engine, sf.engine.now
 
 
-def run_jacobi(nodes: int, iterations: int, cells_per_rank: int) -> tuple:
-    sf = StarfishCluster.build(spec=_spec(nodes))
+def run_jacobi(nodes: int, iterations: int, cells_per_rank: int,
+               scheduler: str = "heap", heartbeat: float = 2.0,
+               iters_per_step: int = 10) -> tuple:
+    sf = StarfishCluster.build(spec=_spec(nodes, scheduler, heartbeat))
     sf.run(AppSpec(program=Jacobi1D, nprocs=nodes,
                    params={"n": cells_per_rank * nodes,
                            "iterations": iterations,
-                           "iters_per_step": 10}),
+                           "iters_per_step": iters_per_step}),
            timeout=4000)
+    return sf.engine, sf.engine.now
+
+
+def run_traffic(nodes: int, jobs: int, scheduler: str = "heap") -> tuple:
+    """Control-path churn: short-lived client jobs through the fleet
+    scheduler (see :mod:`repro.apps.traffic`)."""
+    sf = StarfishCluster.build(spec=_spec(nodes, scheduler))
+    controller = FleetController(sf, auto_drain=False)
+    gen = TrafficGenerator(controller, jobs=jobs, rate=10.0,
+                           nprocs=(1, 4), seed=SEED)
+    gen.drain(timeout=600.0)
+    controller.close()
     return sf.engine, sf.engine.now
 
 
@@ -108,13 +167,26 @@ def run_chaos(nodes: int) -> tuple:
 def sweep(fast: bool = FAST):
     if fast:
         pingpong_cfgs = [(8, 30, (1, 1024))]
-        jacobi_cfgs = [(8, "dense", 20, 64), (16, "dense", 20, 64)]
+        jacobi_cfgs = [(8, "dense", 20, 64)]
+        # Both schedulers on one small config: the CI byte-identity +
+        # liveness smoke for the calendar queue.
+        jacobi_sched_cfgs = [(16, "dense", 20, 64, ("heap", "calendar"))]
+        bignode_cfgs = []
+        traffic_cfgs = [(8, 20, ("heap", "calendar"))]
         chaos_nodes = [8]
     else:
         pingpong_cfgs = [(8, 300, (1, 1024, 65536))]
         jacobi_cfgs = [(8, "sparse", 40, 256), (32, "sparse", 40, 256),
                        (8, "dense", 60, 64), (32, "dense", 60, 64),
-                       (128, "dense", 60, 64), (256, "dense", 60, 64)]
+                       (128, "dense", 60, 64)]
+        jacobi_sched_cfgs = [(256, "dense", 60, 64, ("heap", "calendar"))]
+        # 512/1024-node rows: quiet heartbeats (30s) and a single
+        # collective wave — the n^2 full-group multicast during the
+        # serialized collectives otherwise explodes the event count
+        # (tens of millions at 1024 nodes) and drowns the data path.
+        bignode_cfgs = [(512, ("heap", "calendar")),
+                        (1024, ("heap", "calendar"))]
+        traffic_cfgs = [(32, 200, ("heap", "calendar"))]
         chaos_nodes = [8, 32]
 
     rows = []
@@ -126,6 +198,26 @@ def sweep(fast: bool = FAST):
         rows.append(_measure("jacobi", nodes, density,
                              lambda n=nodes, i=iters, c=cells:
                              run_jacobi(n, i, c)))
+    for nodes, density, iters, cells, schedulers in jacobi_sched_cfgs:
+        for sched in schedulers:
+            rows.append(_measure("jacobi", nodes, density,
+                                 lambda n=nodes, i=iters, c=cells, s=sched:
+                                 run_jacobi(n, i, c, scheduler=s),
+                                 scheduler=sched))
+    for nodes, schedulers in bignode_cfgs:
+        for sched in schedulers:
+            rows.append(_measure(
+                "jacobi", nodes, "sparse",
+                lambda n=nodes, s=sched:
+                run_jacobi(n, iterations=8, cells_per_rank=16,
+                           scheduler=s, heartbeat=30.0, iters_per_step=8),
+                scheduler=sched))
+    for nodes, jobs, schedulers in traffic_cfgs:
+        for sched in schedulers:
+            rows.append(_measure("traffic", nodes, f"jobs{jobs}",
+                                 lambda n=nodes, j=jobs, s=sched:
+                                 run_traffic(n, j, scheduler=s),
+                                 scheduler=sched))
     for nodes in chaos_nodes:
         rows.append(_measure("chaos", nodes, "standard",
                              lambda n=nodes: run_chaos(n)))
@@ -145,7 +237,12 @@ def build_report(rows, fast: bool):
         base_by_key = {c["config"]: c for c in baseline.get("configs", [])}
         speedups = {}
         for row in rows:
-            base = base_by_key.get(row["config"])
+            # Scheduler variants compare against the heap baseline row
+            # of the same configuration (the baseline predates the
+            # calendar queue and never grows scheduler-suffixed rows).
+            base_key = f"{row['workload']}/{row['nodes']}/{row['density']}"
+            base = base_by_key.get(row["config"]) \
+                or base_by_key.get(base_key)
             if base is None or not base.get("wall_s"):
                 continue
             speedups[row["config"]] = {
@@ -156,14 +253,16 @@ def build_report(rows, fast: bool):
             }
         report["baseline_file"] = BASELINE_PATH.name
         report["speedup_vs_baseline"] = speedups
-        if TARGET_KEY in speedups:
-            report["target"] = {
-                "config": TARGET_KEY,
-                "required_events_per_sec_speedup": TARGET_SPEEDUP,
+        report["targets"] = [
+            {
+                "config": key,
+                "required_events_per_sec_speedup": required,
                 "achieved_events_per_sec_speedup":
-                    speedups[TARGET_KEY]["events_per_sec"],
-                "achieved_wall_speedup": speedups[TARGET_KEY]["wall"],
+                    speedups[key]["events_per_sec"],
+                "achieved_wall_speedup": speedups[key]["wall"],
             }
+            for key, required in TARGETS.items() if key in speedups
+        ]
     return report
 
 
@@ -180,8 +279,7 @@ def print_report(report):
           (f"{speedups[c['config']]['wall']:.2f}x"
            if c["config"] in speedups else "-")]
          for c in report["configs"]])
-    if "target" in report:
-        t = report["target"]
+    for t in report.get("targets", ()):
         print(f"\nacceptance gate {t['config']}: "
               f"{t['achieved_events_per_sec_speedup']:.2f}x events/sec "
               f"(wall {t['achieved_wall_speedup']:.2f}x, "
@@ -205,11 +303,10 @@ def test_scaling(benchmark):
     report = benchmark.pedantic(run_and_write, rounds=1, iterations=1)
     print_report(report)
     assert all(c["events"] > 0 for c in report["configs"])
-    if (os.environ.get("REPRO_BENCH_ASSERT_SPEEDUP") == "1"
-            and "target" in report):
-        t = report["target"]
-        assert (t["achieved_events_per_sec_speedup"]
-                >= t["required_events_per_sec_speedup"]), t
+    if os.environ.get("REPRO_BENCH_ASSERT_SPEEDUP") == "1":
+        for t in report.get("targets", ()):
+            assert (t["achieved_events_per_sec_speedup"]
+                    >= t["required_events_per_sec_speedup"]), t
 
 
 if __name__ == "__main__":

@@ -11,7 +11,10 @@ covering the paper's motivating workload classes:
 * :class:`BagOfTasks` — master/worker with task re-queueing on failures
   and optional MPI-2 dynamic spawning;
 * :class:`ComputeSleep` — a do-nothing compute loop used by tests and the
-  checkpoint-overhead benchmarks.
+  checkpoint-overhead benchmarks;
+* :class:`ShortTask` / :class:`TrafficGenerator` — a stream of
+  short-lived client jobs pumped through the fleet scheduler (the
+  control-path churn workload used by the scaling benchmarks).
 
 ``PROGRAMS`` maps the names accepted by the ASCII ``SUBMIT`` command to
 these classes.
@@ -22,6 +25,7 @@ from repro.apps.montecarlo import MonteCarloPi
 from repro.apps.jacobi import Jacobi1D
 from repro.apps.bagoftasks import BagOfTasks
 from repro.apps.computesleep import ComputeSleep
+from repro.apps.traffic import ShortTask, TrafficGenerator
 
 #: ASCII-protocol program names.
 PROGRAMS = {
@@ -30,7 +34,8 @@ PROGRAMS = {
     "jacobi": "Jacobi1D",
     "bagoftasks": "BagOfTasks",
     "computesleep": "ComputeSleep",
+    "shorttask": "ShortTask",
 }
 
 __all__ = ["BagOfTasks", "ComputeSleep", "Jacobi1D", "MonteCarloPi",
-           "PROGRAMS", "PingPong"]
+           "PROGRAMS", "PingPong", "ShortTask", "TrafficGenerator"]

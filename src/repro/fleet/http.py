@@ -52,17 +52,37 @@ class FleetHTTPServer:
                 self._reply(status, ctype, body)
 
             def do_POST(self):
-                length = int(self.headers.get("Content-Length", 0))
-                raw = self.rfile.read(length) if length else b"{}"
+                # A malformed Content-Length is the *client's* error:
+                # answer 400 JSON instead of letting int() raise (which
+                # surfaces as a 500 and wedges the keep-alive
+                # connection mid-stream).  The body length is unknown
+                # then, so the connection must close.
+                try:
+                    length = int(self.headers.get("Content-Length", 0))
+                except ValueError:
+                    self.close_connection = True
+                    status, ctype, body = gateway._json(
+                        {"ok": False, "error": "BadRequest",
+                         "message": "malformed Content-Length header"})
+                    self._reply(status, ctype, body)
+                    return
+                raw = self.rfile.read(length) if length > 0 else b"{}"
                 status, ctype, body = gateway._post(self.path, raw)
                 self._reply(status, ctype, body)
 
             def _reply(self, status: int, ctype: str, body: bytes):
-                self.send_response(status)
-                self.send_header("Content-Type", ctype)
-                self.send_header("Content-Length", str(len(body)))
-                self.end_headers()
-                self.wfile.write(body)
+                # A client may hang up mid-reply; that is its
+                # prerogative, not a server crash.  Drop the connection
+                # quietly (the handler would otherwise die with an
+                # unhandled BrokenPipeError / ConnectionResetError).
+                try:
+                    self.send_response(status)
+                    self.send_header("Content-Type", ctype)
+                    self.send_header("Content-Length", str(len(body)))
+                    self.end_headers()
+                    self.wfile.write(body)
+                except (BrokenPipeError, ConnectionResetError):
+                    self.close_connection = True
 
         self._server = HTTPServer((host, port), Handler)
         self._thread: Optional[threading.Thread] = None

@@ -31,6 +31,14 @@ from typing import Set
 from repro.fleet.view import FleetView, NodeHealth
 
 
+def _node_set(fields) -> Set[str]:
+    """The ``nodes`` CSV field as a set, dropping empties: a missing or
+    empty field must mean *no* nodes, not the phantom node ``""`` that
+    ``"".split(",")`` produces (it can never be removed by a well-formed
+    ``-end`` event and quietly pollutes ``_slow_disks`` forever)."""
+    return {n for n in str(fields.get("nodes", "")).split(",") if n}
+
+
 @dataclass(frozen=True)
 class SuspicionConfig:
     """Weights and threshold of the suspicion formula."""
@@ -47,6 +55,11 @@ class SuspicionScorer:
     def __init__(self, registry, config: SuspicionConfig = None):
         self._registry = registry
         self.config = config or SuspicionConfig()
+        #: Emission-seq cursor: events with ``seq < _seen`` were already
+        #: folded in.  Must NOT be a position into ``records(...)`` —
+        #: that list is rebuilt from a bounded ring, so once the log
+        #: wraps, positions shift under the cursor and fresh
+        #: ``fault.inject`` events get skipped or double-counted.
         self._seen = 0
         #: Nodes with an active disk slowdown.
         self._slow_disks: Set[str] = set()
@@ -55,21 +68,23 @@ class SuspicionScorer:
 
     def _ingest(self) -> None:
         """Fold fault events emitted since the last call."""
-        records = self._registry.events.records("fault.inject")
-        for ev in records[self._seen:]:
+        log = self._registry.events
+        seen = self._seen
+        for ev in log.records("fault.inject"):
+            if ev.seq < seen:
+                continue
             fields = ev.field_dict
             action = fields.get("action")
             if action == "disk-slowdown":
-                self._slow_disks |= set(
-                    str(fields.get("nodes", "")).split(","))
+                self._slow_disks |= _node_set(fields)
             elif action == "disk-slowdown-end":
-                self._slow_disks -= set(
-                    str(fields.get("nodes", "")).split(","))
+                self._slow_disks -= _node_set(fields)
             elif action == "frame-loss":
                 self._loss_depth += 1
             elif action == "frame-loss-end":
                 self._loss_depth = max(0, self._loss_depth - 1)
-        self._seen = len(records)
+        # Anything emitted after this point gets a seq >= emitted.
+        self._seen = log.emitted
 
     def update(self, view: FleetView) -> None:
         """Re-score every known node; annotates the view rows in place."""

@@ -22,6 +22,11 @@ class ObsEvent:
     time: float
     name: str
     fields: Tuple[Tuple[str, Any], ...] = ()
+    #: Global emission index (0-based, monotone across the whole log).
+    #: Incremental consumers cursor on this instead of list positions:
+    #: once the ring rotates, positions shift under the reader but the
+    #: seq of a given event never changes.  ``-1`` = not from a log.
+    seq: int = -1
 
     @property
     def field_dict(self) -> Dict[str, Any]:
@@ -41,7 +46,8 @@ class EventLog:
 
     def emit(self, time: float, name: str, **fields: Any) -> ObsEvent:
         event = ObsEvent(time=time, name=name,
-                         fields=tuple(sorted(fields.items())))
+                         fields=tuple(sorted(fields.items())),
+                         seq=self._emitted)
         self._events.append(event)
         self._emitted += 1
         return event

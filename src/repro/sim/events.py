@@ -10,18 +10,20 @@ Events go through three states:
 ``triggered``  scheduled on the engine's queue with a value or an exception;
 ``processed``  callbacks have run (waiting processes resumed).
 
-Hot-path note: triggering an event pushes the heap entry directly
-(``(time, priority, seq, event)`` tuples) instead of calling through
-``Engine._enqueue`` — events are created and triggered once per simulated
-hop, so the extra call and the ``triggered`` property lookups measurably
-tax large simulations.  The layout of the heap entry and the
-``(time, priority, seq)`` total order are part of the engine's contract
-and must match :mod:`repro.sim.engine`.
+Hot-path note: triggering an event builds the ``(time, priority, seq,
+event)`` queue entry inline and hands it to the engine's pre-bound
+``_push`` callable instead of calling through ``Engine._enqueue`` —
+events are created and triggered once per simulated hop, so the extra
+call and the ``triggered`` property lookups measurably tax large
+simulations.  ``_push`` is ``heappush`` partial-bound to the queue list
+under the default heap scheduler and ``CalendarQueue.push`` under the
+calendar scheduler; the entry layout and the ``(time, priority, seq)``
+total order are part of the engine's contract and must match
+:mod:`repro.sim.engine`.
 """
 
 from __future__ import annotations
 
-from heapq import heappush
 from typing import Any, Callable, Iterable, List, Optional
 
 from repro.errors import SimulationError
@@ -95,9 +97,8 @@ class Event:
         self._value = value
         engine = self.engine
         engine._seq = seq = engine._seq + 1
-        heappush(engine._queue,
-                 (engine._now, _NORMAL if priority is None else priority,
-                  seq, self))
+        engine._push((engine._now,
+                      _NORMAL if priority is None else priority, seq, self))
         return self
 
     def fail(self, exc: BaseException, priority: Optional[int] = None) -> "Event":
@@ -114,9 +115,8 @@ class Event:
         self._value = exc
         engine = self.engine
         engine._seq = seq = engine._seq + 1
-        heappush(engine._queue,
-                 (engine._now, _NORMAL if priority is None else priority,
-                  seq, self))
+        engine._push((engine._now,
+                      _NORMAL if priority is None else priority, seq, self))
         return self
 
     def trigger_from(self, other: "Event") -> None:
@@ -171,7 +171,7 @@ class Timeout(Event):
         self._defused = False
         self.delay = delay
         engine._seq = seq = engine._seq + 1
-        heappush(engine._queue, (engine._now + delay, _NORMAL, seq, self))
+        engine._push((engine._now + delay, _NORMAL, seq, self))
 
 
 class Condition(Event):

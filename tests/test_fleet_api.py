@@ -6,6 +6,8 @@ with real ``urllib`` requests — the same path ``repro fleet serve
 """
 
 import json
+import socket
+import struct
 import urllib.error
 import urllib.request
 
@@ -146,3 +148,74 @@ def test_http_error_statuses(server):
     assert err.value.code == 400
     body = json.loads(err.value.read().decode())
     assert body["error"] == "BadRequest"
+
+
+# ---------------------------------------------------------------------------
+# hostile clients (regressions: the gateway must outlive bad peers)
+# ---------------------------------------------------------------------------
+
+def _raw_request(server, payload: bytes) -> bytes:
+    """Send raw bytes and read until the server closes the connection."""
+    host, port = server.address
+    with socket.create_connection((host, port), timeout=10) as sock:
+        sock.sendall(payload)
+        chunks = b""
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                return chunks
+            chunks += chunk
+
+
+def test_http_malformed_content_length_is_400_json(server):
+    """Regression: ``Content-Length: abc`` used to make ``int()`` raise
+    inside ``do_POST`` — the handler died mid-request, the client saw the
+    connection drop with *no* response at all.  It is the client's error:
+    a 400 with the standard typed-JSON body, then close."""
+    raw = _raw_request(server,
+                       b"POST /v1/step HTTP/1.1\r\n"
+                       b"Host: test\r\n"
+                       b"Content-Length: abc\r\n"
+                       b"\r\n")
+    head, _, body = raw.partition(b"\r\n\r\n")
+    assert head.startswith(b"HTTP/1.1 400")
+    payload = json.loads(body)
+    assert payload == {"ok": False, "error": "BadRequest",
+                       "message": "malformed Content-Length header"}
+    # The server itself is unharmed: the next request round-trips.
+    status, _ctype, nodes = _get(server, "/v1/nodes")
+    assert status == 200 and json.loads(nodes)["ok"]
+
+
+def test_http_negative_content_length_reads_no_body(server):
+    """A negative length must not make ``rfile.read`` block until EOF;
+    it is treated as "no body" (empty JSON object)."""
+    raw = _raw_request(server,
+                       b"POST /v1/step HTTP/1.1\r\n"
+                       b"Host: test\r\n"
+                       b"Content-Length: -5\r\n"
+                       b"Connection: close\r\n"
+                       b"\r\n")
+    head, _, body = raw.partition(b"\r\n\r\n")
+    assert head.startswith(b"HTTP/1.1 200")
+    assert json.loads(body)["ok"]
+
+
+def test_http_client_hangup_mid_reply_does_not_wedge_server(server):
+    """Regression: a client that sends a request and resets the
+    connection before reading the reply used to surface as an unhandled
+    ``BrokenPipeError``/``ConnectionResetError`` traceback in the
+    handler.  The gateway must shrug it off and keep serving."""
+    host, port = server.address
+    for _ in range(3):
+        sock = socket.create_connection((host, port), timeout=10)
+        try:
+            sock.sendall(b"GET /v1/nodes HTTP/1.1\r\nHost: test\r\n\r\n")
+            # RST on close (no FIN handshake): the server's reply write
+            # hits a dead socket.
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER,
+                            struct.pack("ii", 1, 0))
+        finally:
+            sock.close()
+    status, _ctype, nodes = _get(server, "/v1/nodes")
+    assert status == 200 and json.loads(nodes)["ok"]

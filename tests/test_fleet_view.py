@@ -133,6 +133,76 @@ def test_suspicion_from_missed_heartbeats_and_down_nodes():
     assert view.row("n1").suspect
 
 
+def test_suspicion_survives_event_log_ring_wrap():
+    """Regression: the scorer's incremental cursor must be an emission
+    seq, not a position into ``records()``.  Once the bounded event log
+    wraps, list positions shift under a positional cursor and fresh
+    ``fault.inject`` events land *before* it — the old code skipped the
+    ``disk-slowdown-end`` below and left n1 suspect forever."""
+    registry = MetricsRegistry(event_log_capacity=8)
+    view = FleetView()
+    for n in ("n0", "n1"):
+        view.observe({"node": n}, 0.0)
+    scorer = SuspicionScorer(registry)
+    registry.events.emit(1.0, "fault.inject", action="disk-slowdown",
+                         nodes="n1", factor=6.0)
+    scorer.update(view)
+    assert view.row("n1").suspect
+    # Unrelated traffic rotates the slowdown event out of the ring, so
+    # every retained fault.inject position is below the old cursor.
+    for i in range(20):
+        registry.events.emit(1.5, "app.restart", app=f"a{i}")
+    registry.events.emit(2.0, "fault.inject", action="disk-slowdown-end",
+                         nodes="n1")
+    scorer.update(view)
+    assert view.row("n1").suspicion == 0.0
+    assert not view.row("n1").suspect
+
+
+def test_suspicion_ignores_reprocessed_events_after_wrap():
+    """The dual hazard: retained-but-already-seen events must not be
+    double counted when the ring shifts them to new positions (a
+    re-folded ``frame-loss`` would push the depth to 2 and one ``-end``
+    would no longer clear it)."""
+    registry = MetricsRegistry(event_log_capacity=8)
+    view = FleetView()
+    view.observe({"node": "n0"}, 0.0)
+    scorer = SuspicionScorer(registry)
+    registry.events.emit(1.0, "fault.inject", action="frame-loss",
+                         fabric="tcp-ethernet", prob=0.05)
+    scorer.update(view)
+    assert scorer._loss_depth == 1
+    registry.events.emit(1.5, "app.restart", app="a0")   # shifts positions
+    scorer.update(view)
+    assert scorer._loss_depth == 1                       # not re-counted
+    registry.events.emit(2.0, "fault.inject", action="frame-loss-end",
+                         fabric="tcp-ethernet")
+    scorer.update(view)
+    assert scorer._loss_depth == 0
+    assert view.row("n0").suspicion == 0.0
+
+
+def test_suspicion_empty_nodes_field_adds_no_phantom_node():
+    """Regression: a fault event with an empty/missing ``nodes`` field
+    must not register the phantom node ``""`` as slow (``"".split(",")``
+    == ``[""]``) — it can never be cleared by a well-formed end event."""
+    registry = MetricsRegistry()
+    view = FleetView()
+    view.observe({"node": "n0"}, 0.0)
+    scorer = SuspicionScorer(registry)
+    registry.events.emit(1.0, "fault.inject", action="disk-slowdown",
+                         nodes="", factor=2.0)
+    registry.events.emit(1.0, "fault.inject", action="disk-slowdown",
+                         factor=2.0)                     # field absent
+    scorer.update(view)
+    assert scorer._slow_disks == set()
+    # And a CSV with a trailing comma only names real nodes.
+    registry.events.emit(2.0, "fault.inject", action="disk-slowdown",
+                         nodes="n0,", factor=2.0)
+    scorer.update(view)
+    assert scorer._slow_disks == {"n0"}
+
+
 # ---------------------------------------------------------------------------
 # drain lifecycle through the controller
 # ---------------------------------------------------------------------------
